@@ -1,0 +1,97 @@
+// Ablation of the remaining DRB design parameters DESIGN.md calls out:
+// the threshold band (Threshold_Low / Threshold_High, §3.2.4) and the
+// maximum number of alternative paths (§4.6.3), plus the in-segment hop
+// discipline. Every configuration runs the Fig. 4.12 mesh hot-spot scenario
+// under several seeds and reports the §4.3 replication statistics
+// (mean ± 95 % CI over seeds).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace prdrb;
+using namespace prdrb::bench;
+
+namespace {
+
+SyntheticScenario base_scenario() {
+  SyntheticScenario sc;
+  sc.topology = "mesh-8x8";
+  sc.pattern = "hotspot-cross";
+  sc.rate_bps = 1000e6;
+  sc.bursts = 5;
+  sc.burst_len = 2e-3;
+  sc.gap_len = 2e-3;
+  sc.duration = 25e-3;
+  sc.noise_rate_bps = 50e6;
+  sc.bin_width = 0.5e-3;
+  return sc;
+}
+
+constexpr int kSeeds = 3;
+
+std::string stat(const Replication& r, double scale = 1e6) {
+  return Table::num(r.mean * scale, 4) + " ± " +
+         Table::num(r.ci95() * scale, 3);
+}
+
+Replication latency_of(const std::string& policy,
+                       const SyntheticScenario& sc) {
+  const auto runs = run_synthetic_replicated(policy, sc, kSeeds);
+  return replicate_metric(
+      runs, [](const ScenarioResult& r) { return r.global_latency; });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: DRB/PR-DRB design parameters (mesh hot-spot, "
+            << kSeeds << " seeds, mean ± 95% CI in us) ===\n";
+
+  std::cout << "\n--- threshold band (Threshold_Low / Threshold_High, "
+               "§3.2.4) ---\n";
+  Table th({"low_us", "high_us", "drb_global_us", "pr-drb_global_us"});
+  struct Band {
+    double low;
+    double high;
+  };
+  for (const Band band : {Band{5e-6, 9e-6}, Band{8e-6, 15e-6},
+                          Band{12e-6, 30e-6}, Band{20e-6, 60e-6}}) {
+    SyntheticScenario sc = base_scenario();
+    sc.drb.threshold_low = band.low;
+    sc.drb.threshold_high = band.high;
+    th.add_row({Table::num(band.low * 1e6, 3), Table::num(band.high * 1e6, 3),
+                stat(latency_of("drb", sc)), stat(latency_of("pr-drb", sc))});
+  }
+  th.print(std::cout);
+  std::cout << "narrow bands react early but oscillate (open/close churn); "
+               "wide bands tolerate congestion before acting. The default "
+               "8/15 us band tracks the uncontended ~4.3 us base latency.\n";
+
+  std::cout << "\n--- maximum alternative paths (§4.6.3 uses 4) ---\n";
+  Table mp({"max_paths", "drb_global_us", "pr-drb_global_us"});
+  for (const int paths : {1, 2, 4, 8}) {
+    SyntheticScenario sc = base_scenario();
+    sc.drb.max_paths = paths;
+    mp.add_row({std::to_string(paths), stat(latency_of("drb", sc)),
+                stat(latency_of("pr-drb", sc))});
+  }
+  mp.print(std::cout);
+  std::cout << "max_paths=1 disables expansion entirely (pure single-path "
+               "routing); gains saturate around the paper's 4.\n";
+
+  std::cout << "\n--- in-segment hop discipline (adaptive vs deterministic "
+               "segments) ---\n";
+  Table seg({"segments", "drb_global_us", "pr-drb_global_us"});
+  for (const bool adaptive : {true, false}) {
+    SyntheticScenario sc = base_scenario();
+    sc.drb.adaptive_segments = adaptive;
+    seg.add_row({adaptive ? "adaptive" : "deterministic",
+                 stat(latency_of("drb", sc)),
+                 stat(latency_of("pr-drb", sc))});
+  }
+  seg.print(std::cout);
+  std::cout << "on the mesh the XY-minimal candidates leave little room for "
+               "per-hop adaptivity, so the metapath mechanism provides the "
+               "balancing either way.\n";
+  return 0;
+}

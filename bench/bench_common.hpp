@@ -1,0 +1,44 @@
+// Thin adapter over the library's experiment harness (experiment/scenario)
+// for the per-figure bench binaries: aliases plus table-formatting helpers.
+#pragma once
+
+#include <iostream>
+
+#include "experiment/scenario.hpp"
+#include "metrics/collector.hpp"
+#include "net/kary_ntree.hpp"
+#include "net/mesh2d.hpp"
+#include "routing/oblivious.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/source.hpp"
+#include "util/table.hpp"
+
+namespace prdrb::bench {
+
+using prdrb::default_drb_config;
+using prdrb::improvement_pct;
+using prdrb::make_policy;
+using prdrb::make_topology;
+using prdrb::PolicyBundle;
+using prdrb::run_synthetic;
+using prdrb::run_trace;
+using prdrb::ScenarioResult;
+using prdrb::SyntheticScenario;
+using prdrb::TraceScenario;
+
+/// Older bench sources refer to trace results by this name.
+using TraceResult = ScenarioResult;
+
+/// Per-router latency map of a synthetic scenario (Figs. 4.10/4.11).
+inline std::vector<double> run_synthetic_map(const std::string& policy_name,
+                                             const SyntheticScenario& sc) {
+  return run_synthetic(policy_name, sc).router_map;
+}
+
+/// Seconds -> microseconds, formatted.
+inline std::string us(double seconds, int precision = 3) {
+  return Table::num(seconds * 1e6, precision);
+}
+
+}  // namespace prdrb::bench

@@ -1,0 +1,170 @@
+// Reproduces the thesis Fig. 3.1 behaviour overview, plus ablations of the
+// two central PR-DRB design choices (DESIGN.md "ablation candidates"):
+//   * per-burst learning: in traffic stage 1 DRB and PR-DRB behave alike
+//     (PR-DRB is learning); from stage 2 PR-DRB re-applies saved solutions
+//     and the latency transient shrinks;
+//   * notification mode: destination-based (§3.2.2) vs router-based early
+//     notification (§3.4.1);
+//   * similarity threshold for situation matching (80 % in §3.2.8).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace prdrb;
+using namespace prdrb::bench;
+
+namespace {
+
+/// Average latency per burst window (burst i covers
+/// [start + i*period, start + i*period + burst_len] plus its drain gap).
+std::vector<double> per_burst_latency(const ScenarioResult& r,
+                                      const SyntheticScenario& sc) {
+  std::vector<double> out(static_cast<std::size_t>(sc.bursts), 0.0);
+  std::vector<double> weight(static_cast<std::size_t>(sc.bursts), 0.0);
+  const double period = sc.burst_len + sc.gap_len;
+  for (const auto& [t, v] : r.series) {
+    if (v <= 0) continue;
+    const double rel = t - 0.5e-3;
+    if (rel < 0) continue;
+    const auto idx = static_cast<std::size_t>(rel / period);
+    if (idx >= out.size()) continue;
+    out[idx] += v;
+    weight[idx] += 1;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (weight[i] > 0) out[i] /= weight[i];
+  }
+  return out;
+}
+
+SyntheticScenario base_scenario() {
+  SyntheticScenario sc;
+  sc.topology = "mesh-8x8";
+  sc.pattern = "hotspot-cross";
+  sc.rate_bps = 1000e6;
+  sc.bursts = 5;
+  sc.burst_len = 2e-3;
+  sc.gap_len = 2e-3;
+  sc.duration = 25e-3;
+  sc.noise_rate_bps = 50e6;
+  sc.bin_width = 0.5e-3;
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig 3.1: PR-DRB learns in stage 1, re-applies from "
+               "stage 2 ===\n";
+  const auto sc = base_scenario();
+  const auto drb = run_synthetic("drb", sc);
+  const auto pr_dest = run_synthetic("pr-drb", sc);
+  const auto pr_router = run_synthetic("pr-drb@router", sc);
+
+  const auto b_drb = per_burst_latency(drb, sc);
+  const auto b_dest = per_burst_latency(pr_dest, sc);
+  const auto b_router = per_burst_latency(pr_router, sc);
+
+  Table t({"burst", "drb_us", "pr-drb(dest)_us", "pr-drb(router)_us"});
+  for (std::size_t i = 0; i < b_drb.size(); ++i) {
+    t.add_row({std::to_string(i + 1), Table::num(b_drb[i] * 1e6, 4),
+               Table::num(b_dest[i] * 1e6, 4),
+               Table::num(b_router[i] * 1e6, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nburst 1 is the learning stage (curves overlap); later "
+               "bursts show the saved-solution effect (points (1)-(4) of "
+               "Fig 3.1).\n";
+
+  std::cout << "\nsummary:\n";
+  Table s({"policy", "global_us", "installs", "patterns_saved",
+           "patterns_reused", "max_reuse"});
+  for (const auto* r : {&drb, &pr_dest, &pr_router}) {
+    s.add_row({r->policy, us(r->global_latency), std::to_string(r->installs),
+               std::to_string(r->patterns_saved),
+               std::to_string(r->patterns_reused),
+               std::to_string(r->max_reuse)});
+  }
+  s.print(std::cout);
+
+  std::cout << "\n--- ablation: similarity threshold (0.8 in the paper) "
+               "---\n";
+  Table a({"similarity", "global_us", "installs", "saved"});
+  for (double simthr : {0.5, 0.8, 0.95}) {
+    Simulator sim;
+    auto topo = make_topology(sc.topology);
+    NetConfig cfg;
+    PrDrbConfig pcfg;
+    pcfg.similarity = simthr;
+    PrDrbPolicy policy(default_drb_config(), pcfg, 7);
+    CongestionDetector cfd(NotificationMode::kDestinationBased);
+    Network net(sim, *topo, cfg, policy);
+    MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),
+                             sc.bin_width);
+    net.set_observer(&metrics);
+    net.set_monitor(&cfd);
+    auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
+    HotspotPattern hp = make_mesh_cross_hotspot(*mesh, 8);
+    TrafficConfig tc;
+    tc.rate_bps = sc.rate_bps;
+    tc.stop = sc.duration;
+    BurstSchedule bursts(0.5e-3, sc.burst_len, sc.gap_len, sc.bursts);
+    TrafficGenerator gen(sim, net, hp, tc, sc.seed, hp.sources(), &bursts);
+    gen.start();
+    UniformPattern noise_pat(topo->num_nodes());
+    TrafficConfig nc = tc;
+    nc.rate_bps = sc.noise_rate_bps;
+    TrafficGenerator noise(sim, net, noise_pat, nc, sc.seed + 1);
+    noise.start();
+    sim.run();
+    a.add_row({Table::num(simthr, 3),
+               us(metrics.global_average_latency()),
+               std::to_string(policy.engine().installs()),
+               std::to_string(policy.engine().db().size())});
+  }
+  a.print(std::cout);
+  std::cout << "\nlow thresholds over-match (wrong solutions installed), "
+               "very high thresholds under-match (fewer reuses); 0.8 "
+               "balances both (§3.2.8).\n";
+
+  std::cout << "\n--- extension (§5.2): latency-trend congestion prediction "
+               "---\n";
+  Table tr({"trend_prediction", "global_us", "trend_triggers", "installs"});
+  for (bool trend : {false, true}) {
+    Simulator sim;
+    auto topo = make_topology(sc.topology);
+    NetConfig cfg;
+    PrDrbConfig pcfg;
+    pcfg.trend_prediction = trend;
+    PrDrbPolicy policy(default_drb_config(), pcfg, 7);
+    CongestionDetector cfd(NotificationMode::kDestinationBased);
+    Network net(sim, *topo, cfg, policy);
+    MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),
+                             sc.bin_width);
+    net.set_observer(&metrics);
+    net.set_monitor(&cfd);
+    auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
+    HotspotPattern hp = make_mesh_cross_hotspot(*mesh, 8);
+    TrafficConfig tc;
+    tc.rate_bps = sc.rate_bps;
+    tc.stop = sc.duration;
+    BurstSchedule bursts(0.5e-3, sc.burst_len, sc.gap_len, sc.bursts);
+    TrafficGenerator gen(sim, net, hp, tc, sc.seed, hp.sources(), &bursts);
+    gen.start();
+    UniformPattern noise_pat(topo->num_nodes());
+    TrafficConfig nc = tc;
+    nc.rate_bps = sc.noise_rate_bps;
+    TrafficGenerator noise(sim, net, noise_pat, nc, sc.seed + 1);
+    noise.start();
+    sim.run();
+    tr.add_row({trend ? "on" : "off",
+                us(metrics.global_average_latency()),
+                std::to_string(policy.engine().trend_triggers()),
+                std::to_string(policy.engine().installs())});
+  }
+  tr.print(std::cout);
+  std::cout << "\ntrend prediction reacts while latency is still rising "
+               "through the working zone, trading extra speculative path "
+               "openings for an earlier response.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces thesis Figs. 4.13 & 4.14: Perfect Shuffle on a 32-node fat
+// tree (2-ary 5-tree) at 400 and 600 Mbps/node (Table 4.3). Paper: PR-DRB
+// achieves 29 % lower latency at low load and 22 % at high load.
+#include "permutation_figure.hpp"
+
+int main() {
+  using namespace prdrb::bench;
+  // In-burst rates sit just above the pattern's deterministic-routing
+  // capacity cliff (~1 Gb/s/node for shuffle on the 2-ary 5-tree), the same
+  // relative operating points as the paper's 400/600 Mbps on its testbed.
+  run_permutation_figure("Fig 4.13", "tree-32", "perfect-shuffle", 1050e6,
+                         "paper: ~29 % at the low operating point");
+  run_permutation_figure("Fig 4.14", "tree-32", "perfect-shuffle", 1150e6,
+                         "paper: ~22 % at the high operating point");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces the Appendix A.2 permutation sweeps (thesis Figs. A.1-A.4):
+// Matrix Transpose on 32 nodes and Shuffle / Bit Reversal on 64 nodes at
+// the 400 Mbps/node operating point.
+#include "permutation_figure.hpp"
+
+int main() {
+  using namespace prdrb::bench;
+  run_permutation_figure("Fig A.1", "tree-32", "matrix-transpose", 1050e6,
+                         "appendix complement of Fig 4.17");
+  // On the 4-ary 3-tree the adaptive ascending phase alone handles shuffle
+  // and bit-reversal up to a razor-thin saturation cliff, so the PR-DRB
+  // margin here is small (see EXPERIMENTS.md for the fidelity note).
+  run_permutation_figure("Fig A.3", "tree-64", "perfect-shuffle", 1000e6,
+                         "appendix complement of Fig 4.13");
+  run_permutation_figure("Fig A.4", "tree-64", "bit-reversal", 1000e6,
+                         "appendix complement of Fig 4.15");
+  return 0;
+}

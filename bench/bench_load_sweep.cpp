@@ -1,0 +1,41 @@
+// Supplementary to §4.2's metric definitions: the classic latency- and
+// throughput-vs-offered-load characterization. "A key factor demanded to an
+// interconnection network is the ability to handle high values of
+// throughput keeping latency values as low as possible" — this bench shows
+// where each policy's latency knee sits and verifies accepted load tracks
+// offered load (lossless network, delivery ratio 1.0 after drain).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace prdrb;
+using namespace prdrb::bench;
+
+int main() {
+  std::cout << "=== Load sweep: global latency vs offered load, 8x8 mesh "
+               "hot-spot ===\n";
+  Table t({"offered_Mbps", "det_us", "drb_us", "pr-drb_us", "delivery"});
+  for (double rate : {200e6, 400e6, 600e6, 800e6, 1000e6, 1200e6}) {
+    SyntheticScenario sc;
+    sc.topology = "mesh-8x8";
+    sc.pattern = "hotspot-cross";
+    sc.rate_bps = rate;
+    sc.bursts = 3;
+    sc.burst_len = 2e-3;
+    sc.gap_len = 2e-3;
+    sc.duration = 14e-3;
+    sc.noise_rate_bps = 40e6;
+    const auto det = run_synthetic("deterministic", sc);
+    const auto drb = run_synthetic("drb", sc);
+    const auto pr = run_synthetic("pr-drb", sc);
+    t.add_row({Table::num(rate / 1e6, 4), us(det.global_latency),
+               us(drb.global_latency), us(pr.global_latency),
+               Table::num(pr.delivery_ratio, 6)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape: deterministic saturates first (latency explodes at "
+               "the hot-spot's single-path capacity); the DRB family pushes "
+               "the knee to higher loads by spreading over multi-step "
+               "paths; delivery stays 1.0 everywhere (lossless).\n";
+  return 0;
+}

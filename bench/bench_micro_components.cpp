@@ -1,0 +1,119 @@
+// Component microbenchmarks (google-benchmark): the per-event costs that
+// bound simulation throughput and the router-local costs the thesis argues
+// are cheap ("PR-DRB node level operations have not a high overhead because
+// these operations are performed locally, they are simple", §3.2.8).
+#include <benchmark/benchmark.h>
+
+#include "core/pr_drb.hpp"
+#include "net/kary_ntree.hpp"
+#include "net/mesh2d.hpp"
+#include "net/network.hpp"
+#include "routing/oblivious.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/pattern.hpp"
+
+namespace prdrb {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  EventQueue q;
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.schedule(static_cast<double>(i), [] {});
+  }
+  double t = static_cast<double>(depth);
+  for (auto _ : state) {
+    q.schedule(t, [] {});
+    t += 1.0;
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_SignatureSimilarity(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<ContendingFlow> a;
+  std::vector<ContendingFlow> b;
+  for (NodeId i = 0; i < n; ++i) {
+    a.push_back({i, i + 100});
+    b.push_back({i + (i % 5 == 0 ? 1000 : 0), i + 100});
+  }
+  const auto sa = FlowSignature::from(a);
+  const auto sb = FlowSignature::from(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.similarity(sb));
+  }
+}
+BENCHMARK(BM_SignatureSimilarity)->Arg(8)->Arg(64);
+
+void BM_SolutionDbLookup(benchmark::State& state) {
+  SolutionDatabase db;
+  const auto patterns = static_cast<int>(state.range(0));
+  std::vector<Msp> paths{Msp{}, Msp{1, 2, 5e-6, 1}};
+  for (int p = 0; p < patterns; ++p) {
+    std::vector<ContendingFlow> flows;
+    for (NodeId i = 0; i < 8; ++i) flows.push_back({i + p * 16, i + 7});
+    db.save(0, 7, FlowSignature::from(flows), paths, 5e-6, 0.8);
+  }
+  std::vector<ContendingFlow> probe;
+  for (NodeId i = 0; i < 8; ++i) {
+    probe.push_back({i + (patterns / 2) * 16, i + 7});
+  }
+  const auto sig = FlowSignature::from(probe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.lookup(0, 7, sig, 0.8));
+  }
+}
+BENCHMARK(BM_SolutionDbLookup)->Arg(8)->Arg(128)->Arg(1024);
+
+void BM_TreeMinimalPorts(benchmark::State& state) {
+  KAryNTree tree(4, 3);
+  std::vector<int> ports;
+  NodeId d = 0;
+  for (auto _ : state) {
+    ports.clear();
+    tree.minimal_ports(0, d, ports);
+    benchmark::DoNotOptimize(ports.data());
+    d = (d + 17) % 64;
+  }
+}
+BENCHMARK(BM_TreeMinimalPorts);
+
+void BM_PatternDestination(benchmark::State& state) {
+  const auto pat = make_pattern("bit-reversal", 256);
+  Rng rng(1);
+  NodeId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pat->destination(s, rng));
+    s = (s + 1) % 256;
+  }
+}
+BENCHMARK(BM_PatternDestination);
+
+/// End-to-end simulation throughput: events per second over a loaded mesh.
+void BM_SimulatedNetworkHop(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Mesh2D mesh(8, 8);
+    NetConfig cfg;
+    DeterministicPolicy policy;
+    Network net(sim, mesh, cfg, policy);
+    UniformPattern pat(64);
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(64));
+      const NodeId d = pat.destination(s, rng);
+      if (d != s) net.send_message(s, d, 1024);
+    }
+    state.ResumeTiming();
+    sim.run();
+    state.counters["events"] = static_cast<double>(sim.events_executed());
+  }
+}
+BENCHMARK(BM_SimulatedNetworkHop)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prdrb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Regenerates the application-characterization tables of thesis Ch. 2 for
+// the synthetic traces: Table 2.1 (MPI call breakdown), Table 2.2 (phases
+// and repetitiveness) and the communication-matrix statistics of §2.2.6
+// (TDC — topological degree of communication).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "trace/analysis.hpp"
+
+using namespace prdrb;
+using namespace prdrb::bench;
+
+int main() {
+  std::cout << "=== Tables 2.1 / 2.2 and Figs 2.10-2.13 statistics ===\n";
+  const std::vector<std::string> apps{"pop",         "lammps-chain",
+                                      "lammps-comb", "nas-lu",
+                                      "nas-mg-s",    "nas-mg-a",
+                                      "nas-mg-b",    "sweep3d",
+                                      "nas-ft-a",    "smg2000"};
+  TraceScale scale;
+  scale.iterations = 8;
+
+  std::cout << "\nTable 2.1 — breakdown of MPI communication calls (%):\n";
+  Table t21({"app", "Send", "Isend", "Recv", "Irecv", "Wait", "Waitall",
+             "Allreduce", "Bcast", "Reduce", "Barrier"});
+  for (const auto& app : apps) {
+    const auto prog = make_app_trace(app, 64, scale);
+    const auto b = prog.call_breakdown();
+    auto pc = [&](const char* k) {
+      auto it = b.find(std::string("MPI_") + k);
+      return Table::num(it == b.end() ? 0.0 : it->second, 3);
+    };
+    t21.add_row({app, pc("Send"), pc("Isend"), pc("Recv"), pc("Irecv"),
+                 pc("Wait"), pc("Waitall"), pc("Allreduce"), pc("Bcast"),
+                 pc("Reduce"), pc("Barrier")});
+  }
+  t21.print(std::cout);
+  std::cout << "(paper anchors: POP ~35/35/29 Isend/Waitall/Allreduce; "
+               "LU ~50/50 Send/Recv; LAMMPS ~44/44/11 Send/Wait/Allreduce)\n";
+
+  std::cout << "\nTable 2.2 — phases and repetitiveness:\n";
+  Table t22({"app", "total_phases", "relevant_phases", "weight",
+             "detected_repetitiveness", "max_window_repeat"});
+  for (const auto& app : apps) {
+    const auto prog = make_app_trace(app, 64, scale);
+    const auto ps = phase_stats(prog);
+    const auto det = detect_phases(prog);  // auto window
+    t22.add_row({app, std::to_string(ps.total_phases),
+                 std::to_string(ps.relevant_phases),
+                 std::to_string(ps.total_weight),
+                 Table::num(det.repetitiveness, 3),
+                 std::to_string(det.max_repeat)});
+  }
+  t22.print(std::cout);
+
+  std::cout << "\n§2.2.6 — communication matrices (TDC):\n";
+  Table tdc({"app", "avg_TDC", "max_TDC", "p2p_volume_MB"});
+  for (const auto& app : apps) {
+    const auto prog = make_app_trace(app, 64, scale);
+    const auto m = CommMatrix::from_program(prog, false);
+    tdc.add_row({app, Table::num(m.avg_tdc(), 3),
+                 std::to_string(m.max_tdc()),
+                 Table::num(static_cast<double>(m.total_volume()) / 1e6, 4)});
+  }
+  tdc.print(std::cout);
+  std::cout << "(paper anchors: LAMMPS chain TDC ~7, Sweep3D ~4, POP max "
+               "~11)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared driver for the fat-tree permutation figures (thesis Figs. 4.13-4.18
+// and Appendix A.1-A.4; Table 4.3 parameters).
+//
+// Each figure plots average network latency vs time for DRB and PR-DRB under
+// one permutation pattern at one injection rate. Applications emit these
+// permutations in communication bursts (§2.2.3), so the generator injects
+// repeated bursts; the quoted per-node rates are the in-burst offered load.
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prdrb::bench {
+
+inline void run_permutation_figure(const std::string& figure,
+                                   const std::string& topology,
+                                   const std::string& pattern,
+                                   double rate_bps,
+                                   const std::string& paper_note) {
+  std::cout << "=== " << figure << ": " << topology << ", " << pattern
+            << ", " << rate_bps / 1e6 << " Mbps/node (in-burst) ===\n";
+  SyntheticScenario sc;
+  sc.topology = topology;
+  sc.pattern = pattern;
+  sc.rate_bps = rate_bps;
+  sc.bursts = 8;
+  sc.burst_len = 2e-3;
+  sc.gap_len = 1.5e-3;
+  sc.duration = 8 * 3.5e-3 + 4e-3;
+  sc.bin_width = 0.5e-3;
+
+  const auto drb = run_synthetic("drb", sc);
+  const auto pr = run_synthetic("pr-drb", sc);
+
+  Table t({"time_ms", "drb_us", "pr-drb_us"});
+  const std::size_t bins = std::max(drb.series.size(), pr.series.size());
+  auto at = [](const ScenarioResult& r, std::size_t i) {
+    return i < r.series.size() ? r.series[i].second * 1e6 : 0.0;
+  };
+  for (std::size_t i = 0; i < bins; ++i) {
+    t.add_row({Table::num((static_cast<double>(i) + 0.5) * 0.5, 3),
+               Table::num(at(drb, i), 4), Table::num(at(pr, i), 4)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nsummary:\n";
+  Table s({"policy", "global_us", "peak_bin_us", "map_peak_us",
+           "expansions", "installs"});
+  for (const auto* r : {&drb, &pr}) {
+    s.add_row({r->policy, us(r->global_latency), us(r->peak_bin_latency),
+               us(r->map_peak), std::to_string(r->expansions),
+               std::to_string(r->installs)});
+  }
+  s.print(std::cout);
+  std::cout << "pr-drb vs drb latency reduction: "
+            << Table::num(
+                   improvement_pct(drb.global_latency, pr.global_latency), 3)
+            << " %  (" << paper_note << ")\n\n";
+}
+
+}  // namespace prdrb::bench

@@ -1,0 +1,93 @@
+// Hot-spot walkthrough: watch DRB open alternative multi-step paths while a
+// scripted hot-spot (thesis §4.5) saturates a mesh, and compare the outcome
+// against deterministic XY routing.
+//
+//   ./build/examples/hotspot_adaptive
+#include <iostream>
+
+#include "metrics/collector.hpp"
+#include "net/mesh2d.hpp"
+#include "net/network.hpp"
+#include "routing/drb.hpp"
+#include "routing/oblivious.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/source.hpp"
+#include "util/table.hpp"
+
+using namespace prdrb;
+
+namespace {
+
+struct Run {
+  double global_latency_us;
+  double map_peak_us;
+};
+
+Run simulate(RoutingPolicy& policy, DrbPolicy* drb) {
+  Simulator sim;
+  Mesh2D mesh(8, 8);
+  NetConfig cfg;
+  Network net(sim, mesh, cfg, policy);
+  MetricsCollector metrics(64, 64);
+  net.set_observer(&metrics);
+
+  const HotspotPattern pattern = make_mesh_cross_hotspot(mesh, 8);
+  TrafficConfig tc;
+  tc.rate_bps = 1000e6;
+  tc.stop = 4e-3;
+  TrafficGenerator gen(sim, net, pattern, tc, 5, pattern.sources());
+  gen.start();
+
+  if (drb) {
+    // Sample the metapath of the first flow while the simulation runs.
+    const auto [fs, fd] = pattern.flows().front();
+    std::cout << "\npath opening for flow " << fs << " -> " << fd << ":\n";
+    for (int i = 1; i <= 8; ++i) {
+      sim.schedule_at(i * 0.5e-3, [&, i] {
+        const Metapath* mp = drb->find_metapath(fs, fd);
+        std::cout << "  t=" << i * 0.5 << " ms: " << (mp ? mp->paths.size() : 1)
+                  << " open path(s)";
+        if (mp) {
+          for (const Msp& path : mp->paths) {
+            if (path.direct()) {
+              std::cout << "  [direct]";
+            } else {
+              std::cout << "  [via " << path.in1;
+              if (path.in2 != kInvalidNode) std::cout << "," << path.in2;
+              std::cout << "]";
+            }
+          }
+        }
+        std::cout << '\n';
+      });
+    }
+  }
+  sim.run();
+  return Run{metrics.global_average_latency() * 1e6,
+             metrics.contention_map().peak() * 1e6};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Hot-spot on an 8x8 mesh: 8 west-edge sources cross the "
+               "east column (shared trajectory).\n";
+
+  DeterministicPolicy det;
+  const Run r_det = simulate(det, nullptr);
+
+  DrbPolicy drb;
+  const Run r_drb = simulate(drb, &drb);
+
+  Table t({"policy", "global_latency_us", "map_peak_us"});
+  t.add_row({"deterministic-XY", Table::num(r_det.global_latency_us, 4),
+             Table::num(r_det.map_peak_us, 4)});
+  t.add_row({"drb", Table::num(r_drb.global_latency_us, 4),
+             Table::num(r_drb.map_peak_us, 4)});
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\nDRB distributed the colliding flows over multi-step paths "
+               "(intermediate nodes shown above), flattening the hot spot.\n";
+  return 0;
+}

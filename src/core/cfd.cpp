@@ -1,0 +1,104 @@
+#include "core/cfd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace prdrb {
+
+CongestionDetector::CongestionDetector(NotificationMode mode) : mode_(mode) {}
+
+void CongestionDetector::select_contenders(const Packet& head,
+                                           const std::deque<Packet>& queue,
+                                           int max_flows,
+                                           std::vector<ContendingFlow>& out) {
+  // Accumulate queued bytes per flow: the "average of occupation of every
+  // unique source" heuristic of §3.2.2, realized as byte shares.
+  struct Share {
+    ContendingFlow flow;
+    std::int64_t bytes = 0;
+  };
+  std::vector<Share> shares;
+  auto account = [&](const Packet& p) {
+    if (p.is_ack()) return;
+    const ContendingFlow f{p.source, p.destination};
+    for (Share& s : shares) {
+      if (s.flow == f) {
+        s.bytes += p.size_bytes;
+        return;
+      }
+    }
+    shares.push_back(Share{f, p.size_bytes});
+  };
+  account(head);
+  for (const Packet& p : queue) account(p);
+
+  std::stable_sort(shares.begin(), shares.end(),
+                   [](const Share& a, const Share& b) {
+                     return a.bytes > b.bytes;
+                   });
+  out.clear();
+  for (const Share& s : shares) {
+    if (static_cast<int>(out.size()) >= max_flows) break;
+    out.push_back(s.flow);
+  }
+}
+
+void CongestionDetector::on_transmit(Network& net, RouterId r, int /*port*/,
+                                     Packet& head, SimTime wait,
+                                     const std::deque<Packet>& queue) {
+  if (head.is_ack()) return;  // control traffic is not monitored
+  const NetConfig& cfg = net.config();
+  if (wait < cfg.router_contention_threshold_s) return;
+  ++detections_;
+
+  static thread_local std::vector<ContendingFlow> flows;
+  select_contenders(head, queue, cfg.max_contending_flows, flows);
+  if (flows.empty()) return;
+
+  if (mode_ == NotificationMode::kDestinationBased) {
+    // Fill the predictive header of the transiting packet; the destination
+    // copies it into the ACK (§3.2.2).
+    head.congested_router = r;
+    for (const ContendingFlow& f : flows) {
+      if (static_cast<int>(head.contending.size()) >=
+          cfg.max_contending_flows) {
+        break;
+      }
+      if (std::find(head.contending.begin(), head.contending.end(), f) ==
+          head.contending.end()) {
+        head.contending.push_back(f);
+      }
+    }
+    return;
+  }
+
+  // Router-based: early notification via predictive ACKs injected here
+  // (GPA module). The P bit tells the destination the flows were already
+  // reported, so its ACK carries only the latency (§3.4.2).
+  head.predictive_bit = true;
+  const SimTime now = net.simulator().now();
+  for (const ContendingFlow& f : flows) {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+        static_cast<std::uint32_t>(f.src);
+    auto [it, inserted] = last_notify_.try_emplace(k, -1.0);
+    if (!inserted && now - it->second < cooldown_) continue;
+    it->second = now;
+
+    Packet ack;
+    ack.type = PacketType::kPredictiveAck;
+    // The predictive ACK notifies the *source* of the contending flow; the
+    // `source` field names the flow's destination so the receiver can map
+    // the notification onto the right metapath.
+    ack.source = f.dst;
+    ack.destination = f.src;
+    ack.size_bytes = cfg.ack_bytes;
+    ack.reported_latency = wait;
+    ack.congested_router = r;
+    ack.contending.assign(flows.begin(), flows.end());
+    net.inject_at_router(r, std::move(ack));
+    ++predictive_acks_;
+  }
+}
+
+}  // namespace prdrb

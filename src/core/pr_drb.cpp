@@ -1,0 +1,153 @@
+#include "core/pr_drb.hpp"
+
+namespace prdrb {
+
+bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst) {
+  if (mp.installed_since_low) return false;  // once per episode
+  const FlowSignature sig = FlowSignature::from(mp.recent_flows);
+  SavedSolution* sol = db_.lookup(src, dst, sig, cfg_.similarity);
+  if (!sol) return false;
+  // Re-apply the best known solution wholesale: the saved latency estimates
+  // seed the path-selection PDF so traffic spreads immediately the way it
+  // did when the solution was found.
+  mp.paths = sol->paths;
+  mp.update_mp_latency();
+  // Wholesale installation: no gradual-opening evaluation gate applies
+  // ("maximum path expansion is directly done", §4.6.3).
+  mp.awaiting_evaluation = false;
+  mp.acks_since_expand = 0;
+  mp.installed_since_low = true;
+  ++installs_;
+  return true;
+}
+
+void PredictiveEngine::calmed(const Metapath& mp, NodeId src, NodeId dst) {
+  if (mp.paths.size() <= 1) return;  // nothing beyond the direct path
+  db_.save(src, dst, FlowSignature::from(mp.recent_flows), mp.paths,
+           mp.mp_latency, cfg_.similarity);
+}
+
+bool PredictiveEngine::predicts_congestion(const Metapath& mp,
+                                           SimTime threshold_high) const {
+  if (!cfg_.trend_prediction) return false;
+  const double slope = mp.latency_trend();
+  if (slope <= 0) return false;
+  // Project the zone metric forward over the horizon; a predicted crossing
+  // of Threshold_High counts as congestion already (§5.2 trend analysis).
+  return mp.mp_latency + slope * cfg_.trend_horizon > threshold_high;
+}
+
+// ---------------------------------------------------------------------------
+// Shared zone-reaction logic (Fig. 3.12) for both predictive policies.
+namespace {
+
+template <typename ExpandFn, typename ShrinkFn>
+void predictive_react(PredictiveEngine& engine, Metapath& mp, NodeId src,
+                      NodeId dst, Zone previous, Zone current,
+                      ExpandFn&& expand, ShrinkFn&& shrink) {
+  if (current == Zone::kHigh) {
+    if (previous != Zone::kHigh) {
+      // M -> H: congestion detected — first look for an already analyzed
+      // situation; only open paths gradually on a database miss.
+      if (!engine.enter_high(mp, src, dst)) expand();
+    } else {
+      // Still congested: continue the gradual opening procedure. If the
+      // installed solution was wrong for this (actually new) pattern, this
+      // is also where PR-DRB "detects that our solution is not good and
+      // starts the standard opening path procedures" (§3.5).
+      expand();
+    }
+    return;
+  }
+  if (previous == Zone::kHigh && current == Zone::kMedium) {
+    // H -> M: good paths found; feed the saved-paths database.
+    engine.calmed(mp, src, dst);
+    return;
+  }
+  if (current == Zone::kLow) {
+    mp.installed_since_low = false;  // quiet phase: rearm the predictor
+    shrink();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PrDrbPolicy
+
+PrDrbPolicy::PrDrbPolicy(DrbConfig cfg, PrDrbConfig pcfg, std::uint64_t seed)
+    : DrbPolicy(cfg, seed), engine_(pcfg) {}
+
+void PrDrbPolicy::react(Metapath& mp, NodeId src, NodeId dst, Zone previous,
+                        Zone current, SimTime /*now*/) {
+  predictive_react(
+      engine_, mp, src, dst, previous, current,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+  // §5.2 trend extension: while still in the working zone, a rising latency
+  // trend that projects across Threshold_High triggers the High reaction
+  // early (speculative congestion avoidance).
+  if (current == Zone::kMedium && previous != Zone::kHigh &&
+      engine_.predicts_congestion(mp, drb_config().threshold_high)) {
+    engine_.count_trend_trigger();
+    mp.zone = Zone::kHigh;
+    predictive_react(
+        engine_, mp, src, dst, previous, Zone::kHigh,
+        [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+  }
+}
+
+void PrDrbPolicy::on_predictive_ack(Metapath& mp, NodeId src, NodeId dst,
+                                    const Packet& /*ack*/, SimTime /*now*/) {
+  // Early router-based notification: speculatively treat the pair as
+  // congested before the metapath latency itself crosses the threshold.
+  const Zone previous = mp.zone;
+  mp.zone = Zone::kHigh;
+  predictive_react(
+      engine_, mp, src, dst, previous, Zone::kHigh,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+}
+
+// ---------------------------------------------------------------------------
+// PrFrDrbPolicy
+
+PrFrDrbPolicy::PrFrDrbPolicy(DrbConfig cfg, FrDrbConfig fr, PrDrbConfig pcfg,
+                             std::uint64_t seed)
+    : FrDrbPolicy(cfg, fr, seed), engine_(pcfg) {}
+
+void PrFrDrbPolicy::react(Metapath& mp, NodeId src, NodeId dst, Zone previous,
+                          Zone current, SimTime /*now*/) {
+  predictive_react(
+      engine_, mp, src, dst, previous, current,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+  if (current == Zone::kMedium && previous != Zone::kHigh &&
+      engine_.predicts_congestion(mp, drb_config().threshold_high)) {
+    engine_.count_trend_trigger();
+    mp.zone = Zone::kHigh;
+    predictive_react(
+        engine_, mp, src, dst, previous, Zone::kHigh,
+        [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+  }
+}
+
+void PrFrDrbPolicy::on_predictive_ack(Metapath& mp, NodeId src, NodeId dst,
+                                      const Packet& /*ack*/,
+                                      SimTime /*now*/) {
+  const Zone previous = mp.zone;
+  mp.zone = Zone::kHigh;
+  predictive_react(
+      engine_, mp, src, dst, previous, Zone::kHigh,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+}
+
+void PrFrDrbPolicy::on_watchdog(NodeId src, NodeId dst, SimTime /*now*/) {
+  // Watchdog expiry = congestion without an ACK. Consult the database
+  // before falling back to FR-DRB's immediate single-path opening.
+  Metapath& mp = metapath(src, dst);
+  const Zone previous = mp.zone;
+  mp.zone = Zone::kHigh;
+  predictive_react(
+      engine_, mp, src, dst, previous, Zone::kHigh,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+}
+
+}  // namespace prdrb

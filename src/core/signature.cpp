@@ -1,0 +1,50 @@
+#include "core/signature.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace prdrb {
+
+FlowSignature FlowSignature::from(std::span<const ContendingFlow> flows) {
+  FlowSignature sig;
+  sig.flows_.assign(flows.begin(), flows.end());
+  std::sort(sig.flows_.begin(), sig.flows_.end());
+  sig.flows_.erase(std::unique(sig.flows_.begin(), sig.flows_.end()),
+                   sig.flows_.end());
+  return sig;
+}
+
+double FlowSignature::similarity(const FlowSignature& other) const {
+  if (flows_.empty() && other.flows_.empty()) return 0.0;
+  // Both sides are sorted and unique: a single merge pass counts the
+  // intersection.
+  std::size_t common = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < flows_.size() && j < other.flows_.size()) {
+    if (flows_[i] == other.flows_[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (flows_[i] < other.flows_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t total = flows_.size() + other.flows_.size() - common;
+  return total == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(total);
+}
+
+std::string FlowSignature::describe() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (i) os << ", ";
+    os << flows_[i].src << "->" << flows_[i].dst;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace prdrb

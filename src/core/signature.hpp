@@ -1,0 +1,40 @@
+// Congestion-situation signatures (thesis §3.2.8).
+//
+// PR-DRB identifies a repeated congestion situation by the set of contending
+// flows observed at the congested routers. "The process of detecting already
+// analyzed situations is based on contending flows similarity, which is
+// based on approximation matching. The percentage used for similarity is of
+// 80%."
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace prdrb {
+
+/// Canonicalized (sorted, deduplicated) set of contending flows.
+class FlowSignature {
+ public:
+  FlowSignature() = default;
+  static FlowSignature from(std::span<const ContendingFlow> flows);
+
+  /// Jaccard similarity |A ∩ B| / |A ∪ B| in [0, 1]; two empty signatures
+  /// are not similar (there is no situation to recognize).
+  double similarity(const FlowSignature& other) const;
+
+  bool empty() const { return flows_.empty(); }
+  std::size_t size() const { return flows_.size(); }
+  const std::vector<ContendingFlow>& flows() const { return flows_; }
+
+  std::string describe() const;
+
+  friend bool operator==(const FlowSignature&, const FlowSignature&) = default;
+
+ private:
+  std::vector<ContendingFlow> flows_;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,140 @@
+#include "core/solution_db.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace prdrb {
+
+SavedSolution* SolutionDatabase::lookup(NodeId src, NodeId dst,
+                                        const FlowSignature& sig,
+                                        double min_similarity) {
+  ++lookups_;
+  auto it = db_.find(key(src, dst));
+  if (it == db_.end() || sig.empty()) return nullptr;
+  SavedSolution* best = nullptr;
+  double best_sim = min_similarity;
+  for (SavedSolution& s : it->second) {
+    const double sim = sig.similarity(s.signature);
+    if (sim >= best_sim) {
+      best_sim = sim;
+      best = &s;
+    }
+  }
+  if (best) {
+    ++best->hits;
+    ++hits_;
+  }
+  return best;
+}
+
+void SolutionDatabase::save(NodeId src, NodeId dst, FlowSignature sig,
+                            std::vector<Msp> paths, SimTime latency,
+                            double min_similarity) {
+  if (sig.empty() || paths.empty()) return;
+  auto& bucket = db_[key(src, dst)];
+  for (SavedSolution& s : bucket) {
+    if (sig.similarity(s.signature) >= min_similarity) {
+      if (latency < s.best_latency) {
+        s.paths = std::move(paths);
+        s.best_latency = latency;
+        s.signature = std::move(sig);
+        ++s.updates;
+        ++updates_;
+      }
+      return;
+    }
+  }
+  SavedSolution s;
+  s.signature = std::move(sig);
+  s.paths = std::move(paths);
+  s.best_latency = latency;
+  bucket.push_back(std::move(s));
+  ++saves_;
+}
+
+std::size_t SolutionDatabase::size() const {
+  std::size_t n = 0;
+  for (const auto& [k, bucket] : db_) n += bucket.size();
+  return n;
+}
+
+std::size_t SolutionDatabase::patterns_for(NodeId src, NodeId dst) const {
+  auto it = db_.find(key(src, dst));
+  return it == db_.end() ? 0 : it->second.size();
+}
+
+std::size_t SolutionDatabase::reused_patterns() const {
+  std::size_t n = 0;
+  for (const auto& [k, bucket] : db_) {
+    n += static_cast<std::size_t>(
+        std::count_if(bucket.begin(), bucket.end(),
+                      [](const SavedSolution& s) { return s.hits > 0; }));
+  }
+  return n;
+}
+
+std::uint64_t SolutionDatabase::max_reuse() const {
+  std::uint64_t best = 0;
+  for (const auto& [k, bucket] : db_) {
+    for (const SavedSolution& s : bucket) best = std::max(best, s.hits);
+  }
+  return best;
+}
+
+void SolutionDatabase::export_text(std::ostream& os) const {
+  // One line per solution:
+  //   src dst best_latency nflows {s d}... npaths {in1 in2 latency}...
+  for (const auto& [k, bucket] : db_) {
+    const auto src = static_cast<NodeId>(k >> 32);
+    const auto dst = static_cast<NodeId>(k & 0xffffffffu);
+    for (const SavedSolution& s : bucket) {
+      os << src << ' ' << dst << ' ' << s.best_latency << ' '
+         << s.signature.size();
+      for (const ContendingFlow& f : s.signature.flows()) {
+        os << ' ' << f.src << ' ' << f.dst;
+      }
+      os << ' ' << s.paths.size();
+      for (const Msp& p : s.paths) {
+        os << ' ' << p.in1 << ' ' << p.in2 << ' ' << p.latency;
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::size_t SolutionDatabase::import_text(std::istream& is) {
+  std::size_t loaded = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  while (is >> src >> dst) {
+    SimTime latency = 0;
+    std::size_t nflows = 0;
+    if (!(is >> latency >> nflows)) {
+      throw std::runtime_error("solution database: truncated header");
+    }
+    std::vector<ContendingFlow> flows(nflows);
+    for (ContendingFlow& f : flows) {
+      if (!(is >> f.src >> f.dst)) {
+        throw std::runtime_error("solution database: truncated flows");
+      }
+    }
+    std::size_t npaths = 0;
+    if (!(is >> npaths) || npaths == 0) {
+      throw std::runtime_error("solution database: bad path count");
+    }
+    std::vector<Msp> paths(npaths);
+    for (Msp& p : paths) {
+      if (!(is >> p.in1 >> p.in2 >> p.latency)) {
+        throw std::runtime_error("solution database: truncated paths");
+      }
+    }
+    save(src, dst, FlowSignature::from(flows), std::move(paths), latency,
+         /*min_similarity=*/1.0);
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace prdrb

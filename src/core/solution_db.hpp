@@ -1,0 +1,84 @@
+// Best-solutions database (thesis §3.2.8, Fig. 3.14).
+//
+// For every source/destination pair the database remembers congestion
+// situations (flow signatures) together with the set of alternative paths
+// that resolved them and the metapath latency they achieved. On a Medium ->
+// High transition PR-DRB looks the current situation up by approximate
+// signature matching and, on a hit, installs the saved paths wholesale —
+// skipping the gradual path-opening procedure. On a High -> Medium
+// transition the solution that controlled the congestion is saved, or
+// updated if it beats the stored one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "routing/metapath.hpp"
+#include "util/types.hpp"
+
+namespace prdrb {
+
+struct SavedSolution {
+  FlowSignature signature;
+  std::vector<Msp> paths;   // the alternative-path set (direct path first)
+  SimTime best_latency = 0;  // L(MP) achieved by this solution
+  std::uint64_t hits = 0;    // times it was re-applied
+  std::uint64_t updates = 0; // times a better path set replaced it
+};
+
+class SolutionDatabase {
+ public:
+  /// Most similar stored solution for (src, dst) with similarity >=
+  /// `min_similarity`; nullptr when nothing matches. Bumps the hit counter.
+  SavedSolution* lookup(NodeId src, NodeId dst, const FlowSignature& sig,
+                        double min_similarity);
+
+  /// Store (or improve) the solution for this situation. A stored solution
+  /// with a similar signature is replaced only when `latency` beats its
+  /// `best_latency` ("the best solution saved may be further updated, if
+  /// the method finds a better combination of paths", §3.2).
+  void save(NodeId src, NodeId dst, FlowSignature sig, std::vector<Msp> paths,
+            SimTime latency, double min_similarity);
+
+  // --- statistics (reported in Figs. 4.26b / 4.28 analyses) ---
+  std::size_t size() const;
+  std::size_t patterns_for(NodeId src, NodeId dst) const;
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t saves() const { return saves_; }
+  std::uint64_t updates() const { return updates_; }
+
+  /// Distinct situations whose solution was re-applied at least once.
+  std::size_t reused_patterns() const;
+
+  /// Largest number of re-applications of a single saved solution.
+  std::uint64_t max_reuse() const;
+
+  // --- persistence (thesis §5.2 "static variation": offline
+  //     meta-information about communication patterns can be pre-loaded
+  //     into the routers/nodes to skip the first learning stage) ---
+
+  /// Text serialization of every stored solution.
+  void export_text(std::ostream& os) const;
+
+  /// Merge previously exported solutions into this database. Returns the
+  /// number of solutions loaded; throws std::runtime_error on bad input.
+  std::size_t import_text(std::istream& is);
+
+ private:
+  static std::uint64_t key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<SavedSolution>> db_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t saves_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace prdrb

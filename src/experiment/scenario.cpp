@@ -1,0 +1,323 @@
+#include "experiment/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/collector.hpp"
+#include "net/kary_ntree.hpp"
+#include "net/mesh2d.hpp"
+#include "net/mesh_nd.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/oblivious.hpp"
+#include "sim/simulator.hpp"
+#include "trace/player.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/source.hpp"
+
+namespace prdrb {
+
+DrbConfig default_drb_config() {
+  DrbConfig cfg;
+  cfg.threshold_low = 8e-6;
+  cfg.threshold_high = 15e-6;
+  cfg.max_paths = 4;  // §4.6.3
+  return cfg;
+}
+
+PolicyBundle make_policy(const std::string& name, DrbConfig drb,
+                         std::uint64_t seed) {
+  PolicyBundle b;
+  const bool router_based = name.ends_with("@router");
+  const std::string base =
+      router_based ? name.substr(0, name.size() - 7) : name;
+  const NotificationMode mode = router_based
+                                    ? NotificationMode::kRouterBased
+                                    : NotificationMode::kDestinationBased;
+  PrDrbConfig pcfg;
+  pcfg.notification = mode;
+  if (base == "deterministic") {
+    b.policy = std::make_unique<DeterministicPolicy>();
+  } else if (base == "random") {
+    b.policy = std::make_unique<RandomPolicy>(seed);
+  } else if (base == "cyclic") {
+    b.policy = std::make_unique<CyclicPolicy>();
+  } else if (base == "adaptive") {
+    b.policy = std::make_unique<AdaptivePolicy>();
+  } else if (base == "drb") {
+    auto p = std::make_unique<DrbPolicy>(drb, seed);
+    b.drb = p.get();
+    b.policy = std::move(p);
+  } else if (base == "fr-drb") {
+    auto p = std::make_unique<FrDrbPolicy>(drb, FrDrbConfig{}, seed);
+    b.drb = p.get();
+    b.policy = std::move(p);
+  } else if (base == "pr-drb") {
+    auto p = std::make_unique<PrDrbPolicy>(drb, pcfg, seed);
+    b.drb = p.get();
+    b.engine = &p->engine();
+    b.policy = std::move(p);
+    b.monitor = std::make_unique<CongestionDetector>(mode);
+  } else if (base == "pr-fr-drb") {
+    auto p = std::make_unique<PrFrDrbPolicy>(drb, FrDrbConfig{}, pcfg, seed);
+    b.drb = p.get();
+    b.engine = &p->engine();
+    b.policy = std::move(p);
+    b.monitor = std::make_unique<CongestionDetector>(mode);
+  } else {
+    throw std::invalid_argument("unknown policy: " + name);
+  }
+  return b;
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& name) {
+  // "mesh-AxB" / "torus-AxB" build the 2D model; three or more extents
+  // ("mesh-4x4x4") build the N-dimensional variant.
+  auto parse_extents = [&](std::size_t prefix) {
+    std::vector<int> dims;
+    std::size_t pos = prefix;
+    while (pos < name.size()) {
+      const auto x = name.find('x', pos);
+      const std::string tok =
+          x == std::string::npos ? name.substr(pos)
+                                 : name.substr(pos, x - pos);
+      if (tok.empty()) throw std::invalid_argument("bad topology: " + name);
+      dims.push_back(std::stoi(tok));
+      if (x == std::string::npos) break;
+      pos = x + 1;
+    }
+    if (dims.size() < 2) throw std::invalid_argument("bad topology: " + name);
+    return dims;
+  };
+  auto build_grid = [&](std::size_t prefix, bool wrap)
+      -> std::unique_ptr<Topology> {
+    const auto dims = parse_extents(prefix);
+    if (dims.size() == 2) {
+      return std::make_unique<Mesh2D>(dims[0], dims[1], wrap);
+    }
+    return std::make_unique<MeshND>(dims, wrap);
+  };
+  if (name.starts_with("mesh-")) return build_grid(5, false);
+  if (name.starts_with("torus-")) return build_grid(6, true);
+  if (name.starts_with("cube-")) {
+    // "cube-n": the n-dimensional hypercube (2-ary n-cube).
+    const int n = std::stoi(name.substr(5));
+    return std::make_unique<MeshND>(std::vector<int>(static_cast<std::size_t>(n), 2),
+                                    /*wraparound=*/false);
+  }
+  if (name == "tree-16") return std::make_unique<KAryNTree>(2, 4);
+  if (name == "tree-32") return std::make_unique<KAryNTree>(2, 5);
+  if (name == "tree-64") return std::make_unique<KAryNTree>(4, 3);
+  if (name == "tree-256") return std::make_unique<KAryNTree>(4, 4);
+  if (name.starts_with("kary-")) {
+    const auto dash = name.find('-', 5);
+    if (dash == std::string::npos) {
+      throw std::invalid_argument("bad topology: " + name);
+    }
+    const int k = std::stoi(name.substr(5, dash - 5));
+    const int n = std::stoi(name.substr(dash + 1));
+    return std::make_unique<KAryNTree>(k, n);
+  }
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+double improvement_pct(double baseline, double value) {
+  return baseline > 0 ? 100.0 * (baseline - value) / baseline : 0.0;
+}
+
+double Replication::ci95() const {
+  return runs > 1 ? 1.96 * stddev / std::sqrt(static_cast<double>(runs)) : 0.0;
+}
+
+Replication summarize(const std::vector<double>& values) {
+  Replication r;
+  r.runs = static_cast<int>(values.size());
+  if (values.empty()) return r;
+  r.min = values.front();
+  r.max = values.front();
+  double sum = 0;
+  for (double v : values) {
+    sum += v;
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+  }
+  r.mean = sum / static_cast<double>(r.runs);
+  if (r.runs > 1) {
+    double sq = 0;
+    for (double v : values) sq += (v - r.mean) * (v - r.mean);
+    r.stddev = std::sqrt(sq / static_cast<double>(r.runs - 1));
+  }
+  return r;
+}
+
+std::vector<ScenarioResult> run_synthetic_replicated(
+    const std::string& policy_name, SyntheticScenario sc, int runs) {
+  std::vector<ScenarioResult> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  const std::uint64_t base_seed = sc.seed;
+  for (int i = 0; i < runs; ++i) {
+    sc.seed = base_seed + static_cast<std::uint64_t>(i);
+    out.push_back(run_synthetic(policy_name, sc));
+  }
+  return out;
+}
+
+namespace {
+
+void fill_common(ScenarioResult& r, const MetricsCollector& m,
+                 const PolicyBundle& b, int num_routers,
+                 const std::vector<RouterId>& watch) {
+  r.global_latency = m.global_average_latency();
+  r.mean_latency = m.packet_latency().overall_mean();
+  r.peak_bin_latency = m.latency_series().peak_mean();
+  r.map_peak = m.contention_map().peak();
+  r.map_mean = m.contention_map().mean_over_active();
+  r.delivery_ratio = m.delivery_ratio();
+  r.packets = m.packets_delivered();
+  r.p50_latency = m.latency_histogram().p50();
+  r.p95_latency = m.latency_histogram().p95();
+  r.p99_latency = m.latency_histogram().p99();
+  if (b.drb) r.expansions = b.drb->total_expansions();
+  if (b.engine) {
+    r.installs = b.engine->installs();
+    r.trend_triggers = b.engine->trend_triggers();
+    r.patterns_saved = b.engine->db().size();
+    r.patterns_reused = b.engine->db().reused_patterns();
+    r.max_reuse = b.engine->db().max_reuse();
+  }
+  for (std::size_t i = 0; i < m.latency_series().bins(); ++i) {
+    r.series.emplace_back(m.latency_series().bin_time(i),
+                          m.latency_series().bin_mean(i));
+  }
+  r.router_map.resize(static_cast<std::size_t>(num_routers));
+  for (RouterId router = 0; router < num_routers; ++router) {
+    r.router_map[static_cast<std::size_t>(router)] =
+        m.contention_map().average(router);
+  }
+  for (RouterId router : watch) {
+    const TimeSeries* s = m.router_series(router);
+    if (!s) continue;
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t i = 0; i < s->bins(); ++i) {
+      pts.emplace_back(s->bin_time(i), s->bin_mean(i));
+    }
+    r.router_series.emplace_back(router, std::move(pts));
+  }
+}
+
+/// Applies the scenario's PR config to the policy name's notification mode.
+PolicyBundle build_policy(const std::string& name, const DrbConfig& drb,
+                          const PrDrbConfig& pcfg, std::uint64_t seed) {
+  const bool router_based = name.ends_with("@router");
+  const std::string base =
+      router_based ? name.substr(0, name.size() - 7) : name;
+  PrDrbConfig cfg = pcfg;
+  cfg.notification = router_based ? NotificationMode::kRouterBased
+                                  : NotificationMode::kDestinationBased;
+  PolicyBundle b;
+  if (base == "pr-drb") {
+    auto p = std::make_unique<PrDrbPolicy>(drb, cfg, seed);
+    b.drb = p.get();
+    b.engine = &p->engine();
+    b.policy = std::move(p);
+    b.monitor = std::make_unique<CongestionDetector>(cfg.notification);
+    return b;
+  }
+  if (base == "pr-fr-drb") {
+    auto p = std::make_unique<PrFrDrbPolicy>(drb, FrDrbConfig{}, cfg, seed);
+    b.drb = p.get();
+    b.engine = &p->engine();
+    b.policy = std::move(p);
+    b.monitor = std::make_unique<CongestionDetector>(cfg.notification);
+    return b;
+  }
+  return make_policy(name, drb, seed);
+}
+
+}  // namespace
+
+ScenarioResult run_synthetic(const std::string& policy_name,
+                             const SyntheticScenario& sc) {
+  Simulator sim;
+  auto topo = make_topology(sc.topology);
+  auto bundle = build_policy(policy_name, sc.drb, sc.prdrb, 7);
+  Network net(sim, *topo, sc.net, *bundle.policy);
+  MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),
+                           sc.bin_width);
+  for (RouterId r : sc.watch) metrics.watch_router(r);
+  net.set_observer(&metrics);
+  if (bundle.monitor) net.set_monitor(bundle.monitor.get());
+
+  std::unique_ptr<DestinationPattern> pattern;
+  std::vector<NodeId> nodes;
+  if (sc.pattern == "hotspot-cross" || sc.pattern == "hotspot-double") {
+    auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
+    if (!mesh) {
+      throw std::invalid_argument("hot-spot layouts require a mesh/torus");
+    }
+    auto hp = std::make_unique<HotspotPattern>(
+        sc.pattern == "hotspot-cross" ? make_mesh_cross_hotspot(*mesh, 8)
+                                      : make_mesh_double_hotspot(*mesh));
+    nodes = hp->sources();
+    pattern = std::move(hp);
+  } else {
+    pattern = make_pattern(sc.pattern, topo->num_nodes());
+  }
+
+  TrafficConfig tc;
+  tc.rate_bps = sc.rate_bps;
+  tc.message_bytes = sc.net.packet_bytes;
+  tc.stop = sc.duration;
+
+  std::unique_ptr<BurstSchedule> schedule;
+  if (sc.bursts > 0) {
+    schedule = std::make_unique<BurstSchedule>(0.5e-3, sc.burst_len,
+                                               sc.gap_len, sc.bursts);
+  }
+  TrafficGenerator gen(sim, net, *pattern, tc, sc.seed, nodes,
+                       schedule.get());
+  gen.start();
+
+  std::unique_ptr<UniformPattern> noise_pattern;
+  std::unique_ptr<TrafficGenerator> noise;
+  if (sc.noise_rate_bps > 0) {
+    noise_pattern = std::make_unique<UniformPattern>(topo->num_nodes());
+    TrafficConfig nc = tc;
+    nc.rate_bps = sc.noise_rate_bps;
+    noise = std::make_unique<TrafficGenerator>(sim, net, *noise_pattern, nc,
+                                               sc.seed + 1);
+    noise->start();
+  }
+
+  sim.run();  // drains: generation stops at sc.duration
+  ScenarioResult r;
+  r.policy = policy_name;
+  fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
+  return r;
+}
+
+ScenarioResult run_trace(const std::string& policy_name,
+                         const TraceScenario& sc) {
+  Simulator sim;
+  auto topo = make_topology(sc.topology);
+  auto bundle = build_policy(policy_name, sc.drb, sc.prdrb, 7);
+  Network net(sim, *topo, sc.net, *bundle.policy);
+  MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),
+                           sc.bin_width);
+  for (RouterId r : sc.watch) metrics.watch_router(r);
+  net.set_observer(&metrics);
+  if (bundle.monitor) net.set_monitor(bundle.monitor.get());
+
+  const TraceProgram prog =
+      make_app_trace(sc.app, topo->num_nodes(), sc.scale);
+  TracePlayer player(sim, net, prog);
+  player.start();
+  sim.run();
+
+  ScenarioResult r;
+  r.policy = policy_name;
+  fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
+  r.exec_time = player.finished() ? player.execution_time() : -1.0;
+  return r;
+}
+
+}  // namespace prdrb

@@ -1,0 +1,152 @@
+// Experiment harness: configuration-driven construction and execution of
+// complete simulation scenarios (topology + policy + workload + metrics).
+//
+// This is the library-level API the per-figure bench binaries and the
+// examples are built on: name a topology ("mesh-8x8", "tree-64", ...), a
+// policy ("drb", "pr-drb@router", ...) and a workload (synthetic pattern or
+// application trace), run it, and read back the thesis metrics (§4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pr_drb.hpp"
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "trace/generators.hpp"
+#include "traffic/bursty.hpp"
+#include "traffic/pattern.hpp"
+
+namespace prdrb {
+
+/// DRB thresholds used across the evaluation scenarios; chosen relative to
+/// the ~4.3 us uncontended packet latency of the 2 Gb/s / 1024 B setup
+/// (Tables 4.2/4.3).
+DrbConfig default_drb_config();
+
+/// A policy plus its router-side monitor (PR variants) and typed views.
+struct PolicyBundle {
+  std::unique_ptr<RoutingPolicy> policy;
+  std::unique_ptr<CongestionDetector> monitor;  // only for PR-DRB variants
+  DrbPolicy* drb = nullptr;                     // non-null for the DRB family
+  PredictiveEngine* engine = nullptr;           // non-null for PR variants
+};
+
+/// Factory over the evaluated policy set: "deterministic", "random",
+/// "cyclic", "adaptive", "drb", "fr-drb", "pr-drb", "pr-fr-drb". PR
+/// variants accept an "@router" suffix selecting router-based notification
+/// (§3.4.1) instead of the default destination-based scheme.
+PolicyBundle make_policy(const std::string& name,
+                         DrbConfig drb = default_drb_config(),
+                         std::uint64_t seed = 7);
+
+/// Topology factory: "mesh-WxH", "torus-WxH", "tree-N" (N in {16,32,64,256})
+/// or explicit "kary-K-N".
+std::unique_ptr<Topology> make_topology(const std::string& name);
+
+/// Everything a finished scenario reports.
+struct ScenarioResult {
+  std::string policy;
+  double global_latency = 0;    // Eq. 4.2, seconds
+  double mean_latency = 0;      // plain packet mean
+  double peak_bin_latency = 0;  // highest time-series bin mean
+  double map_peak = 0;          // latency-surface peak
+  double map_mean = 0;          // mean over active routers
+  double exec_time = 0;         // trace runs only; -1 if the trace wedged
+  double delivery_ratio = 0;
+  double p50_latency = 0;       // packet-latency percentiles
+  double p95_latency = 0;
+  double p99_latency = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t trend_triggers = 0;
+  std::size_t patterns_saved = 0;
+  std::size_t patterns_reused = 0;
+  std::uint64_t max_reuse = 0;
+  std::vector<std::pair<double, double>> series;       // (time, avg latency)
+  std::vector<double> router_map;                      // avg contention per router
+  std::vector<std::pair<RouterId, std::vector<std::pair<double, double>>>>
+      router_series;                                   // watched routers
+};
+
+/// Synthetic-traffic scenario (Tables 4.2/4.3 style).
+struct SyntheticScenario {
+  std::string topology = "tree-64";
+  /// Pattern name from traffic/pattern.hpp, or "hotspot-cross" /
+  /// "hotspot-double" for the §4.5 mesh layouts.
+  std::string pattern = "perfect-shuffle";
+  double rate_bps = 400e6;
+  SimTime duration = 30e-3;
+  /// Bursty structure (§2.2.3): `bursts` bursts of `burst_len` separated by
+  /// `gap_len`; 0 bursts = continuous injection.
+  int bursts = 6;
+  SimTime burst_len = 3e-3;
+  SimTime gap_len = 2e-3;
+  double noise_rate_bps = 0;  // uniform background load on all nodes
+  std::uint64_t seed = 11;
+  SimTime bin_width = 1e-3;
+  NetConfig net;
+  DrbConfig drb = default_drb_config();
+  PrDrbConfig prdrb;  // notification mode is overridden by "@router" names
+  std::vector<RouterId> watch;
+};
+
+ScenarioResult run_synthetic(const std::string& policy_name,
+                             const SyntheticScenario& sc);
+
+/// Application-trace scenario (§4.8 style).
+struct TraceScenario {
+  std::string topology = "tree-64";
+  std::string app = "pop";
+  TraceScale scale;
+  std::uint64_t seed = 11;
+  SimTime bin_width = 1e-3;
+  NetConfig net;
+  DrbConfig drb = default_drb_config();
+  PrDrbConfig prdrb;
+  std::vector<RouterId> watch;  // routers whose series to record
+};
+
+ScenarioResult run_trace(const std::string& policy_name,
+                         const TraceScenario& sc);
+
+/// Percentage improvement of `value` over `baseline` (positive = better).
+double improvement_pct(double baseline, double value);
+
+// --- multi-seed replication (thesis §4.3: "executing multiple instances of
+//     the simulation with a different set of random seeds" and averaging
+//     to obtain statistically valid results) ---
+
+/// Summary statistics over replicated runs.
+struct Replication {
+  int runs = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation
+  double min = 0;
+  double max = 0;
+
+  /// Half-width of the ~95 % confidence interval (1.96 * stddev / sqrt(n)).
+  double ci95() const;
+};
+
+Replication summarize(const std::vector<double>& values);
+
+/// Run a synthetic scenario `runs` times with derived seeds and return the
+/// per-run results (seed = sc.seed + i).
+std::vector<ScenarioResult> run_synthetic_replicated(
+    const std::string& policy_name, SyntheticScenario sc, int runs);
+
+/// Replication summary of one metric extracted from replicated runs.
+template <typename Metric>
+Replication replicate_metric(const std::vector<ScenarioResult>& results,
+                             Metric&& metric) {
+  std::vector<double> values;
+  values.reserve(results.size());
+  for (const ScenarioResult& r : results) values.push_back(metric(r));
+  return summarize(values);
+}
+
+}  // namespace prdrb

@@ -1,0 +1,72 @@
+#include "metrics/collector.hpp"
+
+namespace prdrb {
+
+MetricsCollector::MetricsCollector(int num_nodes, int num_routers,
+                                   SimTime bin_width)
+    : packet_latency_(num_nodes),
+      latency_series_(bin_width),
+      contention_map_(num_routers),
+      bin_width_(bin_width) {}
+
+void MetricsCollector::on_packet_delivered(const Packet& p, SimTime now) {
+  const SimTime latency = now - p.inject_time;
+  packet_latency_.record(p.destination, latency);
+  histogram_.record(latency);
+  latency_series_.add(now, latency);
+}
+
+void MetricsCollector::on_message_delivered(NodeId, NodeId,
+                                            std::int64_t bytes,
+                                            SimTime inject_time, SimTime now) {
+  ++messages_delivered_;
+  message_latency_sum_ += now - inject_time;
+  bytes_accepted_ += bytes;
+}
+
+void MetricsCollector::on_port_wait(RouterId r, int /*port*/, SimTime wait,
+                                    SimTime now) {
+  contention_map_.record(r, wait);
+  auto it = watched_.find(r);
+  if (it != watched_.end()) it->second.add(now, wait);
+}
+
+void MetricsCollector::on_message_injected(NodeId, NodeId, std::int64_t bytes,
+                                           SimTime) {
+  bytes_offered_ += bytes;
+}
+
+void MetricsCollector::watch_router(RouterId r) {
+  watched_.try_emplace(r, bin_width_);
+}
+
+const TimeSeries* MetricsCollector::router_series(RouterId r) const {
+  auto it = watched_.find(r);
+  return it == watched_.end() ? nullptr : &it->second;
+}
+
+SimTime MetricsCollector::avg_message_latency() const {
+  return messages_delivered_
+             ? message_latency_sum_ / static_cast<double>(messages_delivered_)
+             : 0.0;
+}
+
+double MetricsCollector::delivery_ratio() const {
+  return bytes_offered_
+             ? static_cast<double>(bytes_accepted_) / static_cast<double>(bytes_offered_)
+             : 1.0;
+}
+
+void MetricsCollector::reset() {
+  packet_latency_.reset();
+  histogram_.reset();
+  latency_series_.reset();
+  contention_map_.reset();
+  for (auto& [r, series] : watched_) series.reset();
+  messages_delivered_ = 0;
+  message_latency_sum_ = 0;
+  bytes_offered_ = 0;
+  bytes_accepted_ = 0;
+}
+
+}  // namespace prdrb

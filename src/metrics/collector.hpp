@@ -1,0 +1,72 @@
+// MetricsCollector: the NetworkObserver that gathers every evaluation metric
+// of thesis §4.2 — global average latency (Eqs. 4.1/4.2), the latency-vs-
+// time series, per-router contention latency (latency surface map), the
+// per-router contention time series of selected routers, and offered vs
+// accepted load (throughput conservation check, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "metrics/histogram.hpp"
+#include "metrics/latency_map.hpp"
+#include "metrics/latency_stats.hpp"
+#include "metrics/time_series.hpp"
+#include "net/network.hpp"
+
+namespace prdrb {
+
+class MetricsCollector final : public NetworkObserver {
+ public:
+  MetricsCollector(int num_nodes, int num_routers, SimTime bin_width = 1e-3);
+
+  // --- NetworkObserver ---
+  void on_packet_delivered(const Packet& p, SimTime now) override;
+  void on_message_delivered(NodeId src, NodeId dst, std::int64_t bytes,
+                            SimTime inject_time, SimTime now) override;
+  void on_port_wait(RouterId r, int port, SimTime wait, SimTime now) override;
+  void on_message_injected(NodeId src, NodeId dst, std::int64_t bytes,
+                           SimTime now) override;
+
+  /// Track a per-router contention time series (Figs. 4.22/4.23/4.26/4.28).
+  void watch_router(RouterId r);
+
+  // --- queries ---
+  const LatencyStats& packet_latency() const { return packet_latency_; }
+  const LatencyHistogram& latency_histogram() const { return histogram_; }
+  const TimeSeries& latency_series() const { return latency_series_; }
+  const LatencyMap& contention_map() const { return contention_map_; }
+  const TimeSeries* router_series(RouterId r) const;
+
+  SimTime global_average_latency() const {
+    return packet_latency_.global_average();
+  }
+  SimTime avg_message_latency() const;
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t packets_delivered() const { return packet_latency_.count(); }
+
+  std::int64_t bytes_offered() const { return bytes_offered_; }
+  std::int64_t bytes_accepted() const { return bytes_accepted_; }
+
+  /// Accepted/offered ratio; ~1.0 means no traffic was lost or stuck.
+  double delivery_ratio() const;
+
+  /// Drop every accumulated statistic (e.g. to measure a later burst in
+  /// isolation) without losing the watched-router registrations.
+  void reset();
+
+ private:
+  LatencyStats packet_latency_;
+  LatencyHistogram histogram_;
+  TimeSeries latency_series_;
+  LatencyMap contention_map_;
+  std::unordered_map<RouterId, TimeSeries> watched_;
+  SimTime bin_width_;
+
+  std::uint64_t messages_delivered_ = 0;
+  double message_latency_sum_ = 0;
+  std::int64_t bytes_offered_ = 0;
+  std::int64_t bytes_accepted_ = 0;
+};
+
+}  // namespace prdrb

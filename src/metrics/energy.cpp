@@ -1,0 +1,30 @@
+#include "metrics/energy.hpp"
+
+namespace prdrb {
+
+void EnergyModel::on_packet_forwarded(const Packet& p, RouterId /*r*/,
+                                      SimTime /*now*/) {
+  const double pj = cfg_.pj_per_packet_hop +
+                    cfg_.pj_per_byte_hop * static_cast<double>(p.size_bytes);
+  if (p.is_ack()) {
+    control_pj_ += pj;
+    ++control_hops_;
+  } else {
+    data_pj_ += pj;
+    ++data_hops_;
+  }
+}
+
+double EnergyModel::control_share() const {
+  const double total = data_pj_ + control_pj_;
+  return total > 0 ? control_pj_ / total : 0.0;
+}
+
+void EnergyModel::reset() {
+  data_pj_ = 0;
+  control_pj_ = 0;
+  data_hops_ = 0;
+  control_hops_ = 0;
+}
+
+}  // namespace prdrb

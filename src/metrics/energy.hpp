@@ -1,0 +1,51 @@
+// Energy accounting (thesis §5.2 "Energy-Aware routing" open line).
+//
+// A NetworkObserver that charges a simple interconnect energy model:
+//   * per-byte-hop link energy (serialization + wire drivers),
+//   * per-packet-hop router energy (buffer write/read + crossbar + arbiter),
+// split between application data and control (ACK / predictive-ACK)
+// traffic, so the notification overhead of the DRB family — and the savings
+// PR-DRB's avoided re-adaptation brings — can be quantified.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+
+namespace prdrb {
+
+struct EnergyModelConfig {
+  double pj_per_byte_hop = 2.0;      // link traversal, picojoules per byte
+  double pj_per_packet_hop = 150.0;  // router pipeline, picojoules
+};
+
+class EnergyModel final : public NetworkObserver {
+ public:
+  explicit EnergyModel(EnergyModelConfig cfg = {}) : cfg_(cfg) {}
+
+  const EnergyModelConfig& config() const { return cfg_; }
+
+  void on_packet_forwarded(const Packet& p, RouterId r, SimTime now) override;
+
+  /// Total energy in joules.
+  double total_joules() const { return (data_pj_ + control_pj_) * 1e-12; }
+  double data_joules() const { return data_pj_ * 1e-12; }
+  double control_joules() const { return control_pj_ * 1e-12; }
+
+  /// Fraction of the energy spent on notification (ACK) traffic.
+  double control_share() const;
+
+  std::uint64_t data_hops() const { return data_hops_; }
+  std::uint64_t control_hops() const { return control_hops_; }
+
+  void reset();
+
+ private:
+  EnergyModelConfig cfg_;
+  double data_pj_ = 0;
+  double control_pj_ = 0;
+  std::uint64_t data_hops_ = 0;
+  std::uint64_t control_hops_ = 0;
+};
+
+}  // namespace prdrb

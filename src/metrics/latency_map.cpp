@@ -1,0 +1,51 @@
+#include "metrics/latency_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prdrb {
+
+LatencyMap::LatencyMap(int num_routers)
+    : cells_(static_cast<std::size_t>(num_routers)) {}
+
+void LatencyMap::record(RouterId r, SimTime wait) {
+  assert(r >= 0 && r < num_routers());
+  Cell& c = cells_[static_cast<std::size_t>(r)];
+  c.sum += wait;
+  ++c.count;
+}
+
+SimTime LatencyMap::average(RouterId r) const {
+  const Cell& c = cells_[static_cast<std::size_t>(r)];
+  return c.count ? c.sum / static_cast<double>(c.count) : 0.0;
+}
+
+std::uint64_t LatencyMap::samples(RouterId r) const {
+  return cells_[static_cast<std::size_t>(r)].count;
+}
+
+SimTime LatencyMap::peak() const {
+  SimTime best = 0;
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    best = std::max(best, average(r));
+  }
+  return best;
+}
+
+SimTime LatencyMap::mean_over_active() const {
+  double sum = 0;
+  int active = 0;
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    if (samples(r)) {
+      sum += average(r);
+      ++active;
+    }
+  }
+  return active ? sum / active : 0.0;
+}
+
+void LatencyMap::reset() {
+  for (Cell& c : cells_) c = Cell{};
+}
+
+}  // namespace prdrb

@@ -1,0 +1,40 @@
+// Latency surface map (thesis §4.2, Fig. 4.7): per-router average contention
+// latency — the z axis of the 3D maps in Figs. 4.10/4.11, 4.20, 4.24, 4.29.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+class LatencyMap {
+ public:
+  explicit LatencyMap(int num_routers);
+
+  void record(RouterId r, SimTime wait);
+
+  SimTime average(RouterId r) const;
+  std::uint64_t samples(RouterId r) const;
+
+  /// Highest per-router average — the "highest peak in the map" the thesis
+  /// compares across policies (§4.8.2).
+  SimTime peak() const;
+
+  /// Mean of the per-router averages over routers that saw contention.
+  SimTime mean_over_active() const;
+
+  int num_routers() const { return static_cast<int>(cells_.size()); }
+
+  void reset();
+
+ private:
+  struct Cell {
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Cell> cells_;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,49 @@
+#include "metrics/latency_stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prdrb {
+
+LatencyStats::LatencyStats(int num_destinations)
+    : dests_(static_cast<std::size_t>(num_destinations)) {}
+
+void LatencyStats::record(int dst, SimTime latency) {
+  assert(dst >= 0 && dst < static_cast<int>(dests_.size()));
+  PerDest& d = dests_[static_cast<std::size_t>(dst)];
+  d.sum += latency;
+  ++d.count;
+  total_sum_ += latency;
+  ++total_count_;
+  max_ = std::max(max_, latency);
+}
+
+SimTime LatencyStats::per_destination(int dst) const {
+  const PerDest& d = dests_[static_cast<std::size_t>(dst)];
+  return d.count ? d.sum / static_cast<double>(d.count) : 0.0;
+}
+
+SimTime LatencyStats::global_average() const {
+  double sum = 0;
+  int active = 0;
+  for (const PerDest& d : dests_) {
+    if (d.count) {
+      sum += d.sum / static_cast<double>(d.count);
+      ++active;
+    }
+  }
+  return active ? sum / active : 0.0;
+}
+
+SimTime LatencyStats::overall_mean() const {
+  return total_count_ ? total_sum_ / static_cast<double>(total_count_) : 0.0;
+}
+
+void LatencyStats::reset() {
+  for (PerDest& d : dests_) d = PerDest{};
+  total_sum_ = 0;
+  total_count_ = 0;
+  max_ = 0;
+}
+
+}  // namespace prdrb

@@ -1,0 +1,47 @@
+// Latency metrics (thesis §4.2, Eqs. 4.1 & 4.2).
+//
+// Eq. 4.1 keeps a running average of packet latency per destination node;
+// Eq. 4.2 averages those per-destination means into the global average
+// latency reported by every evaluation figure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+class LatencyStats {
+ public:
+  explicit LatencyStats(int num_destinations);
+
+  /// Record the latency of one packet delivered to destination `dst`.
+  void record(int dst, SimTime latency);
+
+  /// Eq. 4.1: running average for one destination.
+  SimTime per_destination(int dst) const;
+
+  /// Eq. 4.2: mean of the per-destination averages, over destinations that
+  /// received at least one packet.
+  SimTime global_average() const;
+
+  /// Plain mean over every recorded packet (useful for time-binned series).
+  SimTime overall_mean() const;
+  SimTime max_latency() const { return max_; }
+  std::uint64_t count() const { return total_count_; }
+
+  void reset();
+
+ private:
+  struct PerDest {
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<PerDest> dests_;
+  double total_sum_ = 0;
+  std::uint64_t total_count_ = 0;
+  SimTime max_ = 0;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,61 @@
+#include "metrics/map_render.hpp"
+
+#include <iomanip>
+
+namespace prdrb {
+
+namespace {
+
+void print_cell(std::ostream& os, double seconds) {
+  os << std::setw(9) << std::fixed << std::setprecision(2) << seconds * 1e6;
+}
+
+}  // namespace
+
+void render_mesh_map(std::ostream& os, const Mesh2D& mesh,
+                     const std::vector<double>& per_router_seconds) {
+  const auto flags = os.flags();
+  os << "latency map (us), " << mesh.name() << ", rows are y descending:\n";
+  for (int y = mesh.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < mesh.width(); ++x) {
+      print_cell(os, per_router_seconds[static_cast<std::size_t>(mesh.at(x, y))]);
+    }
+    os << '\n';
+  }
+  os.flags(flags);
+}
+
+void render_tree_map(std::ostream& os, const KAryNTree& tree,
+                     const std::vector<double>& per_router_seconds) {
+  const auto flags = os.flags();
+  os << "latency map (us), " << tree.name()
+     << ", one row per level (0 = leaf switches):\n";
+  const int per_level = tree.num_routers() / tree.n();
+  for (int level = 0; level < tree.n(); ++level) {
+    os << "L" << level << ":";
+    for (int w = 0; w < per_level; ++w) {
+      print_cell(os, per_router_seconds[static_cast<std::size_t>(
+                         tree.switch_id(w, level))]);
+    }
+    os << '\n';
+  }
+  os.flags(flags);
+}
+
+void render_map(std::ostream& os, const Topology& topo,
+                const std::vector<double>& per_router_seconds) {
+  if (const auto* mesh = dynamic_cast<const Mesh2D*>(&topo)) {
+    render_mesh_map(os, *mesh, per_router_seconds);
+    return;
+  }
+  if (const auto* tree = dynamic_cast<const KAryNTree*>(&topo)) {
+    render_tree_map(os, *tree, per_router_seconds);
+    return;
+  }
+  os << "latency map (us) by router id:\n";
+  for (std::size_t r = 0; r < per_router_seconds.size(); ++r) {
+    os << r << ": " << per_router_seconds[r] * 1e6 << '\n';
+  }
+}
+
+}  // namespace prdrb

@@ -1,0 +1,29 @@
+// ASCII renderers for latency surface maps (thesis Fig. 4.7): a 2D grid for
+// meshes/tori and a level-by-level table for k-ary n-trees. Used by the
+// figure benches and the examples; values are microseconds.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "net/kary_ntree.hpp"
+#include "net/mesh2d.hpp"
+
+namespace prdrb {
+
+/// Render per-router averages (seconds) as a W x H grid, row y printed top
+/// to bottom (highest y first, like the thesis' surface plots).
+void render_mesh_map(std::ostream& os, const Mesh2D& mesh,
+                     const std::vector<double>& per_router_seconds);
+
+/// Render per-router averages (seconds) as one row per tree level
+/// (level 0 = nearest the terminals).
+void render_tree_map(std::ostream& os, const KAryNTree& tree,
+                     const std::vector<double>& per_router_seconds);
+
+/// Dispatch on the topology's dynamic type; unknown topologies fall back to
+/// a flat router-id listing.
+void render_map(std::ostream& os, const Topology& topo,
+                const std::vector<double>& per_router_seconds);
+
+}  // namespace prdrb

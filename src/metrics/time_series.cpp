@@ -1,0 +1,37 @@
+#include "metrics/time_series.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prdrb {
+
+TimeSeries::TimeSeries(SimTime bin_width) : bin_width_(bin_width) {
+  assert(bin_width > 0);
+}
+
+void TimeSeries::add(SimTime t, double value) {
+  if (t < 0) t = 0;
+  const auto idx = static_cast<std::size_t>(t / bin_width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1);
+  bins_[idx].sum += value;
+  ++bins_[idx].count;
+}
+
+double TimeSeries::bin_mean(std::size_t i) const {
+  if (i >= bins_.size() || bins_[i].count == 0) return 0.0;
+  return bins_[i].sum / static_cast<double>(bins_[i].count);
+}
+
+std::uint64_t TimeSeries::bin_count(std::size_t i) const {
+  return i < bins_.size() ? bins_[i].count : 0;
+}
+
+double TimeSeries::peak_mean() const {
+  double best = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    best = std::max(best, bin_mean(i));
+  }
+  return best;
+}
+
+}  // namespace prdrb

@@ -1,0 +1,46 @@
+// Time-binned averages, the raw material of every "latency vs time" figure
+// (Figs. 4.12-4.18, 4.22-4.23, 4.26, 4.28).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimTime bin_width = 1e-3);
+
+  void add(SimTime t, double value);
+
+  SimTime bin_width() const { return bin_width_; }
+  std::size_t bins() const { return bins_.size(); }
+
+  /// Centre time of bin `i`.
+  SimTime bin_time(std::size_t i) const {
+    return (static_cast<double>(i) + 0.5) * bin_width_;
+  }
+
+  /// Mean of the samples in bin `i` (0 when empty).
+  double bin_mean(std::size_t i) const;
+
+  /// Samples recorded in bin `i`.
+  std::uint64_t bin_count(std::size_t i) const;
+
+  /// Largest bin mean over the whole series (figure "peaks").
+  double peak_mean() const;
+
+  void reset() { bins_.clear(); }
+
+ private:
+  struct Bin {
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+  SimTime bin_width_;
+  std::vector<Bin> bins_;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,4 @@
+#include "net/config.hpp"
+
+// NetConfig is a plain aggregate; this translation unit exists so the header
+// stays a cheap include while future validation logic has a home.

@@ -1,0 +1,55 @@
+// Network model parameters.
+//
+// Defaults follow the thesis evaluation setup (Tables 4.2 / 4.3 and §4.8.1):
+// 2 Gb/s links, 1024-byte packets, 2 MB router buffers, virtual cut-through
+// switching with credit-style backpressure.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+struct NetConfig {
+  /// Raw link bandwidth, bits per second (Tables 4.2/4.3: 2 Gbps).
+  double link_bandwidth_bps = 2e9;
+
+  /// Per-hop wire propagation delay, seconds.
+  double wire_delay_s = 20e-9;
+
+  /// Routing-decision / crossbar traversal latency per router, seconds.
+  double router_delay_s = 40e-9;
+
+  /// Maximum payload carried by one packet (Tables 4.2/4.3: 1024 B).
+  std::int32_t packet_bytes = 1024;
+
+  /// Size of an ACK / predictive-ACK notification packet.
+  std::int32_t ack_bytes = 64;
+
+  /// Total buffer pool per router (Tables 4.2/4.3: 2 MB), split evenly
+  /// across the virtual networks used for deadlock avoidance.
+  std::int64_t buffer_bytes = 2 * 1024 * 1024;
+
+  /// Whether destinations emit latency-notification ACKs. The DRB family
+  /// requires them; plain oblivious policies run without notification load.
+  bool acks_enabled = true;
+
+  /// Router-side congestion threshold (seconds of output-queue waiting) that
+  /// triggers contending-flow logging by the CFD module (§3.3.2).
+  SimTime router_contention_threshold_s = 4e-6;
+
+  /// Maximum number of contending flows carried by the predictive header
+  /// ("n is a system parameter", Fig. 3.18).
+  int max_contending_flows = 8;
+
+  /// Serialization time of `bytes` over one link.
+  SimTime serialization_time(std::int64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / link_bandwidth_bps;
+  }
+
+  /// Buffer capacity of one virtual-network partition.
+  std::int64_t vn_capacity(int num_vns) const { return buffer_bytes / num_vns; }
+};
+
+}  // namespace prdrb

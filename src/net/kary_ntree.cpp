@@ -1,0 +1,152 @@
+#include "net/kary_ntree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace prdrb {
+
+KAryNTree::KAryNTree(int k, int n) : k_(k), n_(n) {
+  assert(k >= 2 && n >= 1);
+  pow_k_.resize(static_cast<std::size_t>(n) + 1);
+  pow_k_[0] = 1;
+  for (int i = 1; i <= n; ++i) pow_k_[static_cast<std::size_t>(i)] = pow_k_[static_cast<std::size_t>(i) - 1] * k;
+  terminals_ = pow_k_[static_cast<std::size_t>(n)];
+  switches_per_level_ = pow_k_[static_cast<std::size_t>(n) - 1];
+}
+
+int KAryNTree::digit(NodeId p, int i) const {
+  return (p / pow_k_[static_cast<std::size_t>(i)]) % k_;
+}
+
+int KAryNTree::with_digit(int w, int i, int v) const {
+  const int base = pow_k_[static_cast<std::size_t>(i)];
+  const int old = (w / base) % k_;
+  return w + (v - old) * base;
+}
+
+bool KAryNTree::is_ancestor(RouterId r, NodeId p) const {
+  const int l = level_of(r);
+  const int w = word_of(r);
+  // Word digit i corresponds to terminal digit i+1. A level-l switch covers
+  // terminals matching its word at digit positions l .. n-2.
+  for (int i = l; i <= n_ - 2; ++i) {
+    if (((w / pow_k_[static_cast<std::size_t>(i)]) % k_) != digit(p, i + 1)) return false;
+  }
+  return true;
+}
+
+int KAryNTree::nca_level(NodeId a, NodeId b) const {
+  int m = 0;
+  for (int i = n_ - 1; i >= 1; --i) {
+    if (digit(a, i) != digit(b, i)) {
+      m = i;
+      break;
+    }
+  }
+  return m;
+}
+
+RouterId KAryNTree::node_router(NodeId node) const {
+  return switch_id(node / k_, 0);
+}
+
+PortTarget KAryNTree::neighbor(RouterId r, int port) const {
+  const int l = level_of(r);
+  const int w = word_of(r);
+  if (is_up_port(port)) {
+    if (l == n_ - 1) return PortTarget{};  // roots have no up links
+    const int j = port - k_;
+    // Up port j reaches the level-(l+1) switch whose word has digit l = j;
+    // at that switch the link is down port w_l.
+    const int upper = with_digit(w, l, j);
+    const int down_port = (w / pow_k_[static_cast<std::size_t>(l)]) % k_;
+    return PortTarget{switch_id(upper, l + 1), down_port};
+  }
+  // Down ports at level 0 reach terminals, which are not routers.
+  if (l == 0) return PortTarget{};
+  const int m = port;
+  // Down port m reaches the level-(l-1) switch whose word has digit l-1 = m;
+  // there the link is up port w_{l-1}.
+  const int lower = with_digit(w, l - 1, m);
+  const int up_port = k_ + (w / pow_k_[static_cast<std::size_t>(l - 1)]) % k_;
+  return PortTarget{switch_id(lower, l - 1), up_port};
+}
+
+void KAryNTree::minimal_ports(RouterId r, NodeId target,
+                              std::vector<int>& out) const {
+  const int l = level_of(r);
+  if (is_ancestor(r, target)) {
+    if (l == 0 && node_router(target) == r) return;  // local delivery
+    // Descending phase: deterministic down port digit_l(target).
+    out.push_back(digit(target, l));
+    return;
+  }
+  // Ascending phase: every up port leads minimally to a common ancestor.
+  for (int j = 0; j < k_; ++j) out.push_back(k_ + j);
+}
+
+int KAryNTree::distance(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  if (node_router(a) == node_router(b)) return 0;
+  return 2 * nca_level(a, b);
+}
+
+int KAryNTree::deterministic_choice(RouterId r, NodeId, NodeId dst,
+                                    int n_candidates) const {
+  if (n_candidates <= 1) return 0;
+  // Destination-digit up-port selection (d-mod-k style): at a level-l switch
+  // the ascending choice fixes word digit l of the next switch, so using
+  // digit_{l+1}(dst) both spreads destinations across roots and shortens the
+  // later descent.
+  const int l = level_of(r);
+  const int idx = digit(dst, std::min(l + 1, n_ - 1));
+  return idx % n_candidates;
+}
+
+std::vector<MspCandidate> KAryNTree::msp_candidates(NodeId src, NodeId dst,
+                                                    int ring) const {
+  // An intermediate terminal IN forces the packet through the subtree that
+  // contains IN: S -> IN climbs to level nca(S, IN) and descends, then
+  // IN -> D climbs again. Ring rho proposes INs whose nearest common
+  // ancestor with the source sits at level rho, i.e. progressively farther
+  // detours, mirroring the mesh's growing neighbourhoods (§3.2.3).
+  if (ring >= n_) return {};
+  std::vector<MspCandidate> out;
+  // Enumerate terminals t with nca_level(src, t) == ring. They differ from
+  // src at digit `ring` and match above it; digits below may vary, but to
+  // keep the candidate set focused we take t = src with digit `ring`
+  // replaced (same low digits), plus one variant per low-digit rotation.
+  for (int v = 0; v < k_; ++v) {
+    if (v == digit(src, ring)) continue;
+    const int base = pow_k_[static_cast<std::size_t>(ring)];
+    const NodeId t = src + (v - digit(src, ring)) * base;
+    if (t == dst || t == src) continue;
+    out.push_back(MspCandidate{t, kInvalidNode});
+  }
+  // Symmetric candidates around the destination: descend into a sibling of
+  // the destination subtree before the final hop.
+  for (int v = 0; v < k_; ++v) {
+    if (v == digit(dst, ring)) continue;
+    const int base = pow_k_[static_cast<std::size_t>(ring)];
+    const NodeId t = dst + (v - digit(dst, ring)) * base;
+    if (t == dst || t == src) continue;
+    out.push_back(MspCandidate{t, kInvalidNode});
+  }
+  // Deduplicate while preserving order.
+  std::vector<MspCandidate> unique;
+  for (const auto& c : out) {
+    if (std::find(unique.begin(), unique.end(), c) == unique.end()) {
+      unique.push_back(c);
+    }
+  }
+  return unique;
+}
+
+std::string KAryNTree::name() const {
+  std::ostringstream os;
+  os << k_ << "-ary " << n_ << "-tree";
+  return os.str();
+}
+
+}  // namespace prdrb

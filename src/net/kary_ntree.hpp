@@ -1,0 +1,76 @@
+// k-ary n-tree fat-tree topology (thesis §2.1.5, Fig. 2.3d; Table 4.3 uses a
+// 4-ary 3-tree for 64 nodes and a 2-ary 5-tree for 32 nodes).
+//
+// Construction follows Petrini & Vernon's formulation: k^n terminals and n
+// levels of k^(n-1) switches. A switch is identified by (w, l) where
+// l in [0, n) is its level (0 = nearest the terminals) and w is an (n-1)-
+// digit base-k word. Switch (w, l) and switch (v, l+1) are linked iff
+// v_i == w_i for every i != l; the link is up-port v_l at the lower switch
+// and down-port w_l at the upper switch. Terminal p attaches to the level-0
+// switch with word p/k via down-port p mod k.
+//
+// Minimal routing is the classic two-phase scheme (§2.1.5): an ascending
+// phase — every up port is minimal, hence adaptivity — up to the nearest
+// common ancestor level, then a deterministic descending phase taking down
+// port digit_l(destination) at each level-l switch.
+#pragma once
+
+#include "net/topology.hpp"
+
+namespace prdrb {
+
+class KAryNTree final : public Topology {
+ public:
+  KAryNTree(int k, int n);
+
+  int k() const { return k_; }
+  int n() const { return n_; }
+
+  int num_nodes() const override { return terminals_; }
+  int num_routers() const override { return n_ * switches_per_level_; }
+  int radix(RouterId) const override { return 2 * k_; }
+  PortTarget neighbor(RouterId r, int port) const override;
+  RouterId node_router(NodeId node) const override;
+  void minimal_ports(RouterId r, NodeId target,
+                     std::vector<int>& out) const override;
+  int distance(NodeId a, NodeId b) const override;
+  int deterministic_choice(RouterId r, NodeId src, NodeId dst,
+                           int n_candidates) const override;
+  std::vector<MspCandidate> msp_candidates(NodeId src, NodeId dst,
+                                           int ring) const override;
+  std::string name() const override;
+
+  // --- structural helpers (used by tests and the DRB candidate logic) ---
+
+  int level_of(RouterId r) const { return r / switches_per_level_; }
+  int word_of(RouterId r) const { return r % switches_per_level_; }
+  RouterId switch_id(int word, int level) const {
+    return level * switches_per_level_ + word;
+  }
+
+  /// Base-k digit `i` of terminal `p` (digit 0 is least significant).
+  int digit(NodeId p, int i) const;
+
+  /// Replace digit `i` of word `w` (an (n-1)-digit base-k value) with `v`.
+  int with_digit(int w, int i, int v) const;
+
+  /// True when switch `r` is an ancestor of terminal `p` (its word matches
+  /// p's digits at positions level(r)+1 .. n-1).
+  bool is_ancestor(RouterId r, NodeId p) const;
+
+  /// Level of the nearest common ancestor switches of terminals a and b
+  /// (0 when they share a level-0 switch).
+  int nca_level(NodeId a, NodeId b) const;
+
+  /// Down ports are 0..k-1, up ports are k..2k-1.
+  bool is_up_port(int port) const { return port >= k_; }
+
+ private:
+  int k_;
+  int n_;
+  int terminals_;
+  int switches_per_level_;
+  std::vector<int> pow_k_;  // pow_k_[i] = k^i
+};
+
+}  // namespace prdrb

@@ -1,0 +1,121 @@
+#include "net/mesh_nd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace prdrb {
+
+MeshND::MeshND(std::vector<int> dims, bool wraparound)
+    : dims_(std::move(dims)), wraparound_(wraparound) {
+  assert(!dims_.empty());
+  strides_.resize(dims_.size());
+  total_ = 1;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    assert(dims_[i] >= 1);
+    strides_[i] = total_;
+    total_ *= dims_[i];
+  }
+  assert(total_ >= 2);
+}
+
+int MeshND::coord(RouterId r, int dim) const {
+  return (r / strides_[static_cast<std::size_t>(dim)]) %
+         dims_[static_cast<std::size_t>(dim)];
+}
+
+RouterId MeshND::at(std::span<const int> coords) const {
+  assert(coords.size() == dims_.size());
+  RouterId r = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    assert(coords[i] >= 0 && coords[i] < dims_[i]);
+    r += coords[i] * strides_[i];
+  }
+  return r;
+}
+
+PortTarget MeshND::neighbor(RouterId r, int port) const {
+  const int dim = port / 2;
+  if (dim >= dimensions()) return PortTarget{};
+  const int step = (port % 2 == 0) ? 1 : -1;
+  const int extent = dims_[static_cast<std::size_t>(dim)];
+  if (extent == 1) return PortTarget{};  // degenerate dimension
+  int c = coord(r, dim) + step;
+  if (wraparound_) {
+    c = (c + extent) % extent;
+  } else if (c < 0 || c >= extent) {
+    return PortTarget{};
+  }
+  const RouterId other =
+      r + (c - coord(r, dim)) * strides_[static_cast<std::size_t>(dim)];
+  // The reverse link is the opposite-direction port of the same dimension.
+  return PortTarget{other, port ^ 1};
+}
+
+int MeshND::axis_delta(int from, int to, int dim) const {
+  const int extent = dims_[static_cast<std::size_t>(dim)];
+  int d = to - from;
+  if (!wraparound_ || extent <= 2) return d;
+  if (d > extent / 2) d -= extent;
+  if (d < -(extent - 1) / 2) d += extent;
+  return d;
+}
+
+void MeshND::minimal_ports(RouterId r, NodeId target,
+                           std::vector<int>& out) const {
+  const RouterId tr = node_router(target);
+  for (int dim = 0; dim < dimensions(); ++dim) {
+    const int d = axis_delta(coord(r, dim), coord(tr, dim), dim);
+    if (d > 0) out.push_back(2 * dim);
+    if (d < 0) out.push_back(2 * dim + 1);
+  }
+}
+
+int MeshND::distance(NodeId a, NodeId b) const {
+  int sum = 0;
+  for (int dim = 0; dim < dimensions(); ++dim) {
+    sum += std::abs(axis_delta(coord(a, dim), coord(b, dim), dim));
+  }
+  return sum;
+}
+
+std::vector<MspCandidate> MeshND::msp_candidates(NodeId src, NodeId dst,
+                                                 int ring) const {
+  // Same scheme as Mesh2D (§3.2.3): IN1 at hop distance `ring` around the
+  // source, IN2 around the destination, shortest detours first.
+  std::vector<NodeId> near_src;
+  std::vector<NodeId> near_dst;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (n == src || n == dst) continue;
+    if (distance(src, n) == ring) near_src.push_back(n);
+    if (distance(dst, n) == ring) near_dst.push_back(n);
+  }
+  std::vector<MspCandidate> out;
+  for (NodeId a : near_src) {
+    for (NodeId b : near_dst) {
+      if (a != b) out.push_back(MspCandidate{a, b});
+    }
+  }
+  auto msp_len = [&](const MspCandidate& c) {
+    return distance(src, c.in1) + distance(c.in1, c.in2) +
+           distance(c.in2, dst);
+  };
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const MspCandidate& l, const MspCandidate& r) {
+                     return msp_len(l) < msp_len(r);
+                   });
+  if (out.size() > 24) out.resize(24);
+  return out;
+}
+
+std::string MeshND::name() const {
+  std::ostringstream os;
+  os << (wraparound_ ? "torus" : "mesh");
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    os << (i ? "x" : "-") << dims_[i];
+  }
+  return os.str();
+}
+
+}  // namespace prdrb

@@ -1,0 +1,59 @@
+// N-dimensional mesh / torus (k-ary n-cube, thesis §2.1.1: "meshes are
+// rectangular matrix shaped, in a 2D or 3D configuration"; with wraparound
+// they become the k-ary n-cube family — torus for n=2, hypercube for k=2).
+//
+// One terminal per router; dimension-order minimal routing (the canonical
+// candidate order exhausts dimension 0 first). The same torus deadlock
+// caveat as Mesh2D applies: minimal routing on wraparound rings has cyclic
+// channel dependencies, so sustained saturation can wedge the lossless
+// backpressure — use moderate loads on wrapped configurations.
+#pragma once
+
+#include <span>
+
+#include "net/topology.hpp"
+
+namespace prdrb {
+
+class MeshND final : public Topology {
+ public:
+  /// `dims[i]` is the extent of dimension i (all >= 2 except trailing 1s);
+  /// port 2*i steps +1 in dimension i, port 2*i+1 steps -1.
+  MeshND(std::vector<int> dims, bool wraparound = false);
+
+  int dimensions() const { return static_cast<int>(dims_.size()); }
+  int extent(int dim) const { return dims_[static_cast<std::size_t>(dim)]; }
+  bool wraparound() const { return wraparound_; }
+
+  int num_nodes() const override { return total_; }
+  int num_routers() const override { return total_; }
+  int radix(RouterId) const override { return 2 * dimensions(); }
+  PortTarget neighbor(RouterId r, int port) const override;
+  RouterId node_router(NodeId n) const override { return n; }
+  void minimal_ports(RouterId r, NodeId target,
+                     std::vector<int>& out) const override;
+  int distance(NodeId a, NodeId b) const override;
+  int deterministic_choice(RouterId, NodeId, NodeId, int) const override {
+    return 0;  // dimension-order routing
+  }
+  std::vector<MspCandidate> msp_candidates(NodeId src, NodeId dst,
+                                           int ring) const override;
+  std::string name() const override;
+
+  /// Coordinate of router `r` along dimension `dim`.
+  int coord(RouterId r, int dim) const;
+
+  /// Router at the given coordinates.
+  RouterId at(std::span<const int> coords) const;
+
+ private:
+  /// Signed minimal displacement along `dim` (shorter way on the torus).
+  int axis_delta(int from, int to, int dim) const;
+
+  std::vector<int> dims_;
+  std::vector<int> strides_;
+  int total_;
+  bool wraparound_;
+};
+
+}  // namespace prdrb

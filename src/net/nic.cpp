@@ -1,0 +1,3 @@
+#include "net/nic.hpp"
+
+// Nic is passive state driven by Network; see network.cpp.

@@ -1,0 +1,43 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace prdrb {
+
+NodeId Packet::current_target() const {
+  if (header_id == 0 && intermediate1 != kInvalidNode) return intermediate1;
+  if (header_id <= 1 && intermediate2 != kInvalidNode) return intermediate2;
+  return destination;
+}
+
+bool Packet::advance_header(NodeId reached) {
+  bool moved = false;
+  // Skip every intermediate slot that resolves to the reached terminal (an
+  // MSP may legitimately name the same IN twice or an IN equal to a later
+  // target; the cursor must pass all of them in one visit).
+  while (header_id < 2 && current_target() == reached &&
+         current_target() != destination) {
+    ++header_id;
+    moved = true;
+  }
+  return moved;
+}
+
+int Packet::virtual_network() const {
+  if (is_ack()) return kNumVirtualNetworks - 1;
+  return header_id;  // 0..2, one escape class per MSP segment
+}
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << (type == PacketType::kData
+             ? "DATA"
+             : (type == PacketType::kAck ? "ACK" : "PACK"))
+     << " #" << id << " " << source << "->" << destination;
+  if (intermediate1 != kInvalidNode) os << " via " << intermediate1;
+  if (intermediate2 != kInvalidNode) os << "," << intermediate2;
+  os << " hdr=" << int(header_id) << " lat=" << path_latency;
+  return os.str();
+}
+
+}  // namespace prdrb

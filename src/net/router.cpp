@@ -1,0 +1,3 @@
+#include "net/router.hpp"
+
+// Router is passive state driven by Network; see network.cpp.

@@ -1,0 +1,18 @@
+#include "net/topology.hpp"
+
+namespace prdrb {
+
+int Topology::deterministic_choice(RouterId r, NodeId src, NodeId dst,
+                                   int n) const {
+  // Default: spread deterministically by flow identity so different pairs do
+  // not all pile onto candidate 0, while any single pair always uses the
+  // same path. Concrete topologies override with structure-aware choices.
+  if (n <= 1) return 0;
+  auto h = static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(src) * 0xc2b2ae3d27d4eb4full;
+  h ^= static_cast<std::uint64_t>(dst) * 0x165667b19e3779f9ull;
+  h ^= h >> 29;
+  return static_cast<int>(h % static_cast<std::uint64_t>(n));
+}
+
+}  // namespace prdrb

@@ -1,0 +1,74 @@
+// Topology abstraction: physical interconnection graph plus the minimal
+// routing relation and the DRB intermediate-node candidate generator.
+//
+// Two concrete topologies are provided, matching the evaluation (thesis
+// Ch. 4): a 2D mesh (hot-spot experiments, Table 4.2) and the k-ary n-tree
+// fat-tree (permutation and application experiments, Table 4.3).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+/// Far end of a unidirectional router-to-router link.
+struct PortTarget {
+  RouterId router = kInvalidRouter;
+  int port = -1;  // input port index at the far router (same as its output)
+
+  bool valid() const { return router != kInvalidRouter; }
+  friend bool operator==(const PortTarget&, const PortTarget&) = default;
+};
+
+/// Candidate multi-step path: up to two intermediate terminals.
+struct MspCandidate {
+  NodeId in1 = kInvalidNode;
+  NodeId in2 = kInvalidNode;
+  friend bool operator==(const MspCandidate&, const MspCandidate&) = default;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int num_nodes() const = 0;
+  virtual int num_routers() const = 0;
+
+  /// Number of inter-router ports at `r` (terminal links are separate).
+  virtual int radix(RouterId r) const = 0;
+
+  /// Far end of output port `port` at router `r`; invalid if unconnected.
+  virtual PortTarget neighbor(RouterId r, int port) const = 0;
+
+  /// Router a terminal is attached to.
+  virtual RouterId node_router(NodeId n) const = 0;
+
+  /// Minimal output ports at router `r` toward terminal `target`. Appends
+  /// candidates to `out` in a canonical order; empty means `target` is
+  /// attached to `r` itself (local delivery).
+  virtual void minimal_ports(RouterId r, NodeId target,
+                             std::vector<int>& out) const = 0;
+
+  /// Hop distance (number of router-to-router links) between the routers of
+  /// two terminals along a minimal path.
+  virtual int distance(NodeId a, NodeId b) const = 0;
+
+  /// Deterministic choice among `n` minimal candidates at router `r` for a
+  /// packet src->dst. Must be a pure function of its arguments so that the
+  /// Deterministic policy always takes the same path per pair (§2.1.4).
+  virtual int deterministic_choice(RouterId r, NodeId src, NodeId dst,
+                                   int n) const;
+
+  /// DRB metapath expansion (§3.2.3): candidate intermediate-node pairs at
+  /// distance ring `ring` (1 = immediate neighbours of source/destination,
+  /// growing outwards). Returns an empty vector once the ring is exhausted.
+  virtual std::vector<MspCandidate> msp_candidates(NodeId src, NodeId dst,
+                                                   int ring) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,37 @@
+#include "routing/adaptive.hpp"
+
+#include <limits>
+
+#include "net/network.hpp"
+
+namespace prdrb {
+
+int AdaptivePolicy::least_occupied(const Network& net, RouterId r,
+                                   const Packet& p,
+                                   std::span<const int> candidates) {
+  if (candidates.size() == 1) return candidates[0];
+  std::int64_t best_bytes = std::numeric_limits<std::int64_t>::max();
+  int best_port = candidates[0];
+  // Scan in an order rotated by the deterministic choice so that equally
+  // empty ports spread across flows instead of everyone taking port 0.
+  const auto n = static_cast<int>(candidates.size());
+  const int start =
+      net.topology().deterministic_choice(r, p.source, p.destination, n);
+  for (int i = 0; i < n; ++i) {
+    const int port = candidates[static_cast<std::size_t>((start + i) % n)];
+    const std::int64_t bytes = net.port_queue_bytes(r, port) +
+                               (net.port_busy(r, port) ? 1 : 0);
+    if (bytes < best_bytes) {
+      best_bytes = bytes;
+      best_port = port;
+    }
+  }
+  return best_port;
+}
+
+int AdaptivePolicy::select_port(RouterId r, const Packet& p,
+                                std::span<const int> candidates) {
+  return least_occupied(*net_, r, p, candidates);
+}
+
+}  // namespace prdrb

@@ -1,0 +1,24 @@
+// Minimal adaptive hop policy: among the minimal output ports, follow the
+// least-occupied output queue (thesis §2.1.4, "adaptive algorithms take into
+// consideration the status of the network ... channel allocations").
+// Also used by the DRB family for the ascending adaptive phase of k-ary
+// n-tree routing (§2.1.5) and as the in-segment heuristic when enabled.
+#pragma once
+
+#include "routing/policy.hpp"
+
+namespace prdrb {
+
+class AdaptivePolicy : public RoutingPolicy {
+ public:
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  std::string name() const override { return "adaptive"; }
+
+  /// Shared helper: pick the candidate with the smallest output-queue
+  /// occupancy; ties resolved by the topology's deterministic choice.
+  static int least_occupied(const Network& net, RouterId r, const Packet& p,
+                            std::span<const int> candidates);
+};
+
+}  // namespace prdrb

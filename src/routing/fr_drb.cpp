@@ -1,0 +1,42 @@
+#include "routing/fr_drb.hpp"
+
+#include "net/network.hpp"
+
+namespace prdrb {
+
+FrDrbPolicy::FrDrbPolicy(DrbConfig cfg, FrDrbConfig fr, std::uint64_t seed)
+    : DrbPolicy(cfg, seed), fr_(fr) {}
+
+void FrDrbPolicy::on_message_sent(NodeId src, NodeId dst,
+                                  std::uint64_t message_id, const PathChoice&,
+                                  SimTime) {
+  Simulator& sim = net_->simulator();
+  const EventId ev =
+      sim.schedule_in(fr_.watchdog_timeout, [this, src, dst, message_id] {
+        watchdogs_.erase(message_id);
+        ++fires_;
+        on_watchdog(src, dst, net_->simulator().now());
+      });
+  watchdogs_.emplace(message_id, ev);
+}
+
+void FrDrbPolicy::on_ack(NodeId at, const Packet& ack, SimTime now) {
+  if (ack.acked_message_id != 0) {
+    auto it = watchdogs_.find(ack.acked_message_id);
+    if (it != watchdogs_.end()) {
+      net_->simulator().cancel(it->second);
+      watchdogs_.erase(it);
+    }
+  }
+  DrbPolicy::on_ack(at, ack, now);
+}
+
+void FrDrbPolicy::on_watchdog(NodeId src, NodeId dst, SimTime) {
+  // A silent path is a congested path: force the metapath into the High
+  // zone and open an alternative immediately.
+  Metapath& mp = metapath(src, dst);
+  mp.zone = Zone::kHigh;
+  expand(mp, src, dst);
+}
+
+}  // namespace prdrb

@@ -1,0 +1,46 @@
+// Fast-Response DRB (Lugones et al.; thesis §4.8.4).
+//
+// FR-DRB augments DRB with a watchdog timer per in-flight message: if the
+// destination's ACK does not arrive within the timeout, congestion is
+// assumed and path opening starts immediately — "this expiration does not
+// require the use of an ACK, at least to start the opening procedures".
+#pragma once
+
+#include <unordered_map>
+
+#include "routing/drb.hpp"
+#include "sim/event_queue.hpp"
+
+namespace prdrb {
+
+struct FrDrbConfig {
+  /// ACK deadline; a message unacknowledged for this long signals
+  /// congestion on its path.
+  SimTime watchdog_timeout = 40e-6;
+};
+
+class FrDrbPolicy : public DrbPolicy {
+ public:
+  explicit FrDrbPolicy(DrbConfig cfg = {}, FrDrbConfig fr = {},
+                       std::uint64_t seed = 7);
+
+  void on_message_sent(NodeId src, NodeId dst, std::uint64_t message_id,
+                       const PathChoice& path, SimTime now) override;
+  void on_ack(NodeId at, const Packet& ack, SimTime now) override;
+  std::string name() const override { return "fr-drb"; }
+
+  std::uint64_t watchdog_fires() const { return fires_; }
+  const FrDrbConfig& fr_config() const { return fr_; }
+
+ protected:
+  /// Reaction to an expired watchdog. FR-DRB opens a path; the predictive
+  /// variant (core/pr_drb.hpp) first consults the solution database.
+  virtual void on_watchdog(NodeId src, NodeId dst, SimTime now);
+
+ private:
+  FrDrbConfig fr_;
+  std::unordered_map<std::uint64_t, EventId> watchdogs_;  // message id -> ev
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace prdrb

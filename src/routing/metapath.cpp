@@ -1,0 +1,85 @@
+#include "routing/metapath.hpp"
+
+#include <algorithm>
+
+namespace prdrb {
+
+const char* zone_name(Zone z) {
+  switch (z) {
+    case Zone::kLow:
+      return "low";
+    case Zone::kMedium:
+      return "medium";
+    case Zone::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+Zone classify_zone(SimTime mp_latency, SimTime threshold_low,
+                   SimTime threshold_high) {
+  if (mp_latency > threshold_high) return Zone::kHigh;
+  if (mp_latency < threshold_low) return Zone::kLow;
+  return Zone::kMedium;
+}
+
+void Metapath::update_mp_latency() {
+  // Eq. 3.4: L(MP) = (sum_i 1/L(MSP_i))^-1. Paths without a measurement yet
+  // contribute with their optimistic initial estimate, which is what lets a
+  // freshly opened path immediately lower the aggregate.
+  double inv_sum = 0;
+  for (const Msp& p : paths) {
+    if (p.latency > 0) inv_sum += 1.0 / p.latency;
+  }
+  mp_latency = inv_sum > 0 ? 1.0 / inv_sum : 0.0;
+}
+
+void Metapath::note_flows(const std::vector<ContendingFlow>& flows,
+                          std::size_t cap) {
+  for (const ContendingFlow& f : flows) {
+    auto it = std::find(recent_flows.begin(), recent_flows.end(), f);
+    if (it != recent_flows.end()) {
+      // Move to front: most recently reported flows define the current
+      // congestion situation.
+      std::rotate(recent_flows.begin(), it, it + 1);
+      continue;
+    }
+    recent_flows.insert(recent_flows.begin(), f);
+    if (recent_flows.size() > cap) recent_flows.resize(cap);
+  }
+}
+
+void Metapath::note_sample(SimTime when, SimTime latency) {
+  if (samples.size() >= kTrendWindow) {
+    samples.erase(samples.begin());
+  }
+  samples.emplace_back(when, latency);
+}
+
+double Metapath::latency_trend() const {
+  if (samples.size() < 3) return 0.0;
+  // Ordinary least squares on the (time, latency) window.
+  double st = 0;
+  double sl = 0;
+  for (const auto& [t, l] : samples) {
+    st += t;
+    sl += l;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mt = st / n;
+  const double ml = sl / n;
+  double num = 0;
+  double den = 0;
+  for (const auto& [t, l] : samples) {
+    num += (t - mt) * (l - ml);
+    den += (t - mt) * (t - mt);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+bool Metapath::has_route(const MspCandidate& c) const {
+  return std::any_of(paths.begin(), paths.end(),
+                     [&](const Msp& p) { return p.same_route(c); });
+}
+
+}  // namespace prdrb

@@ -1,0 +1,100 @@
+// Metapath data structures (thesis §3.2.3–3.2.5).
+//
+// A *multi-step path* (MSP, Eq. 3.1) is the concatenation of minimal
+// segments through up to two intermediate nodes. A *metapath* (MP) is the
+// set of MSPs currently open between one source/destination pair; its
+// aggregate latency (Eq. 3.4) is the inverse of the summed inverse path
+// latencies — i.e. the combined "capacity" of the open paths — and is
+// compared against Threshold_High / Threshold_Low to drive path expansion,
+// maintenance or contraction. The thresholds induce the Low / Medium / High
+// zones (Eq. 3.5, Fig. 3.9) whose transitions trigger the predictive
+// procedures in PR-DRB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "util/types.hpp"
+
+namespace prdrb {
+
+/// One open multi-step path with its latency estimate (EWMA over the
+/// end-to-end latencies reported by ACKs for messages sent on it).
+struct Msp {
+  NodeId in1 = kInvalidNode;
+  NodeId in2 = kInvalidNode;
+  SimTime latency = 0;
+  std::uint64_t acks = 0;
+
+  bool direct() const { return in1 == kInvalidNode && in2 == kInvalidNode; }
+  bool same_route(const MspCandidate& c) const {
+    return in1 == c.in1 && in2 == c.in2;
+  }
+};
+
+/// Latency zones defined by the two thresholds (Eq. 3.5 / Fig. 3.9).
+enum class Zone : std::uint8_t { kLow, kMedium, kHigh };
+
+const char* zone_name(Zone z);
+
+/// Classify a metapath latency against the thresholds.
+Zone classify_zone(SimTime mp_latency, SimTime threshold_low,
+                   SimTime threshold_high);
+
+struct Metapath {
+  std::vector<Msp> paths;  // paths[0] is always the direct minimal path
+
+  // Candidate-generation cursor for gradual expansion (§3.2.3: 1-hop
+  // intermediate nodes first, then 2-hop, ...).
+  int ring = 0;
+  std::vector<MspCandidate> pending;
+  std::size_t pending_next = 0;
+
+  SimTime mp_latency = 0;  // Eq. 3.4 aggregate
+  Zone zone = Zone::kLow;
+
+  // Rolling set of contending flows reported by recent notifications; the
+  // predictive layer turns this into the congestion-situation signature.
+  std::vector<ContendingFlow> recent_flows;
+
+  std::uint64_t acks_received = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t contractions = 0;
+
+  // Gradual-opening gate (§4.5.1: DRB opens "one path at a time and
+  // evaluating the effect of that path into latency values"): after an
+  // expansion the metapath waits for evidence — an ACK on the new path, or
+  // a quorum of ACKs — before opening another.
+  bool awaiting_evaluation = false;
+  int acks_since_expand = 0;
+
+  // Predictive-layer episode flag: a saved solution is applied at most once
+  // per congestion episode; the flag rearms when latency falls back to the
+  // Low zone (the inter-burst computation phase).
+  bool installed_since_low = false;
+
+  // Recent (time, latency) ACK samples for the latency-trend extension
+  // (thesis §5.2: "with enough historic latency values ... PR-DRB could
+  // predict future congestion before it actually arises").
+  static constexpr std::size_t kTrendWindow = 8;
+  std::vector<std::pair<SimTime, SimTime>> samples;
+
+  void note_sample(SimTime when, SimTime latency);
+
+  /// Least-squares latency slope over the sample window (seconds of latency
+  /// per second of time); 0 when fewer than three samples exist.
+  double latency_trend() const;
+
+  /// Recompute `mp_latency` per Eq. 3.4 over paths with a latency estimate.
+  void update_mp_latency();
+
+  /// Record contending flows from a notification (bounded, deduplicated).
+  void note_flows(const std::vector<ContendingFlow>& flows, std::size_t cap);
+
+  /// True if an equivalent MSP is already open.
+  bool has_route(const MspCandidate& c) const;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,30 @@
+#include "routing/oblivious.hpp"
+
+#include "net/network.hpp"
+
+namespace prdrb {
+
+int DeterministicPolicy::select_port(RouterId r, const Packet& p,
+                                     std::span<const int> candidates) {
+  const int idx = net_->topology().deterministic_choice(
+      r, p.source, p.destination, static_cast<int>(candidates.size()));
+  return candidates[static_cast<std::size_t>(idx)];
+}
+
+int RandomPolicy::select_port(RouterId, const Packet&,
+                              std::span<const int> candidates) {
+  return candidates[static_cast<std::size_t>(rng_.next_below(candidates.size()))];
+}
+
+int CyclicPolicy::select_port(RouterId r, const Packet& p,
+                              std::span<const int> candidates) {
+  const auto n = static_cast<int>(candidates.size());
+  const int base = net_->topology().deterministic_choice(
+      r, p.source, p.destination, n);
+  const auto phase =
+      static_cast<std::uint64_t>(net_->simulator().now() / period_);
+  return candidates[static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(base) + phase) % static_cast<std::uint64_t>(n))];
+}
+
+}  // namespace prdrb

@@ -1,0 +1,50 @@
+// Oblivious hop policies (thesis §2.1.4 taxonomy; used as baselines in the
+// POP evaluation, §4.8.4): Deterministic, Random and Cyclic-priority.
+// None of them consults network state or uses multi-step paths.
+#pragma once
+
+#include <vector>
+
+#include "routing/policy.hpp"
+#include "util/random.hpp"
+
+namespace prdrb {
+
+/// Always the same minimal path per source/destination pair: XY order on the
+/// mesh, destination-digit up-port selection on the fat-tree.
+class DeterministicPolicy final : public RoutingPolicy {
+ public:
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  std::string name() const override { return "deterministic"; }
+};
+
+/// Uniformly random choice among the minimal ports at every hop.
+class RandomPolicy final : public RoutingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Cyclic periodic routing (the thesis' POP baseline, §4.8.4): an oblivious
+/// scheme whose per-pair deterministic choice rotates over the minimal
+/// candidates once per (coarse) period. Within a period it behaves like
+/// Deterministic — whole flows keep colliding until the next rotation — so
+/// it shifts hot spots around instead of dissolving them.
+class CyclicPolicy final : public RoutingPolicy {
+ public:
+  explicit CyclicPolicy(SimTime period = 1e-3) : period_(period) {}
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  std::string name() const override { return "cyclic"; }
+
+ private:
+  SimTime period_;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,4 @@
+#include "routing/policy.hpp"
+
+// RoutingPolicy is an interface; concrete policies live in oblivious.cpp,
+// adaptive.cpp, drb.cpp, fr_drb.cpp and core/pr_drb.cpp.

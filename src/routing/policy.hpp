@@ -1,0 +1,67 @@
+// Routing-policy interface.
+//
+// A policy has two halves, mirroring the thesis architecture:
+//  * a router-side hop decision (`select_port`) — the Routing & Arbitration
+//    unit choosing among the minimal output ports at each hop; and
+//  * a source-side path decision (`choose_path` / `on_ack`) — the DRB-family
+//    metapath machinery living at the processing nodes, driven by the ACK
+//    notification stream (§3.2).
+// Oblivious policies implement only the first half.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace prdrb {
+
+class Network;
+
+/// Multi-step path selected for a message at injection time (§3.2.6).
+struct PathChoice {
+  NodeId in1 = kInvalidNode;
+  NodeId in2 = kInvalidNode;
+  std::int32_t msp_index = -1;  // index within the source's metapath
+
+  bool direct() const { return in1 == kInvalidNode && in2 == kInvalidNode; }
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Bind the policy to a network. Called once by Network's constructor.
+  virtual void attach(Network& net) { net_ = &net; }
+
+  /// Hop decision: pick one of `candidates` (minimal output ports at router
+  /// `r` for packet `p`). Must return an element of `candidates`.
+  virtual int select_port(RouterId r, const Packet& p,
+                          std::span<const int> candidates) = 0;
+
+  /// Source decision: multi-step path for a new message src->dst.
+  virtual PathChoice choose_path(NodeId /*src*/, NodeId /*dst*/,
+                                 SimTime /*now*/) {
+    return {};
+  }
+
+  /// A notification (ACK or predictive ACK) reached terminal `at`.
+  virtual void on_ack(NodeId /*at*/, const Packet& /*ack*/, SimTime /*now*/) {}
+
+  /// A message was handed to the NIC for injection (FR-DRB arms its
+  /// watchdog here).
+  virtual void on_message_sent(NodeId /*src*/, NodeId /*dst*/,
+                               std::uint64_t /*message_id*/,
+                               const PathChoice& /*path*/, SimTime /*now*/) {}
+
+  /// Whether destinations should emit latency ACKs for this policy.
+  virtual bool wants_acks() const { return false; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  Network* net_ = nullptr;
+};
+
+}  // namespace prdrb

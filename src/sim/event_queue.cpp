@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace prdrb {
+
+EventId EventQueue::schedule(SimTime when, Action action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::purge_top() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() {
+  purge_top();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  purge_top();
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  purge_top();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return Fired{e.time, std::move(e.action)};
+}
+
+}  // namespace prdrb

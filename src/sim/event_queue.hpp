@@ -1,0 +1,72 @@
+// Pending-event set for the discrete-event kernel.
+//
+// The queue is a binary heap keyed by (time, sequence). The monotonically
+// increasing sequence number makes simultaneous events fire in scheduling
+// order, which keeps every run bit-for-bit reproducible for a given seed —
+// the property the evaluation methodology (thesis §4.3) relies on when
+// averaging repeated runs.
+//
+// Cancellation is lazy (tombstone set): FR-DRB arms a watchdog per in-flight
+// message and cancels it when the ACK arrives, so cancel must be O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+/// Opaque handle used to cancel a scheduled event (e.g. FR-DRB watchdogs).
+/// Id 0 is never issued and may be used as a "no event" sentinel.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when`. Returns a cancellation id.
+  EventId schedule(SimTime when, Action action);
+
+  /// Lazily cancel a pending event. The caller must not cancel an event that
+  /// has already fired (callers track their own pending handles); cancelling
+  /// twice is a no-op.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty();
+
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  SimTime next_time();
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    Action action;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Action action;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  /// Remove cancelled entries sitting at the top of the heap.
+  void purge_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,45 @@
+// Discrete-event simulator clock and run loop.
+//
+// This replaces the OPNET Modeler engine used in the thesis: components
+// schedule callbacks (state-machine transitions) on a shared queue, and the
+// kernel advances virtual time from event to event.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace prdrb {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule an action `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, EventQueue::Action action);
+
+  /// Schedule an action at an absolute time (>= now()).
+  EventId schedule_at(SimTime when, EventQueue::Action action);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run events until the queue drains or `horizon` is reached (exclusive).
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime horizon = kTimeInfinity);
+
+  /// Run until the queue drains completely.
+  std::uint64_t run() { return run_until(kTimeInfinity); }
+
+  /// True when no live events remain.
+  bool idle() { return queue_.empty(); }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace prdrb

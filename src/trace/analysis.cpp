@@ -1,0 +1,198 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "trace/collectives.hpp"
+
+namespace prdrb {
+
+CommMatrix::CommMatrix(int ranks)
+    : ranks_(ranks),
+      cells_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks), 0) {}
+
+void CommMatrix::add(int src, int dst, std::int64_t bytes) {
+  assert(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
+  cells_[static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
+         static_cast<std::size_t>(dst)] += bytes;
+}
+
+std::int64_t CommMatrix::volume(int src, int dst) const {
+  return cells_[static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
+                static_cast<std::size_t>(dst)];
+}
+
+std::int64_t CommMatrix::total_volume() const {
+  std::int64_t sum = 0;
+  for (std::int64_t v : cells_) sum += v;
+  return sum;
+}
+
+int CommMatrix::tdc(int rank) const {
+  int n = 0;
+  for (int d = 0; d < ranks_; ++d) {
+    if (d != rank && volume(rank, d) > 0) ++n;
+  }
+  return n;
+}
+
+double CommMatrix::avg_tdc() const {
+  double sum = 0;
+  for (int r = 0; r < ranks_; ++r) sum += tdc(r);
+  return ranks_ ? sum / ranks_ : 0.0;
+}
+
+int CommMatrix::max_tdc() const {
+  int best = 0;
+  for (int r = 0; r < ranks_; ++r) best = std::max(best, tdc(r));
+  return best;
+}
+
+CommMatrix CommMatrix::from_program(const TraceProgram& prog,
+                                    bool expand_collectives) {
+  CommMatrix m(prog.ranks());
+  for (int r = 0; r < prog.ranks(); ++r) {
+    std::int32_t seq = 0;
+    for (const TraceEvent& e : prog.events(r)) {
+      switch (e.op) {
+        case TraceOp::kSend:
+        case TraceOp::kIsend:
+          if (e.peer != r) m.add(r, e.peer, e.bytes);
+          break;
+        case TraceOp::kBcast:
+        case TraceOp::kReduce:
+        case TraceOp::kAllreduce:
+        case TraceOp::kBarrier: {
+          const std::int32_t this_seq = seq++;
+          if (!expand_collectives) break;
+          for (const TraceEvent& op :
+               expand_collective(e, r, prog.ranks(), this_seq)) {
+            if ((op.op == TraceOp::kSend || op.op == TraceOp::kIsend) &&
+                op.peer != r) {
+              m.add(r, op.peer, op.bytes);
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return m;
+}
+
+PhaseStats phase_stats(const TraceProgram& prog, int relevant_threshold) {
+  PhaseStats stats;
+  // Phase structure is SPMD: rank 0's markers represent the execution.
+  for (const TraceEvent& e : prog.events(0)) {
+    if (e.op == TraceOp::kPhase) ++stats.repetitions[e.tag];
+  }
+  stats.total_phases = static_cast<int>(stats.repetitions.size());
+  for (const auto& [id, count] : stats.repetitions) {
+    if (count >= relevant_threshold) {
+      ++stats.relevant_phases;
+      stats.total_weight += count;
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Hash sequence of the communication events of one rank. Computation
+/// lengths vary between phases that communicate identically; it is the
+/// communication pattern the router would recognize, so only (op, peer,
+/// bytes) enter the signature. Tags carry iteration counters and are
+/// excluded for the same reason.
+std::vector<std::uint64_t> comm_hash_sequence(const TraceProgram& prog,
+                                              int rank) {
+  std::vector<std::uint64_t> out;
+  for (const TraceEvent& e : prog.events(rank)) {
+    if (e.op == TraceOp::kCompute || e.op == TraceOp::kPhase) continue;
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(e.op));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.peer)));
+    mix(static_cast<std::uint64_t>(e.bytes));
+    out.push_back(h);
+  }
+  return out;
+}
+
+DetectedPhases detect_with_window(const std::vector<std::uint64_t>& hashes,
+                                  int window) {
+  DetectedPhases out;
+  if (window <= 0 || static_cast<int>(hashes.size()) < window) return out;
+  std::unordered_map<std::uint64_t, std::int64_t> counts;
+  for (std::size_t i = 0;
+       i + static_cast<std::size_t>(window) <= hashes.size();
+       i += static_cast<std::size_t>(window)) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (int j = 0; j < window; ++j) {
+      h ^= hashes[i + static_cast<std::size_t>(j)] *
+           (static_cast<std::uint64_t>(j) * 2 + 1);
+      h *= 1099511628211ull;
+    }
+    ++counts[h];
+    ++out.windows;
+  }
+  out.distinct_signatures = static_cast<int>(counts.size());
+  for (const auto& [h, c] : counts) {
+    out.max_repeat = std::max(out.max_repeat, c);
+  }
+  out.repetitiveness =
+      out.windows ? 1.0 - static_cast<double>(out.distinct_signatures) /
+                              static_cast<double>(out.windows)
+                  : 0.0;
+  return out;
+}
+
+}  // namespace
+
+TraceProgram extract_phase(const TraceProgram& prog, std::int32_t phase_id,
+                           int occurrences) {
+  TraceProgram out(prog.app_name() + "-phase" + std::to_string(phase_id),
+                   prog.ranks());
+  for (int r = 0; r < prog.ranks(); ++r) {
+    bool inside = false;
+    int seen = 0;
+    for (const TraceEvent& e : prog.events(r)) {
+      if (e.op == TraceOp::kPhase) {
+        if (e.tag == phase_id) {
+          inside = occurrences <= 0 || seen < occurrences;
+          if (inside) ++seen;
+        } else {
+          inside = false;
+        }
+        continue;  // markers themselves are not replayed
+      }
+      if (inside) out.add(r, e);
+    }
+  }
+  return out;
+}
+
+DetectedPhases detect_phases(const TraceProgram& prog, int window, int rank) {
+  const auto hashes = comm_hash_sequence(prog, rank);
+  if (window > 0) return detect_with_window(hashes, window);
+  // Auto mode: the application's iteration-body length is unknown, so scan
+  // candidate window sizes and keep the most repetitive tiling that still
+  // yields several windows. Ties prefer larger windows (coarser phases).
+  DetectedPhases best;
+  const int max_window =
+      std::min(512, static_cast<int>(hashes.size()) / 3);
+  for (int w = 2; w <= max_window; ++w) {
+    const DetectedPhases d = detect_with_window(hashes, w);
+    if (d.windows >= 3 && d.repetitiveness >= best.repetitiveness) {
+      best = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace prdrb

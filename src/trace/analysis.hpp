@@ -1,0 +1,80 @@
+// Application-analysis framework (thesis §2.2.6 and §4.7): communication
+// matrices, topological degree of communication (TDC), and phase /
+// repetitiveness detection à la PAS2P.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/program.hpp"
+
+namespace prdrb {
+
+/// Rank-by-rank communication volume (the matrices of Figs. 2.10-2.13).
+class CommMatrix {
+ public:
+  explicit CommMatrix(int ranks);
+
+  void add(int src, int dst, std::int64_t bytes);
+
+  std::int64_t volume(int src, int dst) const;
+  std::int64_t total_volume() const;
+
+  /// Topological degree of communication of one rank: number of distinct
+  /// destinations it sends to.
+  int tdc(int rank) const;
+  double avg_tdc() const;
+  int max_tdc() const;
+
+  int ranks() const { return ranks_; }
+
+  /// Build from a trace. Collectives are expanded into their point-to-point
+  /// patterns so the matrix reflects the traffic that actually hits the
+  /// network (set `expand_collectives` false to count only explicit p2p).
+  static CommMatrix from_program(const TraceProgram& prog,
+                                 bool expand_collectives = true);
+
+ private:
+  int ranks_;
+  std::vector<std::int64_t> cells_;  // row-major ranks x ranks
+};
+
+/// Phase statistics from the generators' phase markers (Table 2.2 columns:
+/// total phases, relevant phases, weight).
+struct PhaseStats {
+  int total_phases = 0;       // distinct phase ids seen
+  int relevant_phases = 0;    // ids repeated at least `relevant_threshold`
+  std::int64_t total_weight = 0;  // sum of repetitions of relevant phases
+  std::map<std::int32_t, std::int64_t> repetitions;  // id -> occurrences
+};
+
+PhaseStats phase_stats(const TraceProgram& prog, int relevant_threshold = 2);
+
+/// Structural phase detection without markers: hash fixed-size windows of
+/// rank-0 communication events and count repeated signatures — the
+/// "signature to identify relevant parts of applications" idea of §2.2.2.
+struct DetectedPhases {
+  int windows = 0;             // windows analyzed
+  int distinct_signatures = 0; // unique communication-window signatures
+  std::int64_t max_repeat = 0; // occurrences of the most repeated signature
+  double repetitiveness = 0;   // 1 - distinct/windows (0 = all unique)
+};
+
+/// `window` <= 0 selects the window size automatically: candidate sizes are
+/// scanned and the one maximizing repetitiveness wins — recovering the
+/// application's natural iteration-body length.
+DetectedPhases detect_phases(const TraceProgram& prog, int window = 0,
+                             int rank = 0);
+
+/// Extract one phase as a standalone, replayable trace (thesis §4.7.2:
+/// "only those relevant phases could be executed and analyzed"). The result
+/// contains, per rank, every event between markers of `phase_id` and the
+/// next different marker, repeated `occurrences` times (<= 0 = all).
+/// Cross-phase request handles are preserved because extraction keeps each
+/// rank's events in order and whole phase bodies are self-contained in the
+/// provided generators.
+TraceProgram extract_phase(const TraceProgram& prog, std::int32_t phase_id,
+                           int occurrences = -1);
+
+}  // namespace prdrb

@@ -1,0 +1,128 @@
+#include "trace/collectives.hpp"
+
+#include <cassert>
+
+namespace prdrb {
+
+namespace {
+
+int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int ctz(int v) {
+  assert(v != 0);
+  int k = 0;
+  while (!(v & (1 << k))) ++k;
+  return k;
+}
+
+/// Tag for round `round` of collective instance `seq`; both endpoints of a
+/// round derive the same value. Rounds 0..31 serve the "up" phase and
+/// 32..63 the "down" phase of composed collectives.
+std::int32_t round_tag(std::int32_t seq, int round) {
+  return kCollectiveTagBase + (seq % (1 << 18)) * 64 + round;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> expand_bcast(int rank, int nranks, int root,
+                                     std::int64_t bytes, std::int32_t seq) {
+  std::vector<TraceEvent> ops;
+  const int vr = (rank - root + nranks) % nranks;
+  const int rounds = ceil_log2(nranks);
+  auto real = [&](int v) { return (v + root) % nranks; };
+  if (vr != 0) {
+    // Receive from the binomial parent in the round given by vr's highest
+    // set bit.
+    int k = 0;
+    while ((1 << (k + 1)) <= vr) ++k;
+    ops.push_back(TraceEvent::recv(real(vr - (1 << k)), round_tag(seq, k)));
+  }
+  for (int k = 0; k < rounds; ++k) {
+    if (vr < (1 << k) && vr + (1 << k) < nranks) {
+      ops.push_back(
+          TraceEvent::send(real(vr + (1 << k)), bytes, round_tag(seq, k)));
+    }
+  }
+  return ops;
+}
+
+std::vector<TraceEvent> expand_reduce(int rank, int nranks, int root,
+                                      std::int64_t bytes, std::int32_t seq) {
+  std::vector<TraceEvent> ops;
+  const int vr = (rank - root + nranks) % nranks;
+  const int rounds = ceil_log2(nranks);
+  auto real = [&](int v) { return (v + root) % nranks; };
+  const int myk = (vr == 0) ? rounds : ctz(vr);
+  for (int j = 0; j < myk; ++j) {
+    if (vr + (1 << j) < nranks) {
+      ops.push_back(
+          TraceEvent::recv(real(vr + (1 << j)), round_tag(seq, 32 + j)));
+    }
+  }
+  if (vr != 0) {
+    ops.push_back(TraceEvent::send(real(vr - (1 << myk)), bytes,
+                                   round_tag(seq, 32 + myk)));
+  }
+  return ops;
+}
+
+std::vector<TraceEvent> expand_allreduce(int rank, int nranks,
+                                         std::int64_t bytes,
+                                         std::int32_t seq) {
+  std::vector<TraceEvent> ops;
+  if (is_pow2(nranks)) {
+    // Recursive doubling: log2(n) rounds of pairwise exchange.
+    const int rounds = ceil_log2(nranks);
+    for (int k = 0; k < rounds; ++k) {
+      const int partner = rank ^ (1 << k);
+      ops.push_back(TraceEvent::send(partner, bytes, round_tag(seq, k)));
+      ops.push_back(TraceEvent::recv(partner, round_tag(seq, k)));
+    }
+    return ops;
+  }
+  // General case: reduce to rank 0, then broadcast.
+  auto up = expand_reduce(rank, nranks, 0, bytes, seq);
+  auto down = expand_bcast(rank, nranks, 0, bytes, seq);
+  ops.insert(ops.end(), up.begin(), up.end());
+  ops.insert(ops.end(), down.begin(), down.end());
+  return ops;
+}
+
+std::vector<TraceEvent> expand_barrier(int rank, int nranks,
+                                       std::int32_t seq) {
+  // Dissemination barrier: works for any rank count.
+  std::vector<TraceEvent> ops;
+  const int rounds = ceil_log2(nranks);
+  for (int k = 0; k < rounds; ++k) {
+    const int to = (rank + (1 << k)) % nranks;
+    const int from = (rank - (1 << k) + nranks) % nranks;
+    ops.push_back(TraceEvent::send(to, 8, round_tag(seq, k)));
+    ops.push_back(TraceEvent::recv(from, round_tag(seq, k)));
+  }
+  return ops;
+}
+
+std::vector<TraceEvent> expand_collective(const TraceEvent& e, int rank,
+                                          int nranks, std::int32_t seq) {
+  switch (e.op) {
+    case TraceOp::kBcast:
+      return expand_bcast(rank, nranks, e.root, e.bytes, seq);
+    case TraceOp::kReduce:
+      return expand_reduce(rank, nranks, e.root, e.bytes, seq);
+    case TraceOp::kAllreduce:
+      return expand_allreduce(rank, nranks, e.bytes, seq);
+    case TraceOp::kBarrier:
+      return expand_barrier(rank, nranks, seq);
+    default:
+      assert(false && "not a collective");
+      return {};
+  }
+}
+
+}  // namespace prdrb

@@ -1,0 +1,40 @@
+// Point-to-point expansion of collective operations.
+//
+// Collectives are executed over the simulated network as the message
+// patterns real MPI libraries use, so an Allreduce-heavy application (POP,
+// LAMMPS — thesis Table 2.1) injects the corresponding contention:
+//   Bcast / Reduce : binomial tree rooted at `root`;
+//   Allreduce      : recursive doubling (power-of-two rank counts) or
+//                    reduce-to-0 + broadcast otherwise;
+//   Barrier        : dissemination (log2 rounds of token exchange).
+// Tags are derived from the per-rank collective sequence number, which is
+// identical across ranks in SPMD traces.
+#pragma once
+
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace prdrb {
+
+/// Tag space reserved for expanded collectives (generators must keep p2p
+/// tags below this value).
+inline constexpr std::int32_t kCollectiveTagBase = 1 << 24;
+
+/// Micro-ops (`kSend`/`kRecv` only) that rank `rank` of `nranks` executes
+/// for one collective with per-message payload `bytes`.
+std::vector<TraceEvent> expand_bcast(int rank, int nranks, int root,
+                                     std::int64_t bytes, std::int32_t seq);
+std::vector<TraceEvent> expand_reduce(int rank, int nranks, int root,
+                                      std::int64_t bytes, std::int32_t seq);
+std::vector<TraceEvent> expand_allreduce(int rank, int nranks,
+                                         std::int64_t bytes,
+                                         std::int32_t seq);
+std::vector<TraceEvent> expand_barrier(int rank, int nranks,
+                                       std::int32_t seq);
+
+/// Dispatcher used by the player.
+std::vector<TraceEvent> expand_collective(const TraceEvent& e, int rank,
+                                          int nranks, std::int32_t seq);
+
+}  // namespace prdrb

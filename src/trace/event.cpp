@@ -1,0 +1,152 @@
+#include "trace/event.hpp"
+
+namespace prdrb {
+
+TraceEvent TraceEvent::compute(double seconds) {
+  TraceEvent e;
+  e.op = TraceOp::kCompute;
+  e.seconds = seconds;
+  return e;
+}
+
+TraceEvent TraceEvent::send(std::int32_t peer, std::int64_t bytes,
+                            std::int32_t tag) {
+  TraceEvent e;
+  e.op = TraceOp::kSend;
+  e.peer = peer;
+  e.bytes = bytes;
+  e.tag = tag;
+  return e;
+}
+
+TraceEvent TraceEvent::isend(std::int32_t peer, std::int64_t bytes,
+                             std::int32_t tag) {
+  TraceEvent e = send(peer, bytes, tag);
+  e.op = TraceOp::kIsend;
+  return e;
+}
+
+TraceEvent TraceEvent::recv(std::int32_t peer, std::int32_t tag) {
+  TraceEvent e;
+  e.op = TraceOp::kRecv;
+  e.peer = peer;
+  e.tag = tag;
+  return e;
+}
+
+TraceEvent TraceEvent::irecv(std::int32_t peer, std::int32_t tag,
+                             std::int32_t request) {
+  TraceEvent e = recv(peer, tag);
+  e.op = TraceOp::kIrecv;
+  e.request = request;
+  return e;
+}
+
+TraceEvent TraceEvent::wait(std::int32_t request) {
+  TraceEvent e;
+  e.op = TraceOp::kWait;
+  e.request = request;
+  return e;
+}
+
+TraceEvent TraceEvent::waitall() {
+  TraceEvent e;
+  e.op = TraceOp::kWaitall;
+  return e;
+}
+
+TraceEvent TraceEvent::bcast(std::int32_t root, std::int64_t bytes) {
+  TraceEvent e;
+  e.op = TraceOp::kBcast;
+  e.root = root;
+  e.bytes = bytes;
+  return e;
+}
+
+TraceEvent TraceEvent::reduce(std::int32_t root, std::int64_t bytes) {
+  TraceEvent e = bcast(root, bytes);
+  e.op = TraceOp::kReduce;
+  return e;
+}
+
+TraceEvent TraceEvent::allreduce(std::int64_t bytes) {
+  TraceEvent e;
+  e.op = TraceOp::kAllreduce;
+  e.bytes = bytes;
+  return e;
+}
+
+TraceEvent TraceEvent::barrier() {
+  TraceEvent e;
+  e.op = TraceOp::kBarrier;
+  e.bytes = 8;
+  return e;
+}
+
+TraceEvent TraceEvent::phase(std::int32_t id) {
+  TraceEvent e;
+  e.op = TraceOp::kPhase;
+  e.tag = id;
+  return e;
+}
+
+MpiType mpi_type_of(TraceOp op) {
+  switch (op) {
+    case TraceOp::kSend:
+      return MpiType::kSend;
+    case TraceOp::kIsend:
+      return MpiType::kIsend;
+    case TraceOp::kRecv:
+      return MpiType::kRecv;
+    case TraceOp::kIrecv:
+      return MpiType::kIrecv;
+    case TraceOp::kWait:
+      return MpiType::kWait;
+    case TraceOp::kWaitall:
+      return MpiType::kWaitall;
+    case TraceOp::kBcast:
+      return MpiType::kBcast;
+    case TraceOp::kReduce:
+      return MpiType::kReduce;
+    case TraceOp::kAllreduce:
+      return MpiType::kAllreduce;
+    case TraceOp::kBarrier:
+      return MpiType::kBarrier;
+    case TraceOp::kCompute:
+    case TraceOp::kPhase:
+      return MpiType::kNone;
+  }
+  return MpiType::kNone;
+}
+
+const char* trace_op_name(TraceOp op) {
+  switch (op) {
+    case TraceOp::kCompute:
+      return "Compute";
+    case TraceOp::kSend:
+      return "MPI_Send";
+    case TraceOp::kIsend:
+      return "MPI_Isend";
+    case TraceOp::kRecv:
+      return "MPI_Recv";
+    case TraceOp::kIrecv:
+      return "MPI_Irecv";
+    case TraceOp::kWait:
+      return "MPI_Wait";
+    case TraceOp::kWaitall:
+      return "MPI_Waitall";
+    case TraceOp::kBcast:
+      return "MPI_Bcast";
+    case TraceOp::kReduce:
+      return "MPI_Reduce";
+    case TraceOp::kAllreduce:
+      return "MPI_Allreduce";
+    case TraceOp::kBarrier:
+      return "MPI_Barrier";
+    case TraceOp::kPhase:
+      return "Phase";
+  }
+  return "?";
+}
+
+}  // namespace prdrb

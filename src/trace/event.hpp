@@ -1,0 +1,65 @@
+// Logical-trace event model (thesis §4.7, Fig. 4.19).
+//
+// The application-characterization framework replays *logical* traces: every
+// rank executes a sequence of MPI-like events whose data dependencies (a
+// Recv cannot complete before the matching Send's message is delivered by
+// the simulated network) reproduce the application's communication
+// behaviour, including the idle time caused by network contention
+// (Fig. 2.7/2.8). "Every event has a Compute(t) event, which emulates a
+// serial computation of duration t."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace prdrb {
+
+enum class TraceOp : std::uint8_t {
+  kCompute,    // local computation for `seconds`
+  kSend,       // blocking eager send to `peer`
+  kIsend,      // non-blocking send, completes instantly (eager)
+  kRecv,       // blocking receive from `peer` with `tag`
+  kIrecv,      // post a receive request `request`
+  kWait,       // wait for request `request`
+  kWaitall,    // wait for every outstanding request of this rank
+  kBcast,      // collective: broadcast from `root`
+  kReduce,     // collective: reduce to `root`
+  kAllreduce,  // collective: allreduce
+  kBarrier,    // collective: barrier
+  kPhase,      // phase marker (id in `tag`) for the repetitiveness analysis
+};
+
+struct TraceEvent {
+  TraceOp op = TraceOp::kCompute;
+  std::int32_t peer = -1;      // p2p partner rank
+  std::int64_t bytes = 0;      // message / collective payload size
+  std::int32_t tag = 0;        // p2p tag or phase id
+  double seconds = 0;          // kCompute duration
+  std::int32_t root = 0;       // collective root
+  std::int32_t request = -1;   // kIrecv/kWait request id
+
+  static TraceEvent compute(double seconds);
+  static TraceEvent send(std::int32_t peer, std::int64_t bytes,
+                         std::int32_t tag);
+  static TraceEvent isend(std::int32_t peer, std::int64_t bytes,
+                          std::int32_t tag);
+  static TraceEvent recv(std::int32_t peer, std::int32_t tag);
+  static TraceEvent irecv(std::int32_t peer, std::int32_t tag,
+                          std::int32_t request);
+  static TraceEvent wait(std::int32_t request);
+  static TraceEvent waitall();
+  static TraceEvent bcast(std::int32_t root, std::int64_t bytes);
+  static TraceEvent reduce(std::int32_t root, std::int64_t bytes);
+  static TraceEvent allreduce(std::int64_t bytes);
+  static TraceEvent barrier();
+  static TraceEvent phase(std::int32_t id);
+};
+
+/// MPI call class of an event, for the Table 2.1 breakdown.
+MpiType mpi_type_of(TraceOp op);
+const char* trace_op_name(TraceOp op);
+
+}  // namespace prdrb

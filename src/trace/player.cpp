@@ -1,0 +1,179 @@
+#include "trace/player.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prdrb {
+
+TracePlayer::TracePlayer(Simulator& sim, Network& net,
+                         const TraceProgram& program)
+    : sim_(sim), net_(net), program_(program) {
+  assert(program.ranks() <= net.num_nodes() &&
+         "trace needs at least as many terminals as ranks");
+  ranks_.resize(static_cast<std::size_t>(program.ranks()));
+  net_.set_message_handler([this](NodeId src, NodeId dst, std::int64_t bytes,
+                                  MpiType type, std::int64_t seq,
+                                  SimTime now) {
+    on_message(src, dst, bytes, type, seq, now);
+  });
+}
+
+std::uint64_t TracePlayer::match_key(NodeId src, NodeId dst,
+                                     std::int32_t tag) {
+  // 12 bits per endpoint, 40 bits of tag, top bit set so no key is 0
+  // (0 is the "not blocked" sentinel).
+  return (1ull << 63) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 52) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) &
+          ((1ull << 40) - 1));
+}
+
+void TracePlayer::start() {
+  for (int r = 0; r < program_.ranks(); ++r) {
+    sim_.schedule_in(0, [this, r] { advance(r); });
+  }
+}
+
+bool TracePlayer::consume_or_block(int r, std::uint64_t key) {
+  auto it = arrived_.find(key);
+  if (it != arrived_.end() && it->second > 0) {
+    if (--it->second == 0) arrived_.erase(it);
+    return true;
+  }
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  st.wait_key = key;
+  st.blocked_since = sim_.now();
+  blocked_on_[key].push_back(r);
+  return false;
+}
+
+void TracePlayer::advance(int r) {
+  RankState& st = ranks_[static_cast<std::size_t>(r)];
+  if (st.done) return;
+  const auto& events = program_.events(r);
+
+  auto pop = [&](bool from_micro) {
+    if (from_micro) {
+      st.micro.pop_front();
+    } else {
+      ++st.pc;
+    }
+  };
+
+  while (true) {
+    const TraceEvent* e = nullptr;
+    bool from_micro = false;
+    if (!st.micro.empty()) {
+      e = &st.micro.front();
+      from_micro = true;
+    } else if (st.pc < events.size()) {
+      e = &events[st.pc];
+    } else {
+      st.done = true;
+      st.finish = sim_.now();
+      ++finished_ranks_;
+      finish_time_ = std::max(finish_time_, st.finish);
+      return;
+    }
+
+    switch (e->op) {
+      case TraceOp::kCompute: {
+        const double s = e->seconds;
+        pop(from_micro);
+        if (s > 0) {
+          sim_.schedule_in(s, [this, r] { advance(r); });
+          return;
+        }
+        break;
+      }
+      case TraceOp::kPhase:
+        pop(from_micro);
+        break;
+      case TraceOp::kSend:
+      case TraceOp::kIsend: {
+        net_.send_message(r, e->peer, e->bytes, mpi_type_of(e->op), e->tag);
+        ++messages_sent_;
+        pop(from_micro);
+        break;
+      }
+      case TraceOp::kIrecv: {
+        st.outstanding[e->request] = match_key(e->peer, r, e->tag);
+        pop(from_micro);
+        break;
+      }
+      case TraceOp::kRecv: {
+        const std::uint64_t key = match_key(e->peer, r, e->tag);
+        if (!consume_or_block(r, key)) return;
+        pop(from_micro);
+        break;
+      }
+      case TraceOp::kWait: {
+        auto it = st.outstanding.find(e->request);
+        if (it == st.outstanding.end()) {
+          pop(from_micro);  // request unknown or already completed
+          break;
+        }
+        const std::uint64_t key = it->second;
+        if (!consume_or_block(r, key)) return;
+        st.outstanding.erase(it);
+        pop(from_micro);
+        break;
+      }
+      case TraceOp::kWaitall: {
+        bool blocked = false;
+        for (auto it = st.outstanding.begin();
+             it != st.outstanding.end();) {
+          if (consume_or_block(r, it->second)) {
+            it = st.outstanding.erase(it);
+          } else {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) return;
+        pop(from_micro);
+        break;
+      }
+      case TraceOp::kBcast:
+      case TraceOp::kReduce:
+      case TraceOp::kAllreduce:
+      case TraceOp::kBarrier: {
+        assert(!from_micro && "collectives cannot nest");
+        const auto ops = expand_collective(*e, r, program_.ranks(),
+                                           st.collective_seq++);
+        pop(from_micro);
+        for (auto rit = ops.rbegin(); rit != ops.rend(); ++rit) {
+          st.micro.push_front(*rit);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void TracePlayer::on_message(NodeId src, NodeId dst, std::int64_t /*bytes*/,
+                             MpiType /*type*/, std::int64_t seq,
+                             SimTime now) {
+  const std::uint64_t key = match_key(src, dst, static_cast<std::int32_t>(seq));
+  // Record the arrival first; a woken rank re-executes its blocking event
+  // and consumes it through the normal matching path.
+  ++arrived_[key];
+  auto bit = blocked_on_.find(key);
+  if (bit != blocked_on_.end() && !bit->second.empty()) {
+    const int r = bit->second.front();
+    bit->second.erase(bit->second.begin());
+    if (bit->second.empty()) blocked_on_.erase(bit);
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    assert(st.wait_key == key);
+    st.total_blocked += now - st.blocked_since;
+    st.wait_key = 0;
+    unblock(r);
+  }
+}
+
+void TracePlayer::unblock(int r) {
+  advance(r);
+}
+
+}  // namespace prdrb

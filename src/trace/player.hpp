@@ -1,0 +1,100 @@
+// TracePlayer: dependency-driven replay of a logical trace over the
+// simulated network (thesis §4.7.1: "each node in the network will read an
+// input trace file and will simulate the events").
+//
+// Every rank advances through its event list; Compute advances its local
+// clock, sends inject real messages, receives block until the matching
+// message is delivered by the network, and collectives expand into their
+// point-to-point message patterns on the fly. Global execution time — the
+// application-level metric of §4.8 — is the instant the last rank finishes,
+// and per-rank blocked time exposes the communication imbalance of Fig. 2.7.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "trace/collectives.hpp"
+#include "trace/program.hpp"
+
+namespace prdrb {
+
+class TracePlayer {
+ public:
+  /// The player installs itself as the network's message handler.
+  TracePlayer(Simulator& sim, Network& net, const TraceProgram& program);
+
+  /// Begin executing every rank at the current simulation time.
+  void start();
+
+  bool finished() const { return finished_ranks_ == program_.ranks(); }
+
+  /// Time the last rank completed (valid once finished()).
+  SimTime execution_time() const { return finish_time_; }
+
+  SimTime rank_finish(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].finish;
+  }
+
+  /// Total time rank spent blocked in Recv/Wait (the red bars of Fig. 2.7).
+  SimTime rank_blocked(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)].total_blocked;
+  }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct RankState {
+    std::size_t pc = 0;                 // cursor into the trace event list
+    std::deque<TraceEvent> micro;       // expansion of the current collective
+    std::int32_t collective_seq = 0;    // SPMD-consistent instance counter
+    std::int32_t next_auto_tag = 0;     // p2p sequence numbering
+
+    bool running = false;   // an advance() is scheduled / in progress
+    bool done = false;
+    std::uint64_t wait_key = 0;  // match key this rank is blocked on (0=none)
+
+    // Outstanding Irecv requests: request id -> match key.
+    std::unordered_map<std::int32_t, std::uint64_t> outstanding;
+
+    SimTime blocked_since = 0;
+    SimTime total_blocked = 0;
+    SimTime finish = 0;
+  };
+
+  static std::uint64_t match_key(NodeId src, NodeId dst, std::int32_t tag);
+
+  /// Run rank `r` until it blocks or its trace is exhausted.
+  void advance(int r);
+
+  /// Execute one event; returns false if the rank blocked on it.
+  bool execute(int r, const TraceEvent& e);
+
+  /// Try to consume an arrived message for `key`; registers a block when
+  /// none is available.
+  bool consume_or_block(int r, std::uint64_t key);
+
+  void on_message(NodeId src, NodeId dst, std::int64_t bytes, MpiType type,
+                  std::int64_t seq, SimTime now);
+
+  void unblock(int r);
+
+  Simulator& sim_;
+  Network& net_;
+  const TraceProgram& program_;
+  std::vector<RankState> ranks_;
+
+  // Delivered-but-unconsumed message counts per match key.
+  std::unordered_map<std::uint64_t, std::uint32_t> arrived_;
+  // Ranks blocked per match key (at most one rank can block per key in
+  // well-formed SPMD traces, but keep a list for robustness).
+  std::unordered_map<std::uint64_t, std::vector<int>> blocked_on_;
+
+  int finished_ranks_ = 0;
+  SimTime finish_time_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,93 @@
+#include "trace/program.hpp"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace prdrb {
+
+TraceProgram::TraceProgram(std::string app_name, int ranks)
+    : app_name_(std::move(app_name)),
+      per_rank_(static_cast<std::size_t>(ranks)) {
+  assert(ranks > 0);
+}
+
+void TraceProgram::add(int rank, TraceEvent e) {
+  assert(rank >= 0 && rank < ranks());
+  per_rank_[static_cast<std::size_t>(rank)].push_back(e);
+}
+
+std::size_t TraceProgram::total_events() const {
+  std::size_t n = 0;
+  for (const auto& v : per_rank_) n += v.size();
+  return n;
+}
+
+void TraceProgram::export_text(std::ostream& os) const {
+  // Header, then one line per event:
+  //   <op> <rank> <peer> <bytes> <tag> <seconds> <root> <request>
+  os << "prdrb-trace 1 " << ranks() << ' ' << app_name_ << '\n';
+  for (int r = 0; r < ranks(); ++r) {
+    const auto& evs = per_rank_[static_cast<std::size_t>(r)];
+    os << "rank " << r << ' ' << evs.size() << '\n';
+    for (const TraceEvent& e : evs) {
+      os << static_cast<int>(e.op) << ' ' << e.peer << ' ' << e.bytes << ' '
+         << e.tag << ' ' << e.seconds << ' ' << e.root << ' ' << e.request
+         << '\n';
+    }
+  }
+}
+
+TraceProgram TraceProgram::import_text(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  int ranks = 0;
+  std::string app;
+  if (!(is >> magic >> version >> ranks >> app) || magic != "prdrb-trace" ||
+      version != 1 || ranks <= 0) {
+    throw std::runtime_error("trace file: bad header");
+  }
+  TraceProgram prog(app, ranks);
+  for (int r = 0; r < ranks; ++r) {
+    std::string kw;
+    int rank = -1;
+    std::size_t count = 0;
+    if (!(is >> kw >> rank >> count) || kw != "rank" || rank != r) {
+      throw std::runtime_error("trace file: bad rank header");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      int op = 0;
+      TraceEvent e;
+      if (!(is >> op >> e.peer >> e.bytes >> e.tag >> e.seconds >> e.root >>
+            e.request)) {
+        throw std::runtime_error("trace file: truncated event list");
+      }
+      if (op < 0 || op > static_cast<int>(TraceOp::kPhase)) {
+        throw std::runtime_error("trace file: unknown op");
+      }
+      e.op = static_cast<TraceOp>(op);
+      prog.add(r, e);
+    }
+  }
+  return prog;
+}
+
+std::map<std::string, double> TraceProgram::call_breakdown() const {
+  std::map<std::string, std::size_t> counts;
+  std::size_t total = 0;
+  for (const auto& v : per_rank_) {
+    for (const TraceEvent& e : v) {
+      if (e.op == TraceOp::kCompute || e.op == TraceOp::kPhase) continue;
+      ++counts[trace_op_name(e.op)];
+      ++total;
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counts) {
+    out[name] = total ? 100.0 * static_cast<double>(c) / static_cast<double>(total) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace prdrb

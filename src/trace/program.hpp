@@ -1,0 +1,50 @@
+// TraceProgram: a per-rank list of trace events — the logical trace that the
+// characterization framework extracts from an application run (thesis §4.7)
+// and that the trace player replays over the simulated network.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace prdrb {
+
+class TraceProgram {
+ public:
+  TraceProgram(std::string app_name, int ranks);
+
+  int ranks() const { return static_cast<int>(per_rank_.size()); }
+  const std::string& app_name() const { return app_name_; }
+
+  void add(int rank, TraceEvent e);
+  const std::vector<TraceEvent>& events(int rank) const {
+    return per_rank_[static_cast<std::size_t>(rank)];
+  }
+
+  std::size_t total_events() const;
+
+  /// Breakdown of MPI communication calls as percentages of communication /
+  /// synchronization events (thesis Table 2.1). Compute and phase markers
+  /// are excluded, matching the table's scope.
+  std::map<std::string, double> call_breakdown() const;
+
+  // --- trace files (§4.7.1: "a trace file is then obtained from an
+  //     application execution ... each node will read an input trace
+  //     file") ---
+
+  /// Line-oriented text serialization.
+  void export_text(std::ostream& os) const;
+
+  /// Parse a trace exported by export_text; throws std::runtime_error on
+  /// malformed input.
+  static TraceProgram import_text(std::istream& is);
+
+ private:
+  std::string app_name_;
+  std::vector<std::vector<TraceEvent>> per_rank_;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,49 @@
+#include "traffic/bursty.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace prdrb {
+
+BurstSchedule::BurstSchedule(SimTime first_start, SimTime burst_len,
+                             SimTime gap_len, int bursts)
+    : first_start_(first_start),
+      burst_len_(burst_len),
+      gap_len_(gap_len),
+      bursts_(bursts) {
+  assert(burst_len > 0 && gap_len >= 0);
+}
+
+bool BurstSchedule::active(SimTime t) const {
+  if (t < first_start_) return false;
+  const SimTime rel = t - first_start_;
+  const auto idx = static_cast<long>(rel / period());
+  if (bursts_ > 0 && idx >= bursts_) return false;
+  const SimTime in_period = rel - static_cast<double>(idx) * period();
+  return in_period < burst_len_;
+}
+
+int BurstSchedule::burst_index(SimTime t) const {
+  if (t < first_start_) return 0;
+  const SimTime rel = t - first_start_;
+  auto idx = static_cast<int>(rel / period());
+  if (bursts_ > 0 && idx >= bursts_) idx = bursts_ - 1;
+  return idx;
+}
+
+SimTime BurstSchedule::next_active(SimTime t) const {
+  if (t < first_start_) return first_start_;
+  if (active(t)) return t;
+  const SimTime rel = t - first_start_;
+  const auto idx = static_cast<long>(rel / period());
+  const long next = idx + 1;
+  if (bursts_ > 0 && next >= bursts_) return kTimeInfinity;
+  return first_start_ + static_cast<double>(next) * period();
+}
+
+SimTime BurstSchedule::end_time() const {
+  if (bursts_ <= 0) return kTimeInfinity;
+  return first_start_ + (bursts_ - 1) * period() + burst_len_;
+}
+
+}  // namespace prdrb

@@ -1,0 +1,44 @@
+// Bursty traffic scheduling (thesis §2.2.3, Fig. 2.6).
+//
+// Bursty traffic alternates a heavy communication phase (the burst, driven
+// by some pattern) with a quiet computation phase — the cyclic structure
+// whose repetition PR-DRB learns from. The schedule defines when bursts are
+// active; the variable-pattern flavour additionally switches the pattern
+// index per burst (Fig. 2.6b).
+#pragma once
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+class BurstSchedule {
+ public:
+  /// `first_start`: start of burst 0; each burst lasts `burst_len`, followed
+  /// by a gap of `gap_len`; `bursts` <= 0 means unbounded repetition.
+  BurstSchedule(SimTime first_start, SimTime burst_len, SimTime gap_len,
+                int bursts = -1);
+
+  bool active(SimTime t) const;
+
+  /// Index of the burst active at (or next starting after) time `t`.
+  int burst_index(SimTime t) const;
+
+  /// Earliest time >= t at which a burst is active; kTimeInfinity when the
+  /// schedule is exhausted.
+  SimTime next_active(SimTime t) const;
+
+  SimTime period() const { return burst_len_ + gap_len_; }
+  SimTime burst_len() const { return burst_len_; }
+  int bursts() const { return bursts_; }
+
+  /// End of the entire schedule (kTimeInfinity when unbounded).
+  SimTime end_time() const;
+
+ private:
+  SimTime first_start_;
+  SimTime burst_len_;
+  SimTime gap_len_;
+  int bursts_;
+};
+
+}  // namespace prdrb

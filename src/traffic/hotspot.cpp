@@ -1,0 +1,81 @@
+#include "traffic/hotspot.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prdrb {
+
+HotspotPattern::HotspotPattern(std::vector<std::pair<NodeId, NodeId>> flows)
+    : flows_(std::move(flows)) {
+  for (const auto& [s, d] : flows_) {
+    assert(s != d);
+    map_[s] = d;
+  }
+}
+
+NodeId HotspotPattern::destination(NodeId src, Rng&) const {
+  auto it = map_.find(src);
+  return it == map_.end() ? src : it->second;  // src==src means "no traffic"
+}
+
+std::vector<NodeId> HotspotPattern::sources() const {
+  std::vector<NodeId> out;
+  out.reserve(flows_.size());
+  for (const auto& [s, d] : flows_) out.push_back(s);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+HotspotPattern make_mesh_cross_hotspot(const Mesh2D& mesh, int count) {
+  // §4.5: "the paths that collide do not share the source and destination
+  // nodes, but they do share some portion of their trajectories". Sources
+  // sit on the west edge and each sends to a distinct east-edge node half
+  // the mesh height away: with XY routing every flow traverses its own row
+  // eastwards and then shares the last column's vertical links — the
+  // common trajectory where the hot spot builds. Alternative MSPs move the
+  // vertical segment to interior columns, relieving it.
+  std::vector<std::pair<NodeId, NodeId>> flows;
+  const int h = mesh.height();
+  const int w = mesh.width();
+  for (int i = 0; i < count; ++i) {
+    const int sy = i % h;
+    const int dy = (sy + h / 2) % h;
+    const NodeId src = mesh.at(0, sy);
+    const NodeId dst = mesh.at(w - 1, dy);
+    if (src != dst) flows.emplace_back(src, dst);
+  }
+  return HotspotPattern(std::move(flows));
+}
+
+HotspotPattern make_mesh_double_hotspot(const Mesh2D& mesh) {
+  // One long west-to-east flow along the middle row, plus two local groups:
+  // group A converges on a router in the first third of that row, group B
+  // on a router in the last third — the long flow must cross both congested
+  // areas (Fig. 4.9c/d).
+  std::vector<std::pair<NodeId, NodeId>> flows;
+  const int w = mesh.width();
+  const int h = mesh.height();
+  const int row = h / 2;
+  flows.emplace_back(mesh.at(0, row), mesh.at(w - 1, row));
+
+  const int ax = w / 3;
+  const int bx = (2 * w) / 3;
+  // Group A: neighbours above/below converge onto (ax, row)'s east link.
+  for (int dy : {-1, 1}) {
+    if (row + dy >= 0 && row + dy < h) {
+      flows.emplace_back(mesh.at(ax - 1, row + dy), mesh.at(ax + 1, row));
+      flows.emplace_back(mesh.at(ax, row + dy), mesh.at(ax + 1, row));
+    }
+  }
+  // Group B: same structure around (bx, row).
+  for (int dy : {-1, 1}) {
+    if (row + dy >= 0 && row + dy < h) {
+      flows.emplace_back(mesh.at(bx - 1, row + dy), mesh.at(bx + 1, row));
+      flows.emplace_back(mesh.at(bx, row + dy), mesh.at(bx + 1, row));
+    }
+  }
+  return HotspotPattern(std::move(flows));
+}
+
+}  // namespace prdrb

@@ -1,0 +1,52 @@
+// Hot-spot specific traffic patterns (thesis §4.5).
+//
+// "A set of paths are strategically defined in the network so that they
+// collide and produce high network congestion load. The paths that collide
+// do not share the source and destination nodes, but they do share some
+// portion of their trajectories."
+//
+// HotspotPattern fixes an explicit src -> dst assignment for the
+// participating nodes; helpers build the colliding-flow layouts of the
+// path-opening experiments (Figs. 4.8/4.9) on a 2D mesh.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/mesh2d.hpp"
+#include "traffic/pattern.hpp"
+
+namespace prdrb {
+
+class HotspotPattern final : public DestinationPattern {
+ public:
+  explicit HotspotPattern(std::vector<std::pair<NodeId, NodeId>> flows);
+
+  NodeId destination(NodeId src, Rng&) const override;
+  std::string name() const override { return "hot-spot"; }
+
+  /// Sources that take part in the hot spot (feed these to the generator).
+  std::vector<NodeId> sources() const;
+
+  const std::vector<std::pair<NodeId, NodeId>>& flows() const {
+    return flows_;
+  }
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> flows_;
+  std::unordered_map<NodeId, NodeId> map_;
+};
+
+/// Colliding flows for an 8x8-style mesh: `count` sources on the west edge
+/// send to destinations on the east edge such that their XY paths all cross
+/// the central columns — the shared trajectory where congestion builds
+/// (hot-spot situation 1 of Fig. 4.8).
+HotspotPattern make_mesh_cross_hotspot(const Mesh2D& mesh, int count);
+
+/// Two disjoint congestion areas on one long path (hot-spot situations 2 & 3
+/// of Fig. 4.9): a long west-east flow plus two local flow groups that each
+/// saturate a different segment of its trajectory.
+HotspotPattern make_mesh_double_hotspot(const Mesh2D& mesh);
+
+}  // namespace prdrb

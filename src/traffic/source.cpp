@@ -1,0 +1,70 @@
+#include "traffic/source.hpp"
+
+#include <cassert>
+
+namespace prdrb {
+
+TrafficGenerator::TrafficGenerator(Simulator& sim, Network& net,
+                                   const DestinationPattern& pattern,
+                                   TrafficConfig cfg, std::uint64_t seed,
+                                   std::vector<NodeId> nodes,
+                                   const BurstSchedule* bursts)
+    : sim_(sim),
+      net_(net),
+      pattern_(pattern),
+      cfg_(cfg),
+      nodes_(std::move(nodes)),
+      bursts_(bursts) {
+  assert(cfg_.rate_bps > 0 && cfg_.message_bytes > 0);
+  if (nodes_.empty()) {
+    nodes_.reserve(static_cast<std::size_t>(net.num_nodes()));
+    for (NodeId n = 0; n < net.num_nodes(); ++n) nodes_.push_back(n);
+  }
+  Rng seeder(seed);
+  rngs_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) rngs_.push_back(seeder.split());
+}
+
+void TrafficGenerator::start() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Desynchronize sources by a fraction of one interarrival so the whole
+    // machine does not inject in lockstep.
+    const SimTime jitter =
+        rngs_[i].next_double() * cfg_.message_bytes * 8.0 / cfg_.rate_bps;
+    schedule_next(i, cfg_.start + jitter);
+  }
+}
+
+SimTime TrafficGenerator::interarrival(std::size_t node_idx) {
+  const SimTime mean = cfg_.message_bytes * 8.0 / cfg_.rate_bps;
+  if (!cfg_.exponential_interarrival) return mean;
+  return rngs_[node_idx].next_exponential(mean);
+}
+
+void TrafficGenerator::schedule_next(std::size_t node_idx, SimTime from) {
+  SimTime when = std::max(from, sim_.now());
+  if (bursts_) {
+    // Skip quiet phases entirely instead of polling through them.
+    const SimTime next = bursts_->next_active(when);
+    if (next == kTimeInfinity) return;
+    when = next;
+  }
+  if (when >= cfg_.stop) return;
+  sim_.schedule_at(when, [this, node_idx] { fire(node_idx); });
+}
+
+void TrafficGenerator::fire(std::size_t node_idx) {
+  const SimTime now = sim_.now();
+  if (now >= cfg_.stop) return;
+  if (!bursts_ || bursts_->active(now)) {
+    const NodeId src = nodes_[node_idx];
+    const NodeId dst = pattern_.destination(src, rngs_[node_idx]);
+    if (dst != src) {
+      net_.send_message(src, dst, cfg_.message_bytes);
+      ++messages_sent_;
+    }
+  }
+  schedule_next(node_idx, now + interarrival(node_idx));
+}
+
+}  // namespace prdrb

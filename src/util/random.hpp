@@ -1,0 +1,57 @@
+// Deterministic, seedable pseudo-random generation for simulations.
+//
+// The evaluation methodology (thesis §4.3) requires running each scenario
+// under several seeds and averaging; xoshiro256** gives fast, high-quality
+// streams that are reproducible across platforms, unlike std::mt19937
+// combined with distribution objects whose output is implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prdrb {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire rejection (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (>0).
+  double next_exponential(double mean);
+
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// the weights (used by the DRB path-selection PDF, thesis Eq. 3.6).
+  std::size_t next_weighted(std::span<const double> weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (e.g. one per traffic source).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 — used to seed xoshiro and to hash seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace prdrb

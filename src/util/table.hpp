@@ -1,0 +1,33 @@
+// Minimal fixed-width ASCII table / CSV writer used by benches and examples
+// to print the rows and series that correspond to each paper table & figure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prdrb {
+
+/// Accumulates rows of stringified cells and renders them either as an
+/// aligned ASCII table (for humans) or as CSV (for re-plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; each cell is already formatted.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prdrb

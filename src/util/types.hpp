@@ -1,0 +1,26 @@
+// Fundamental identifier and time types shared by every PR-DRB module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace prdrb {
+
+/// Identifier of a terminal (processing) node. Terminals inject and consume
+/// packets; they are distinct from routers (thesis §3.1, "Initial
+/// Assumptions": *node* = terminal, *router* = switching device).
+using NodeId = std::int32_t;
+
+/// Identifier of a router (switch) inside a topology.
+using RouterId = std::int32_t;
+
+/// Simulated time in seconds. Double precision gives sub-nanosecond
+/// resolution over the multi-second horizons used in the evaluation.
+using SimTime = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr RouterId kInvalidRouter = -1;
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+}  // namespace prdrb

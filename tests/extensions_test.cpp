@@ -1,0 +1,191 @@
+// Tests for the thesis §5.2 "further work" extensions implemented here:
+// latency-trend congestion prediction and solution-database persistence
+// (the offline / static variation).
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pr_drb.hpp"
+#include "test_util.hpp"
+
+namespace prdrb {
+namespace {
+
+using test::Harness;
+
+// ---------------------------------------------------------------------------
+// Metapath::latency_trend
+
+TEST(LatencyTrend, FewSamplesNoTrend) {
+  Metapath mp;
+  mp.note_sample(0, 5e-6);
+  mp.note_sample(1e-6, 6e-6);
+  EXPECT_DOUBLE_EQ(mp.latency_trend(), 0.0);
+}
+
+TEST(LatencyTrend, LinearRiseRecovered) {
+  Metapath mp;
+  // latency = 5us + 2 * t  (slope 2 seconds-per-second, absurd but exact).
+  for (int i = 0; i < 6; ++i) {
+    const SimTime t = i * 1e-6;
+    mp.note_sample(t, 5e-6 + 2.0 * t);
+  }
+  EXPECT_NEAR(mp.latency_trend(), 2.0, 1e-9);
+}
+
+TEST(LatencyTrend, FlatSeriesZeroSlope) {
+  Metapath mp;
+  for (int i = 0; i < 6; ++i) mp.note_sample(i * 1e-6, 7e-6);
+  EXPECT_NEAR(mp.latency_trend(), 0.0, 1e-9);
+}
+
+TEST(LatencyTrend, WindowSlides) {
+  Metapath mp;
+  for (int i = 0; i < 20; ++i) mp.note_sample(i * 1e-6, 1e-6 * (i + 1));
+  EXPECT_EQ(mp.samples.size(), Metapath::kTrendWindow);
+  EXPECT_DOUBLE_EQ(mp.samples.front().first, 12e-6);  // oldest kept
+}
+
+// ---------------------------------------------------------------------------
+// PredictiveEngine::predicts_congestion
+
+TEST(LatencyTrend, PredictionRespectsConfigFlag) {
+  Metapath mp;
+  for (int i = 0; i < 6; ++i) {
+    mp.note_sample(i * 10e-6, 8e-6 + i * 1e-6);  // rising fast
+  }
+  mp.mp_latency = 11e-6;
+  PredictiveEngine off{PrDrbConfig{}};
+  EXPECT_FALSE(off.predicts_congestion(mp, 12e-6));
+  PrDrbConfig cfg;
+  cfg.trend_prediction = true;
+  cfg.trend_horizon = 200e-6;
+  PredictiveEngine on{cfg};
+  EXPECT_TRUE(on.predicts_congestion(mp, 12e-6));
+}
+
+TEST(LatencyTrend, FallingTrendNeverPredicts) {
+  Metapath mp;
+  for (int i = 0; i < 6; ++i) {
+    mp.note_sample(i * 10e-6, 20e-6 - i * 1e-6);
+  }
+  mp.mp_latency = 11e-6;
+  PrDrbConfig cfg;
+  cfg.trend_prediction = true;
+  PredictiveEngine engine{cfg};
+  EXPECT_FALSE(engine.predicts_congestion(mp, 12e-6));
+}
+
+Packet trend_ack(NodeId src, NodeId dst, SimTime e2e) {
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.source = dst;
+  ack.destination = src;
+  ack.msp_index = 0;
+  ack.reported_e2e = e2e;
+  return ack;
+}
+
+TEST(LatencyTrend, PolicyReactsBeforeThresholdCrossing) {
+  DrbConfig dcfg;
+  dcfg.threshold_low = 6e-6;
+  dcfg.threshold_high = 20e-6;
+  PrDrbConfig pcfg;
+  pcfg.trend_prediction = true;
+  pcfg.trend_horizon = 500e-6;
+  auto* policy = new PrDrbPolicy(dcfg, pcfg, 5);
+  auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
+  policy->choose_path(0, 7, 0);
+  // Latency rising inside the Medium band: 8 -> 13 us over 50 us. The
+  // aggregate never crosses 20 us, yet the projected trend does.
+  for (int i = 0; i < 6; ++i) {
+    policy->on_ack(0, trend_ack(0, 7, 8e-6 + i * 1e-6), i * 10e-6);
+  }
+  EXPECT_GT(policy->engine().trend_triggers(), 0u);
+  // The speculative High reaction opened at least one alternative path
+  // (the Eq. 3.4 aggregate of the wider metapath may since have fallen
+  // back into the Low band and closed it again, so check the counter).
+  EXPECT_GT(policy->total_expansions(), 0u);
+}
+
+TEST(LatencyTrend, DisabledPolicyWaitsForThreshold) {
+  DrbConfig dcfg;
+  dcfg.threshold_low = 6e-6;
+  dcfg.threshold_high = 20e-6;
+  auto* policy = new PrDrbPolicy(dcfg, PrDrbConfig{}, 5);
+  auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
+  policy->choose_path(0, 7, 0);
+  for (int i = 0; i < 6; ++i) {
+    policy->on_ack(0, trend_ack(0, 7, 8e-6 + i * 1e-6), i * 10e-6);
+  }
+  EXPECT_EQ(policy->engine().trend_triggers(), 0u);
+  EXPECT_EQ(policy->open_paths(0, 7), 1);
+}
+
+// ---------------------------------------------------------------------------
+// SolutionDatabase persistence
+
+SolutionDatabase learned_db() {
+  SolutionDatabase db;
+  std::vector<Msp> paths;
+  paths.push_back(Msp{kInvalidNode, kInvalidNode, 5e-6, 4});
+  paths.push_back(Msp{3, 9, 8e-6, 2});
+  db.save(0, 7, FlowSignature::from(std::vector<ContendingFlow>{{1, 7}, {2, 7}}),
+          paths, 4e-6, 0.8);
+  db.save(5, 2, FlowSignature::from(std::vector<ContendingFlow>{{4, 2}}),
+          paths, 6e-6, 0.8);
+  return db;
+}
+
+TEST(SolutionDbPersistence, RoundTripPreservesSolutions) {
+  const SolutionDatabase db = learned_db();
+  std::stringstream buf;
+  db.export_text(buf);
+  SolutionDatabase restored;
+  EXPECT_EQ(restored.import_text(buf), 2u);
+  EXPECT_EQ(restored.size(), 2u);
+  const auto sig =
+      FlowSignature::from(std::vector<ContendingFlow>{{1, 7}, {2, 7}});
+  SavedSolution* sol = restored.lookup(0, 7, sig, 0.8);
+  ASSERT_NE(sol, nullptr);
+  EXPECT_DOUBLE_EQ(sol->best_latency, 4e-6);
+  ASSERT_EQ(sol->paths.size(), 2u);
+  EXPECT_EQ(sol->paths[1].in1, 3);
+  EXPECT_EQ(sol->paths[1].in2, 9);
+}
+
+TEST(SolutionDbPersistence, ImportMergesWithoutDuplicating) {
+  SolutionDatabase db = learned_db();
+  std::stringstream buf;
+  db.export_text(buf);
+  EXPECT_EQ(db.import_text(buf), 2u);  // re-import into itself
+  EXPECT_EQ(db.size(), 2u);            // identical signatures merged
+}
+
+TEST(SolutionDbPersistence, TruncatedInputThrows) {
+  std::stringstream buf("0 7 4e-06 2 1 7");
+  SolutionDatabase db;
+  EXPECT_THROW(db.import_text(buf), std::runtime_error);
+}
+
+TEST(SolutionDbPersistence, WarmStartedPolicyInstallsImmediately) {
+  // Offline/static variation: a fresh policy pre-loaded with a previous
+  // run's database applies the solution on the very first High episode.
+  const SolutionDatabase trained = learned_db();
+  std::stringstream buf;
+  trained.export_text(buf);
+
+  auto* policy = new PrDrbPolicy(DrbConfig{}, PrDrbConfig{}, 5);
+  auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
+  policy->engine().db().import_text(buf);
+
+  policy->choose_path(0, 7, 0);
+  Packet ack = trend_ack(0, 7, 60e-6);  // instant High
+  ack.contending = {{1, 7}, {2, 7}};
+  policy->on_ack(0, ack, 0);
+  EXPECT_EQ(policy->engine().installs(), 1u);
+  EXPECT_EQ(policy->open_paths(0, 7), 2);  // the stored two-path solution
+}
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,208 @@
+// System-level integration and property tests: policy orderings the paper
+// claims, simulation determinism, and conservation invariants under stress.
+#include <gtest/gtest.h>
+
+#include "core/pr_drb.hpp"
+#include "routing/oblivious.hpp"
+#include "test_util.hpp"
+#include "trace/generators.hpp"
+#include "trace/player.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/source.hpp"
+
+namespace prdrb {
+namespace {
+
+using test::Harness;
+
+struct HotspotOutcome {
+  double global_latency;
+  double map_peak;
+  std::uint64_t delivered;
+};
+
+HotspotOutcome run_mesh_hotspot(RoutingPolicy* policy,
+                                RouterMonitor* monitor, std::uint64_t seed,
+                                SimTime stop = 3e-3) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
+  if (monitor) h.net->set_monitor(monitor);
+  auto* mesh = dynamic_cast<Mesh2D*>(h.topo.get());
+  const HotspotPattern pat = make_mesh_cross_hotspot(*mesh, 8);
+  TrafficConfig tc;
+  tc.rate_bps = 1000e6;
+  tc.stop = stop;
+  TrafficGenerator gen(h.sim, *h.net, pat, tc, seed, pat.sources());
+  gen.start();
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(h.metrics->delivery_ratio(), 1.0);
+  return HotspotOutcome{h.metrics->global_average_latency(),
+                        h.metrics->contention_map().peak(),
+                        h.metrics->packets_delivered()};
+}
+
+TEST(Integration, DrbBeatsDeterministicUnderHotspot) {
+  const auto det = run_mesh_hotspot(new DeterministicPolicy, nullptr, 3);
+  const auto drb = run_mesh_hotspot(new DrbPolicy, nullptr, 3);
+  // The headline DRB claim: path expansion relieves the shared trajectory.
+  EXPECT_LT(drb.global_latency, det.global_latency * 0.7);
+  EXPECT_LT(drb.map_peak, det.map_peak);
+  EXPECT_EQ(drb.delivered, det.delivered);  // same offered load, lossless
+}
+
+TEST(Integration, SameSeedSameResult) {
+  const auto a = run_mesh_hotspot(new DrbPolicy, nullptr, 11);
+  const auto b = run_mesh_hotspot(new DrbPolicy, nullptr, 11);
+  EXPECT_DOUBLE_EQ(a.global_latency, b.global_latency);
+  EXPECT_DOUBLE_EQ(a.map_peak, b.map_peak);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST(Integration, DifferentSeedsDifferButSameCount) {
+  const auto a = run_mesh_hotspot(new DrbPolicy, nullptr, 11);
+  const auto b = run_mesh_hotspot(new DrbPolicy, nullptr, 12);
+  // Jittered injection phases shift latencies but not the message count.
+  EXPECT_NE(a.global_latency, b.global_latency);
+}
+
+TEST(Integration, PrDrbLearnsAcrossBursts) {
+  auto* policy = new PrDrbPolicy;
+  CongestionDetector cfd(NotificationMode::kDestinationBased);
+  auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
+  h.net->set_monitor(&cfd);
+  auto* mesh = dynamic_cast<Mesh2D*>(h.topo.get());
+  const HotspotPattern pat = make_mesh_cross_hotspot(*mesh, 8);
+  TrafficConfig tc;
+  tc.rate_bps = 1000e6;
+  tc.stop = 16e-3;
+  BurstSchedule bursts(0.5e-3, 2e-3, 2e-3, 4);
+  TrafficGenerator gen(h.sim, *h.net, pat, tc, 7, pat.sources(), &bursts);
+  gen.start();
+  h.sim.run();
+  // Burst 1 fills the database; bursts 2-4 reuse it.
+  EXPECT_GT(policy->engine().db().size(), 0u);
+  EXPECT_GT(policy->engine().installs(), 0u);
+  EXPECT_GT(policy->engine().db().reused_patterns(), 0u);
+  EXPECT_DOUBLE_EQ(h.metrics->delivery_ratio(), 1.0);
+}
+
+TEST(Integration, RouterBasedNotificationAlsoLearns) {
+  auto* policy = new PrDrbPolicy(
+      DrbConfig{}, PrDrbConfig{0.8, NotificationMode::kRouterBased});
+  CongestionDetector cfd(NotificationMode::kRouterBased);
+  auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
+  h.net->set_monitor(&cfd);
+  auto* mesh = dynamic_cast<Mesh2D*>(h.topo.get());
+  const HotspotPattern pat = make_mesh_cross_hotspot(*mesh, 8);
+  TrafficConfig tc;
+  tc.rate_bps = 1000e6;
+  tc.stop = 12e-3;
+  BurstSchedule bursts(0.5e-3, 2e-3, 2e-3, 3);
+  TrafficGenerator gen(h.sim, *h.net, pat, tc, 7, pat.sources(), &bursts);
+  gen.start();
+  h.sim.run();
+  EXPECT_GT(cfd.predictive_acks(), 0u);
+  EXPECT_GT(policy->engine().db().size(), 0u);
+}
+
+// Buffer-accounting invariant: after the network fully drains, every
+// virtual-network occupancy returns to zero on every router.
+TEST(Integration, BufferAccountingDrainsToZero) {
+  auto* policy = new PrDrbPolicy;
+  CongestionDetector cfd(NotificationMode::kRouterBased);
+  auto h = Harness::make<KAryNTree>(NetConfig{}, policy, 4, 3);
+  h.net->set_monitor(&cfd);
+  UniformPattern pat(64);
+  TrafficConfig tc;
+  tc.rate_bps = 900e6;
+  tc.stop = 2e-3;
+  TrafficGenerator gen(h.sim, *h.net, pat, tc, 5);
+  gen.start();
+  h.sim.run();
+  for (RouterId r = 0; r < h.net->num_routers(); ++r) {
+    for (int vn = 0; vn < kNumVirtualNetworks; ++vn) {
+      EXPECT_EQ(h.net->buffer_used(r, vn), 0)
+          << "router " << r << " vn " << vn;
+    }
+  }
+}
+
+// Failure-injection style property: tiny buffers plus a saturating incast
+// still deliver everything (lossless backpressure never drops or wedges).
+class TinyBufferProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TinyBufferProperty, LosslessUnderIncast) {
+  NetConfig cfg;
+  cfg.buffer_bytes = GetParam();
+  auto h = Harness::make<Mesh2D>(cfg, new DeterministicPolicy, 4, 4);
+  int completions = 0;
+  h.net->set_message_handler([&](NodeId, NodeId, std::int64_t, MpiType,
+                                 std::int64_t, SimTime) { ++completions; });
+  // 6 sources blast the same corner.
+  for (NodeId s : {0, 1, 4, 5, 8, 10}) {
+    for (int i = 0; i < 25; ++i) h.net->send_message(s, 15, 1024);
+  }
+  h.sim.run();
+  EXPECT_EQ(completions, 150);
+  EXPECT_DOUBLE_EQ(h.metrics->delivery_ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, TinyBufferProperty,
+                         ::testing::Values(8 * 1024, 16 * 1024, 64 * 1024));
+
+// Trace-level determinism: replaying the same program twice gives the same
+// execution time.
+TEST(Integration, TraceReplayIsDeterministic) {
+  const TraceProgram prog = make_pop(16, TraceScale{3, 1.0, 1.0});
+  auto run_once = [&prog] {
+    auto h = Harness::make<Mesh2D>(NetConfig{}, new DrbPolicy, 4, 4);
+    TracePlayer player(h.sim, *h.net, prog);
+    player.start();
+    h.sim.run();
+    EXPECT_TRUE(player.finished());
+    return player.execution_time();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+// Policies must not change *what* is delivered, only *when*: every policy
+// completes the same trace.
+class PolicyCompleteness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyCompleteness, PopTraceCompletes) {
+  std::unique_ptr<RoutingPolicy> policy;
+  const std::string name = GetParam();
+  if (name == "deterministic") {
+    policy = std::make_unique<DeterministicPolicy>();
+  } else if (name == "random") {
+    policy = std::make_unique<RandomPolicy>(3);
+  } else if (name == "cyclic") {
+    policy = std::make_unique<CyclicPolicy>();
+  } else if (name == "drb") {
+    policy = std::make_unique<DrbPolicy>();
+  } else if (name == "fr-drb") {
+    policy = std::make_unique<FrDrbPolicy>();
+  } else if (name == "pr-drb") {
+    policy = std::make_unique<PrDrbPolicy>();
+  } else {
+    policy = std::make_unique<PrFrDrbPolicy>();
+  }
+  Simulator sim;
+  KAryNTree topo(2, 4);  // 16 terminals
+  NetConfig cfg;
+  Network net(sim, topo, cfg, *policy);
+  CongestionDetector cfd(NotificationMode::kDestinationBased);
+  net.set_monitor(&cfd);
+  const TraceProgram prog = make_pop(16, TraceScale{2, 1.0, 1.0});
+  TracePlayer player(sim, net, prog);
+  player.start();
+  sim.run();
+  EXPECT_TRUE(player.finished()) << name << " wedged the trace";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyCompleteness,
+                         ::testing::Values("deterministic", "random",
+                                           "cyclic", "drb", "fr-drb",
+                                           "pr-drb", "pr-fr-drb"));
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+#include "metrics/latency_map.hpp"
+#include "metrics/latency_stats.hpp"
+#include "metrics/time_series.hpp"
+
+namespace prdrb {
+namespace {
+
+TEST(LatencyStats, PerDestinationRunningAverage) {
+  LatencyStats s(4);
+  // Eq. 4.1 is the running mean: feed 2, 4, 6 -> mean 4.
+  s.record(1, 2e-6);
+  s.record(1, 4e-6);
+  s.record(1, 6e-6);
+  EXPECT_DOUBLE_EQ(s.per_destination(1), 4e-6);
+  EXPECT_DOUBLE_EQ(s.per_destination(0), 0.0);
+}
+
+TEST(LatencyStats, GlobalAverageOverActiveDestinations) {
+  LatencyStats s(4);
+  s.record(0, 2e-6);
+  s.record(1, 4e-6);
+  // Eq. 4.2 averages per-destination means over destinations with traffic.
+  EXPECT_DOUBLE_EQ(s.global_average(), 3e-6);
+}
+
+TEST(LatencyStats, OverallMeanAndMax) {
+  LatencyStats s(2);
+  s.record(0, 1e-6);
+  s.record(0, 3e-6);
+  s.record(1, 8e-6);
+  EXPECT_DOUBLE_EQ(s.overall_mean(), 4e-6);
+  EXPECT_DOUBLE_EQ(s.max_latency(), 8e-6);
+  EXPECT_EQ(s.count(), 3u);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.global_average(), 0.0);
+}
+
+TEST(TimeSeries, BinsByTime) {
+  TimeSeries ts(1e-3);
+  ts.add(0.5e-3, 2.0);
+  ts.add(0.9e-3, 4.0);
+  ts.add(1.5e-3, 10.0);
+  EXPECT_EQ(ts.bins(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(1), 10.0);
+  EXPECT_EQ(ts.bin_count(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.peak_mean(), 10.0);
+}
+
+TEST(TimeSeries, EmptyBinsReadZero) {
+  TimeSeries ts(1e-3);
+  ts.add(5e-3, 7.0);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(2), 0.0);
+  EXPECT_EQ(ts.bin_count(2), 0u);
+  EXPECT_EQ(ts.bins(), 6u);
+}
+
+TEST(TimeSeries, BinTimeIsCentre) {
+  TimeSeries ts(2e-3);
+  EXPECT_DOUBLE_EQ(ts.bin_time(0), 1e-3);
+  EXPECT_DOUBLE_EQ(ts.bin_time(3), 7e-3);
+}
+
+TEST(LatencyMap, TracksPerRouterAverages) {
+  LatencyMap m(4);
+  m.record(2, 2e-6);
+  m.record(2, 4e-6);
+  m.record(1, 1e-6);
+  EXPECT_DOUBLE_EQ(m.average(2), 3e-6);
+  EXPECT_DOUBLE_EQ(m.peak(), 3e-6);
+  EXPECT_DOUBLE_EQ(m.mean_over_active(), 2e-6);
+  EXPECT_EQ(m.samples(0), 0u);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.peak(), 0.0);
+}
+
+TEST(Collector, AggregatesPacketAndMessageEvents) {
+  MetricsCollector c(4, 4, 1e-3);
+  Packet p;
+  p.destination = 1;
+  p.inject_time = 0;
+  c.on_packet_delivered(p, 5e-6);
+  c.on_message_injected(0, 1, 1024, 0);
+  c.on_message_delivered(0, 1, 1024, 0, 5e-6);
+  EXPECT_EQ(c.packets_delivered(), 1u);
+  EXPECT_EQ(c.messages_delivered(), 1u);
+  EXPECT_DOUBLE_EQ(c.avg_message_latency(), 5e-6);
+  EXPECT_DOUBLE_EQ(c.delivery_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(c.global_average_latency(), 5e-6);
+}
+
+TEST(Collector, WatchedRouterSeries) {
+  MetricsCollector c(4, 4, 1e-3);
+  c.watch_router(2);
+  c.on_port_wait(2, 0, 3e-6, 0.5e-3);
+  c.on_port_wait(3, 0, 9e-6, 0.5e-3);  // unwatched: map only
+  const TimeSeries* s = c.router_series(2);
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->bin_mean(0), 3e-6);
+  EXPECT_EQ(c.router_series(3), nullptr);
+  EXPECT_DOUBLE_EQ(c.contention_map().average(3), 9e-6);
+}
+
+TEST(Collector, ResetKeepsWatchRegistrations) {
+  MetricsCollector c(4, 4, 1e-3);
+  c.watch_router(1);
+  c.on_port_wait(1, 0, 3e-6, 0.5e-3);
+  c.reset();
+  ASSERT_NE(c.router_series(1), nullptr);
+  EXPECT_EQ(c.router_series(1)->bins(), 0u);
+  EXPECT_EQ(c.packets_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,246 @@
+// Property-style tests of the network timing model and the CFD selection
+// logic, parameterized over distances, sizes and configurations.
+#include <gtest/gtest.h>
+
+#include "core/cfd.hpp"
+#include "routing/drb.hpp"
+#include "routing/oblivious.hpp"
+#include "test_util.hpp"
+
+namespace prdrb {
+namespace {
+
+using test::Harness;
+
+// ---------------------------------------------------------------------------
+// VCT latency model: e2e = serialization + wire + hops*(router+wire) +
+// final router delay, for any hop count and packet size (uncontended).
+
+struct TimingCase {
+  int src_x;
+  int dst_x;
+  std::int32_t bytes;
+};
+
+class VctTimingProperty : public ::testing::TestWithParam<TimingCase> {};
+
+TEST_P(VctTimingProperty, UncontendedLatencyMatchesModel) {
+  const auto c = GetParam();
+  NetConfig cfg;
+  cfg.packet_bytes = c.bytes;
+  auto h = Harness::make<Mesh2D>(cfg, new DeterministicPolicy, 8, 1);
+  h.net->send_message(c.src_x, c.dst_x, c.bytes);
+  h.sim.run();
+  ASSERT_EQ(h.metrics->packets_delivered(), 1u);
+  const int hops = std::abs(c.dst_x - c.src_x) ;
+  const double expected = cfg.serialization_time(c.bytes) + cfg.wire_delay_s +
+                          hops * (cfg.router_delay_s + cfg.wire_delay_s) +
+                          cfg.router_delay_s;
+  EXPECT_NEAR(h.metrics->packet_latency().overall_mean(), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VctTimingProperty,
+    ::testing::Values(TimingCase{0, 1, 1024}, TimingCase{0, 7, 1024},
+                      TimingCase{0, 3, 256}, TimingCase{7, 0, 4096},
+                      TimingCase{2, 5, 64}));
+
+TEST(VctTiming, CutThroughBeatsStoreAndForwardScaling) {
+  // Cut-through: latency grows by (router+wire) per hop, NOT by a full
+  // serialization per hop.
+  NetConfig cfg;
+  auto run = [&](NodeId dst) {
+    auto h = Harness::make<Mesh2D>(cfg, new DeterministicPolicy, 8, 1);
+    h.net->send_message(0, dst, 1024);
+    h.sim.run();
+    return h.metrics->packet_latency().overall_mean();
+  };
+  const double one = run(1);
+  const double seven = run(7);
+  const double per_hop = (seven - one) / 6.0;
+  EXPECT_NEAR(per_hop, cfg.router_delay_s + cfg.wire_delay_s, 1e-12);
+  EXPECT_LT(per_hop, cfg.serialization_time(1024) / 4);
+}
+
+TEST(VctTiming, BandwidthScalesSerialization) {
+  NetConfig fast;
+  fast.link_bandwidth_bps = 4e9;
+  NetConfig slow;
+  slow.link_bandwidth_bps = 1e9;
+  auto run = [](NetConfig cfg) {
+    auto h = Harness::make<Mesh2D>(cfg, new DeterministicPolicy, 4, 1);
+    h.net->send_message(0, 1, 1024);
+    h.sim.run();
+    return h.metrics->packet_latency().overall_mean();
+  };
+  EXPECT_LT(run(fast), run(slow));
+  // Serialization dominates; fixed wire/router delays pull the ratio a bit
+  // below the 4x bandwidth ratio.
+  EXPECT_NEAR(run(slow) / run(fast), 4.0, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// ACK generation policy
+
+TEST(AckGating, ObliviousPoliciesGenerateNoAcks) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  for (int i = 0; i < 10; ++i) h.net->send_message(0, 5, 1024);
+  h.sim.run();
+  // 10 data packets only; an ACK per message would double the count at the
+  // destination NIC's receive counter? ACKs are consumed by on_ack, not
+  // counted as received data — check the *source* received nothing.
+  EXPECT_EQ(h.net->nic(0).packets_received, 0u);
+}
+
+TEST(AckGating, AcksCanBeDisabledGlobally) {
+  NetConfig cfg;
+  cfg.acks_enabled = false;
+  auto* drb = new DrbPolicy;
+  auto h = Harness::make<Mesh2D>(cfg, drb, 4, 4);
+  for (int i = 0; i < 10; ++i) h.net->send_message(0, 5, 1024);
+  h.sim.run();
+  const Metapath* mp = drb->find_metapath(0, 5);
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->acks_received, 0u);
+}
+
+TEST(AckGating, DrbReceivesOneAckPerMessage) {
+  auto* drb = new DrbPolicy;
+  auto h = Harness::make<Mesh2D>(NetConfig{}, drb, 4, 4);
+  for (int i = 0; i < 10; ++i) h.net->send_message(0, 5, 1024);
+  h.net->send_message(0, 5, 5000);  // 5 fragments, still one ACK
+  h.sim.run();
+  const Metapath* mp = drb->find_metapath(0, 5);
+  ASSERT_NE(mp, nullptr);
+  EXPECT_EQ(mp->acks_received, 11u);
+}
+
+// ---------------------------------------------------------------------------
+// CongestionDetector selection logic
+
+class RecordingMonitor final : public RouterMonitor {
+ public:
+  void on_transmit(Network&, RouterId, int, Packet& head, SimTime,
+                   const std::deque<Packet>&) override {
+    last_contending = head.contending;
+  }
+  std::vector<ContendingFlow> last_contending;
+};
+
+TEST(Cfd, TopContributorsSelectedFirst) {
+  CongestionDetector cfd(NotificationMode::kDestinationBased);
+  // Build a synthetic congested queue: flow (1,9) has 3 packets, (2,9) one.
+  std::deque<Packet> queue;
+  auto mk = [](NodeId s, NodeId d, std::int32_t bytes) {
+    Packet p;
+    p.source = s;
+    p.destination = d;
+    p.size_bytes = bytes;
+    return p;
+  };
+  queue.push_back(mk(1, 9, 1024));
+  queue.push_back(mk(2, 9, 1024));
+  queue.push_back(mk(1, 9, 1024));
+
+  Simulator sim;
+  Mesh2D mesh(4, 4);
+  NetConfig cfg;
+  cfg.router_contention_threshold_s = 1e-6;
+  DeterministicPolicy pol;
+  Network net(sim, mesh, cfg, pol);
+
+  Packet head = mk(1, 9, 1024);
+  cfd.on_transmit(net, 0, 0, head, /*wait=*/5e-6, queue);
+  ASSERT_GE(head.contending.size(), 2u);
+  EXPECT_EQ(head.contending[0], (ContendingFlow{1, 9}));  // biggest share
+  EXPECT_EQ(head.congested_router, 0);
+  EXPECT_EQ(cfd.detections(), 1u);
+}
+
+TEST(Cfd, AcksAreNeverMonitored) {
+  CongestionDetector cfd(NotificationMode::kDestinationBased);
+  Simulator sim;
+  Mesh2D mesh(4, 4);
+  NetConfig cfg;
+  cfg.router_contention_threshold_s = 1e-9;
+  DeterministicPolicy pol;
+  Network net(sim, mesh, cfg, pol);
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.source = 1;
+  ack.destination = 2;
+  ack.size_bytes = 64;
+  std::deque<Packet> queue;
+  cfd.on_transmit(net, 0, 0, ack, 1e-3, queue);
+  EXPECT_EQ(cfd.detections(), 0u);
+  EXPECT_TRUE(ack.contending.empty());
+}
+
+TEST(Cfd, RouterBasedCooldownLimitsAckStorm) {
+  CongestionDetector cfd(NotificationMode::kRouterBased);
+  cfd.set_notify_cooldown(1.0);  // effectively once per simulation
+  Simulator sim;
+  Mesh2D mesh(4, 4);
+  NetConfig cfg;
+  cfg.router_contention_threshold_s = 1e-6;
+  DeterministicPolicy pol;
+  Network net(sim, mesh, cfg, pol);
+  std::deque<Packet> queue;
+  Packet head;
+  head.source = 1;
+  head.destination = 9;
+  head.size_bytes = 1024;
+  for (int i = 0; i < 5; ++i) {
+    Packet h2 = head;
+    cfd.on_transmit(net, 0, 0, h2, 5e-6, queue);
+  }
+  EXPECT_EQ(cfd.detections(), 5u);
+  EXPECT_EQ(cfd.predictive_acks(), 1u);  // cooldown suppressed the rest
+  sim.run();
+}
+
+TEST(Cfd, PredictiveBitSetOnRouterBasedNotification) {
+  CongestionDetector cfd(NotificationMode::kRouterBased);
+  Simulator sim;
+  Mesh2D mesh(4, 4);
+  NetConfig cfg;
+  cfg.router_contention_threshold_s = 1e-6;
+  DeterministicPolicy pol;
+  Network net(sim, mesh, cfg, pol);
+  std::deque<Packet> queue;
+  Packet head;
+  head.source = 1;
+  head.destination = 9;
+  head.size_bytes = 1024;
+  cfd.on_transmit(net, 0, 0, head, 5e-6, queue);
+  EXPECT_TRUE(head.predictive_bit);
+  sim.run();
+}
+
+TEST(Cfd, MaxContendingFlowsRespected) {
+  CongestionDetector cfd(NotificationMode::kDestinationBased);
+  Simulator sim;
+  Mesh2D mesh(8, 8);
+  NetConfig cfg;
+  cfg.router_contention_threshold_s = 1e-6;
+  cfg.max_contending_flows = 3;
+  DeterministicPolicy pol;
+  Network net(sim, mesh, cfg, pol);
+  std::deque<Packet> queue;
+  for (NodeId s = 0; s < 10; ++s) {
+    Packet p;
+    p.source = s;
+    p.destination = 63;
+    p.size_bytes = 1024;
+    queue.push_back(p);
+  }
+  Packet head;
+  head.source = 20;
+  head.destination = 63;
+  head.size_bytes = 1024;
+  cfd.on_transmit(net, 0, 0, head, 5e-6, queue);
+  EXPECT_LE(head.contending.size(), 3u);
+}
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace prdrb {
+namespace {
+
+TEST(Packet, DirectPathTargetsDestination) {
+  Packet p;
+  p.source = 1;
+  p.destination = 9;
+  EXPECT_EQ(p.current_target(), 9);
+  EXPECT_EQ(p.virtual_network(), 0);
+}
+
+TEST(Packet, TwoIntermediateTargetsInOrder) {
+  Packet p;
+  p.source = 0;
+  p.destination = 9;
+  p.intermediate1 = 3;
+  p.intermediate2 = 6;
+  EXPECT_EQ(p.current_target(), 3);
+  EXPECT_TRUE(p.advance_header(3));
+  EXPECT_EQ(p.current_target(), 6);
+  EXPECT_EQ(p.virtual_network(), 1);
+  EXPECT_TRUE(p.advance_header(6));
+  EXPECT_EQ(p.current_target(), 9);
+  EXPECT_EQ(p.virtual_network(), 2);
+}
+
+TEST(Packet, SingleIntermediateSkipsUnusedSlot) {
+  Packet p;
+  p.destination = 9;
+  p.intermediate1 = 4;
+  EXPECT_EQ(p.current_target(), 4);
+  EXPECT_TRUE(p.advance_header(4));
+  EXPECT_EQ(p.current_target(), 9);
+}
+
+TEST(Packet, In2OnlyPathUsedWhenIn1Unset) {
+  Packet p;
+  p.destination = 9;
+  p.intermediate2 = 5;
+  EXPECT_EQ(p.current_target(), 5);
+  EXPECT_TRUE(p.advance_header(5));
+  EXPECT_EQ(p.current_target(), 9);
+}
+
+TEST(Packet, AdvanceHeaderIgnoresWrongNode) {
+  Packet p;
+  p.destination = 9;
+  p.intermediate1 = 4;
+  EXPECT_FALSE(p.advance_header(7));
+  EXPECT_EQ(p.current_target(), 4);
+}
+
+TEST(Packet, DuplicateIntermediateAdvancesThroughBoth) {
+  Packet p;
+  p.destination = 9;
+  p.intermediate1 = 4;
+  p.intermediate2 = 4;
+  EXPECT_TRUE(p.advance_header(4));
+  EXPECT_EQ(p.current_target(), 9);
+}
+
+TEST(Packet, AcksUseDedicatedVirtualNetwork) {
+  Packet p;
+  p.type = PacketType::kAck;
+  EXPECT_EQ(p.virtual_network(), kNumVirtualNetworks - 1);
+  p.type = PacketType::kPredictiveAck;
+  EXPECT_EQ(p.virtual_network(), kNumVirtualNetworks - 1);
+  EXPECT_TRUE(p.is_ack());
+}
+
+TEST(Packet, DescribeMentionsEndpoints) {
+  Packet p;
+  p.source = 2;
+  p.destination = 5;
+  p.intermediate1 = 3;
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("2->5"), std::string::npos);
+  EXPECT_NE(d.find("via 3"), std::string::npos);
+}
+
+TEST(ContendingFlow, OrderingAndEquality) {
+  const ContendingFlow a{1, 2};
+  const ContendingFlow b{1, 3};
+  const ContendingFlow c{1, 2};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace prdrb

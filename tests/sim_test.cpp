@@ -1,0 +1,111 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdrb {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  const EventId id = q.schedule(2.0, [&] { fired += 100; });
+  q.schedule(3.0, [&] { ++fired; });
+  q.cancel(id);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelTwiceIsHarmless) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLiveEvent) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_in(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(i * 0.1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  SimTime t = -1;
+  sim.schedule_in(1.0, [&] {
+    sim.schedule_in(0.0, [&] { t = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+}  // namespace
+}  // namespace prdrb

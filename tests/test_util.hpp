@@ -1,0 +1,39 @@
+// Shared helpers for integration tests: bundle a simulator, topology,
+// policy, metrics and network into one harness.
+#pragma once
+
+#include <memory>
+
+#include "metrics/collector.hpp"
+#include "net/kary_ntree.hpp"
+#include "net/mesh2d.hpp"
+#include "net/network.hpp"
+#include "routing/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdrb::test {
+
+struct Harness {
+  Simulator sim;
+  std::unique_ptr<Topology> topo;
+  NetConfig cfg;
+  std::unique_ptr<RoutingPolicy> policy;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<MetricsCollector> metrics;
+
+  template <typename TopoT, typename PolicyT, typename... TopoArgs>
+  static Harness make(NetConfig cfg, PolicyT* policy_ptr,
+                      TopoArgs&&... topo_args) {
+    Harness h;
+    h.cfg = cfg;
+    h.topo = std::make_unique<TopoT>(std::forward<TopoArgs>(topo_args)...);
+    h.policy.reset(policy_ptr);
+    h.net = std::make_unique<Network>(h.sim, *h.topo, h.cfg, *h.policy);
+    h.metrics = std::make_unique<MetricsCollector>(
+        h.topo->num_nodes(), h.topo->num_routers(), 1e-4);
+    h.net->set_observer(h.metrics.get());
+    return h;
+  }
+};
+
+}  // namespace prdrb::test

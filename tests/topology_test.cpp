@@ -1,0 +1,269 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/kary_ntree.hpp"
+#include "net/mesh2d.hpp"
+
+namespace prdrb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mesh2D
+
+TEST(Mesh2D, Dimensions) {
+  Mesh2D m(8, 8);
+  EXPECT_EQ(m.num_nodes(), 64);
+  EXPECT_EQ(m.num_routers(), 64);
+  EXPECT_EQ(m.radix(0), 4);
+  EXPECT_EQ(m.name(), "mesh-8x8");
+}
+
+TEST(Mesh2D, NeighborSymmetry) {
+  Mesh2D m(5, 4);
+  for (RouterId r = 0; r < m.num_routers(); ++r) {
+    for (int p = 0; p < m.radix(r); ++p) {
+      const PortTarget t = m.neighbor(r, p);
+      if (!t.valid()) continue;
+      const PortTarget back = m.neighbor(t.router, t.port);
+      ASSERT_TRUE(back.valid());
+      EXPECT_EQ(back.router, r);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST(Mesh2D, EdgeRoutersHaveDanglingPorts) {
+  Mesh2D m(4, 4);
+  EXPECT_FALSE(m.neighbor(m.at(0, 0), Mesh2D::kWest).valid());
+  EXPECT_FALSE(m.neighbor(m.at(0, 0), Mesh2D::kSouth).valid());
+  EXPECT_TRUE(m.neighbor(m.at(0, 0), Mesh2D::kEast).valid());
+  EXPECT_TRUE(m.neighbor(m.at(0, 0), Mesh2D::kNorth).valid());
+}
+
+TEST(Mesh2D, ManhattanDistance) {
+  Mesh2D m(8, 8);
+  EXPECT_EQ(m.distance(m.at(0, 0), m.at(7, 7)), 14);
+  EXPECT_EQ(m.distance(m.at(3, 2), m.at(3, 2)), 0);
+  EXPECT_EQ(m.distance(m.at(1, 1), m.at(4, 1)), 3);
+}
+
+TEST(Mesh2D, MinimalPortsXFirstOrder) {
+  Mesh2D m(4, 4);
+  std::vector<int> ports;
+  m.minimal_ports(m.at(0, 0), m.at(2, 2), ports);
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], Mesh2D::kEast);   // X first: XY routing
+  EXPECT_EQ(ports[1], Mesh2D::kNorth);
+}
+
+TEST(Mesh2D, MinimalPortsEmptyAtTarget) {
+  Mesh2D m(4, 4);
+  std::vector<int> ports;
+  m.minimal_ports(5, 5, ports);
+  EXPECT_TRUE(ports.empty());
+}
+
+// Property: repeatedly following any minimal port reaches the target in
+// exactly distance() hops.
+class MeshRoutingProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshRoutingProperty, MinimalPortsAlwaysMakeProgress) {
+  const auto [w, h] = GetParam();
+  Mesh2D m(w, h);
+  std::vector<int> ports;
+  for (NodeId s = 0; s < m.num_nodes(); ++s) {
+    for (NodeId d = 0; d < m.num_nodes(); ++d) {
+      RouterId at = m.node_router(s);
+      int hops = 0;
+      while (at != m.node_router(d)) {
+        ports.clear();
+        m.minimal_ports(at, d, ports);
+        ASSERT_FALSE(ports.empty());
+        // Take the last candidate to exercise both dimensions.
+        const PortTarget t = m.neighbor(at, ports.back());
+        ASSERT_TRUE(t.valid());
+        at = t.router;
+        ++hops;
+        ASSERT_LE(hops, m.distance(s, d));
+      }
+      EXPECT_EQ(hops, m.distance(s, d));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshRoutingProperty,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{8, 8}, std::pair{5, 3}));
+
+TEST(Mesh2D, MspCandidatesValidAndOrdered) {
+  Mesh2D m(8, 8);
+  const NodeId src = m.at(0, 4);
+  const NodeId dst = m.at(7, 4);
+  const auto ring1 = m.msp_candidates(src, dst, 1);
+  ASSERT_FALSE(ring1.empty());
+  for (const auto& c : ring1) {
+    EXPECT_NE(c.in1, src);
+    EXPECT_NE(c.in1, dst);
+    EXPECT_NE(c.in2, src);
+    EXPECT_NE(c.in2, dst);
+    EXPECT_NE(c.in1, c.in2);
+    EXPECT_EQ(m.distance(src, c.in1), 1);
+    EXPECT_EQ(m.distance(dst, c.in2), 1);
+  }
+  // Sorted by detour length: first candidate at least as short as the last.
+  auto len = [&](const MspCandidate& c) {
+    return m.distance(src, c.in1) + m.distance(c.in1, c.in2) +
+           m.distance(c.in2, dst);
+  };
+  EXPECT_LE(len(ring1.front()), len(ring1.back()));
+}
+
+// ---------------------------------------------------------------------------
+// KAryNTree
+
+TEST(KAryNTree, Dimensions) {
+  KAryNTree t(4, 3);
+  EXPECT_EQ(t.num_nodes(), 64);
+  EXPECT_EQ(t.num_routers(), 3 * 16);
+  EXPECT_EQ(t.radix(0), 8);
+  EXPECT_EQ(t.name(), "4-ary 3-tree");
+}
+
+TEST(KAryNTree, NodeRouterAttachment) {
+  KAryNTree t(4, 3);
+  for (NodeId p = 0; p < t.num_nodes(); ++p) {
+    const RouterId r = t.node_router(p);
+    EXPECT_EQ(t.level_of(r), 0);
+    EXPECT_EQ(t.word_of(r), p / 4);
+    EXPECT_TRUE(t.is_ancestor(r, p));
+  }
+}
+
+class TreeStructureProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TreeStructureProperty, LinkSymmetry) {
+  const auto [k, n] = GetParam();
+  KAryNTree t(k, n);
+  for (RouterId r = 0; r < t.num_routers(); ++r) {
+    for (int p = 0; p < t.radix(r); ++p) {
+      const PortTarget tgt = t.neighbor(r, p);
+      if (!tgt.valid()) continue;
+      const PortTarget back = t.neighbor(tgt.router, tgt.port);
+      ASSERT_TRUE(back.valid()) << "r=" << r << " p=" << p;
+      EXPECT_EQ(back.router, r);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST_P(TreeStructureProperty, RootsHaveNoUpLinks) {
+  const auto [k, n] = GetParam();
+  KAryNTree t(k, n);
+  for (RouterId r = 0; r < t.num_routers(); ++r) {
+    if (t.level_of(r) == n - 1) {
+      for (int j = 0; j < k; ++j) {
+        EXPECT_FALSE(t.neighbor(r, k + j).valid());
+      }
+    }
+  }
+}
+
+TEST_P(TreeStructureProperty, MinimalRouteReachesEveryDestination) {
+  const auto [k, n] = GetParam();
+  KAryNTree t(k, n);
+  std::vector<int> ports;
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      RouterId at = t.node_router(s);
+      int hops = 0;
+      while (at != t.node_router(d)) {
+        ports.clear();
+        t.minimal_ports(at, d, ports);
+        ASSERT_FALSE(ports.empty());
+        // Alternate between first and last candidate to exercise the
+        // adaptive ascending choices.
+        const int pick = (hops % 2 == 0) ? ports.front() : ports.back();
+        const PortTarget tgt = t.neighbor(at, pick);
+        ASSERT_TRUE(tgt.valid());
+        at = tgt.router;
+        ++hops;
+        ASSERT_LE(hops, 2 * n);
+      }
+      EXPECT_EQ(hops, t.distance(s, d));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeStructureProperty,
+                         ::testing::Values(std::pair{2, 2}, std::pair{2, 5},
+                                           std::pair{4, 2}, std::pair{4, 3}));
+
+TEST(KAryNTree, NcaLevel) {
+  KAryNTree t(4, 3);
+  EXPECT_EQ(t.nca_level(0, 1), 0);    // same leaf switch
+  EXPECT_EQ(t.nca_level(0, 4), 1);    // differ in digit 1
+  EXPECT_EQ(t.nca_level(0, 16), 2);   // differ in digit 2
+  EXPECT_EQ(t.nca_level(63, 62), 0);
+}
+
+TEST(KAryNTree, DistanceIsTwiceNcaLevel) {
+  KAryNTree t(2, 5);
+  EXPECT_EQ(t.distance(0, 1), 0);    // same level-0 switch
+  EXPECT_EQ(t.distance(0, 2), 2);
+  EXPECT_EQ(t.distance(0, 31), 8);
+}
+
+TEST(KAryNTree, AscendingPhaseOffersAllUpPorts) {
+  KAryNTree t(4, 3);
+  std::vector<int> ports;
+  // Node 0 and node 63 share no prefix: router of 0 must ascend.
+  t.minimal_ports(t.node_router(0), 63, ports);
+  EXPECT_EQ(ports.size(), 4u);
+  for (int p : ports) EXPECT_TRUE(t.is_up_port(p));
+}
+
+TEST(KAryNTree, DescendingPhaseIsDeterministic) {
+  KAryNTree t(4, 3);
+  std::vector<int> ports;
+  // A root switch is an ancestor of everything: exactly one down port.
+  const RouterId root = t.switch_id(0, 2);
+  t.minimal_ports(root, 5, ports);
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_FALSE(t.is_up_port(ports[0]));
+}
+
+TEST(KAryNTree, DeterministicChoiceStable) {
+  KAryNTree t(4, 3);
+  const int a = t.deterministic_choice(0, 3, 42, 4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.deterministic_choice(0, 3, 42, 4), a);
+  }
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, 4);
+}
+
+TEST(KAryNTree, MspCandidatesAreDistinctTerminals) {
+  KAryNTree t(4, 3);
+  const auto cands = t.msp_candidates(0, 63, 1);
+  ASSERT_FALSE(cands.empty());
+  std::set<NodeId> seen;
+  for (const auto& c : cands) {
+    EXPECT_NE(c.in1, 0);
+    EXPECT_NE(c.in1, 63);
+    EXPECT_GE(c.in1, 0);
+    EXPECT_LT(c.in1, 64);
+    seen.insert(c.in1);
+  }
+  EXPECT_EQ(seen.size(), cands.size());  // deduplicated
+}
+
+TEST(KAryNTree, MspCandidatesExhaustAboveTopRing) {
+  KAryNTree t(2, 3);
+  EXPECT_TRUE(t.msp_candidates(0, 7, 3).empty());
+}
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,354 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "routing/oblivious.hpp"
+#include "test_util.hpp"
+#include "trace/analysis.hpp"
+#include "trace/collectives.hpp"
+#include "trace/generators.hpp"
+#include "trace/player.hpp"
+
+namespace prdrb {
+namespace {
+
+using test::Harness;
+
+// ---------------------------------------------------------------------------
+// Collective expansion: every send must have a matching recv somewhere.
+
+void check_collective_matching(TraceOp op, int nranks, int root) {
+  TraceEvent e;
+  e.op = op;
+  e.root = root;
+  e.bytes = 64;
+  std::map<std::tuple<int, int, int>, int> balance;  // (src,dst,tag) -> count
+  for (int r = 0; r < nranks; ++r) {
+    for (const TraceEvent& m : expand_collective(e, r, nranks, 7)) {
+      if (m.op == TraceOp::kSend) {
+        ++balance[{r, m.peer, m.tag}];
+      } else {
+        ASSERT_EQ(m.op, TraceOp::kRecv);
+        --balance[{m.peer, r, m.tag}];
+      }
+    }
+  }
+  for (const auto& [key, v] : balance) {
+    EXPECT_EQ(v, 0) << "unmatched message in " << trace_op_name(op);
+  }
+}
+
+class CollectiveMatching
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollectiveMatching, BcastBalances) {
+  const auto [n, root] = GetParam();
+  check_collective_matching(TraceOp::kBcast, n, root);
+}
+
+TEST_P(CollectiveMatching, ReduceBalances) {
+  const auto [n, root] = GetParam();
+  check_collective_matching(TraceOp::kReduce, n, root);
+}
+
+TEST_P(CollectiveMatching, AllreduceBalances) {
+  const auto [n, root] = GetParam();
+  check_collective_matching(TraceOp::kAllreduce, n, root);
+}
+
+TEST_P(CollectiveMatching, BarrierBalances) {
+  const auto [n, root] = GetParam();
+  check_collective_matching(TraceOp::kBarrier, n, root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CollectiveMatching,
+                         ::testing::Values(std::tuple{2, 0}, std::tuple{8, 0},
+                                           std::tuple{8, 3}, std::tuple{16, 5},
+                                           std::tuple{6, 0}, std::tuple{7, 2},
+                                           std::tuple{64, 0}));
+
+TEST(Collectives, BcastReachesEveryNonRoot) {
+  const int n = 16;
+  int recvs = 0;
+  for (int r = 0; r < n; ++r) {
+    for (const auto& m : expand_bcast(r, n, 4, 64, 0)) {
+      if (m.op == TraceOp::kRecv) ++recvs;
+    }
+  }
+  EXPECT_EQ(recvs, n - 1);
+}
+
+TEST(Collectives, AllreducePowerOfTwoUsesRecursiveDoubling) {
+  const auto ops = expand_allreduce(5, 16, 64, 0);
+  EXPECT_EQ(ops.size(), 8u);  // 4 rounds x (send + recv)
+}
+
+// ---------------------------------------------------------------------------
+// TracePlayer on a real simulated network.
+
+struct PlayerFixture {
+  explicit PlayerFixture(const TraceProgram& prog, int mesh = 4)
+      : h(Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, mesh,
+                                mesh)),
+        player(h.sim, *h.net, prog) {}
+  Harness h;
+  TracePlayer player;
+};
+
+TEST(TracePlayer, PingPongOrdering) {
+  TraceProgram prog("pingpong", 2);
+  prog.add(0, TraceEvent::send(1, 1024, 1));
+  prog.add(0, TraceEvent::recv(1, 2));
+  prog.add(1, TraceEvent::recv(0, 1));
+  prog.add(1, TraceEvent::send(0, 1024, 2));
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  ASSERT_TRUE(f.player.finished());
+  // Two one-hop-ish transfers: execution time ~ 2 packet latencies.
+  EXPECT_GT(f.player.execution_time(), 8e-6);
+  EXPECT_LT(f.player.execution_time(), 20e-6);
+  EXPECT_EQ(f.player.messages_sent(), 2u);
+}
+
+TEST(TracePlayer, RecvBeforeSendBlocksUntilDelivery) {
+  TraceProgram prog("late-send", 2);
+  prog.add(0, TraceEvent::recv(1, 9));
+  prog.add(1, TraceEvent::compute(50e-6));
+  prog.add(1, TraceEvent::send(0, 1024, 9));
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  ASSERT_TRUE(f.player.finished());
+  EXPECT_GT(f.player.rank_blocked(0), 50e-6);  // idle while rank 1 computes
+  EXPECT_NEAR(f.player.rank_blocked(1), 0.0, 1e-12);
+}
+
+TEST(TracePlayer, SendBeforeRecvDoesNotBlock) {
+  TraceProgram prog("early-send", 2);
+  prog.add(0, TraceEvent::send(1, 1024, 9));
+  prog.add(0, TraceEvent::compute(1e-6));
+  prog.add(1, TraceEvent::compute(30e-6));
+  prog.add(1, TraceEvent::recv(0, 9));
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  ASSERT_TRUE(f.player.finished());
+  // The message was already there when rank 1 posted the receive.
+  EXPECT_NEAR(f.player.rank_blocked(1), 0.0, 1e-12);
+}
+
+TEST(TracePlayer, IrecvWaitSemantics) {
+  TraceProgram prog("irecv", 2);
+  prog.add(0, TraceEvent::irecv(1, 3, 0));
+  prog.add(0, TraceEvent::compute(2e-6));
+  prog.add(0, TraceEvent::wait(0));
+  prog.add(1, TraceEvent::send(0, 1024, 3));
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  EXPECT_TRUE(f.player.finished());
+}
+
+TEST(TracePlayer, WaitallDrainsAllRequests) {
+  TraceProgram prog("waitall", 3);
+  prog.add(0, TraceEvent::irecv(1, 1, 0));
+  prog.add(0, TraceEvent::irecv(2, 2, 1));
+  prog.add(0, TraceEvent::waitall());
+  prog.add(1, TraceEvent::send(0, 2048, 1));
+  prog.add(2, TraceEvent::compute(20e-6));
+  prog.add(2, TraceEvent::send(0, 2048, 2));
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  ASSERT_TRUE(f.player.finished());
+  EXPECT_GT(f.player.rank_finish(0), 20e-6);  // waited for the slow sender
+}
+
+TEST(TracePlayer, AllreduceSynchronizesRanks) {
+  TraceProgram prog("allreduce", 4);
+  for (int r = 0; r < 4; ++r) {
+    prog.add(r, TraceEvent::compute(r * 10e-6));  // imbalanced compute
+    prog.add(r, TraceEvent::allreduce(64));
+  }
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  ASSERT_TRUE(f.player.finished());
+  // Everyone finishes after the slowest rank's compute (30 us).
+  for (int r = 0; r < 4; ++r) EXPECT_GT(f.player.rank_finish(r), 30e-6);
+  // Rank 0 (no compute) idled the longest.
+  EXPECT_GT(f.player.rank_blocked(0), f.player.rank_blocked(3));
+}
+
+TEST(TracePlayer, SelfMessageCompletes) {
+  TraceProgram prog("self", 2);
+  prog.add(0, TraceEvent::send(0, 512, 1));
+  prog.add(0, TraceEvent::recv(0, 1));
+  prog.add(1, TraceEvent::compute(1e-6));
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  EXPECT_TRUE(f.player.finished());
+}
+
+// ---------------------------------------------------------------------------
+// Application generators: structure and playability.
+
+class GeneratorSmoke : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorSmoke, TraceCompletesOnNetwork) {
+  TraceScale s;
+  s.iterations = 2;
+  const auto prog = make_app_trace(GetParam(), 16, s);
+  PlayerFixture f(prog);
+  f.player.start();
+  f.h.sim.run();
+  ASSERT_TRUE(f.player.finished()) << GetParam() << " deadlocked";
+  EXPECT_GT(f.player.execution_time(), 0.0);
+  EXPECT_GT(f.player.messages_sent(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, GeneratorSmoke,
+                         ::testing::Values("nas-lu", "nas-mg-s", "nas-mg-a",
+                                           "nas-mg-b", "lammps-chain",
+                                           "lammps-comb", "pop", "sweep3d",
+                                           "nas-ft-a", "nas-ft-b",
+                                           "smg2000"));
+
+TEST(Generators, PopCallBreakdownMatchesTable21Shape) {
+  const auto prog = make_pop(64, TraceScale{4, 1.0, 1.0});
+  const auto b = prog.call_breakdown();
+  // POP's dominant calls: Isend, Waitall, Allreduce (Table 2.1:
+  // 34.9 / 34.9 / 29.3 %). Exact shares differ; the ordering must hold.
+  ASSERT_TRUE(b.count("MPI_Isend"));
+  ASSERT_TRUE(b.count("MPI_Waitall"));
+  ASSERT_TRUE(b.count("MPI_Allreduce"));
+  EXPECT_GT(b.at("MPI_Isend"), 20.0);
+  EXPECT_GT(b.at("MPI_Allreduce"), 10.0);
+  EXPECT_GT(b.at("MPI_Waitall"), 10.0);
+  EXPECT_EQ(b.count("MPI_Recv"), 0u);
+}
+
+TEST(Generators, LuCallBreakdownSendRecvHeavy) {
+  const auto prog = make_nas_lu(16, TraceScale{4, 1.0, 1.0});
+  const auto b = prog.call_breakdown();
+  EXPECT_GT(b.at("MPI_Send"), 40.0);
+  EXPECT_GT(b.at("MPI_Recv"), 40.0);
+}
+
+TEST(Generators, LammpsChainTdcHigherThanComb) {
+  const auto chain = CommMatrix::from_program(
+      make_lammps(64, false, TraceScale{2, 1.0, 1.0}), false);
+  const auto comb = CommMatrix::from_program(
+      make_lammps(64, true, TraceScale{2, 1.0, 1.0}), false);
+  // The chain problem adds the long-range partner (TDC ~7 in Fig. 2.10).
+  EXPECT_GT(chain.avg_tdc(), comb.avg_tdc());
+  EXPECT_GE(chain.max_tdc(), 5);
+}
+
+TEST(Generators, SweepNeighbourOnlyCommunication) {
+  const auto m = CommMatrix::from_program(
+      make_sweep3d(16, TraceScale{2, 1.0, 1.0}), false);
+  // 4x4 grid: wavefront partners are grid neighbours only -> TDC <= 4.
+  EXPECT_LE(m.max_tdc(), 4);
+  EXPECT_GT(m.total_volume(), 0);
+}
+
+TEST(Generators, PhaseStatsReflectRepetitiveness) {
+  const auto prog = make_pop(16, TraceScale{6, 1.0, 1.0});
+  const auto stats = phase_stats(prog);
+  EXPECT_GT(stats.total_phases, 1);
+  EXPECT_GT(stats.relevant_phases, 0);
+  EXPECT_GT(stats.total_weight, stats.relevant_phases);
+}
+
+TEST(Generators, DetectPhasesFindsRepetition) {
+  const auto prog = make_pop(16, TraceScale{8, 1.0, 1.0});
+  const auto det = detect_phases(prog, 16);
+  EXPECT_GT(det.windows, 4);
+  EXPECT_LT(det.distinct_signatures, det.windows);
+  EXPECT_GT(det.repetitiveness, 0.3);
+  EXPECT_GT(det.max_repeat, 1);
+}
+
+// The core premise of the thesis (§2.2.5): every evaluated application is
+// strongly repetitive — the auto-window detector must recover it.
+class RepetitivenessProperty : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(RepetitivenessProperty, AutoDetectorFindsHighRepetitiveness) {
+  const auto prog = make_app_trace(GetParam(), 64, TraceScale{8, 1.0, 1.0});
+  const auto det = detect_phases(prog);  // auto window
+  EXPECT_GT(det.repetitiveness, 0.5) << GetParam();
+  EXPECT_GT(det.max_repeat, 3) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, RepetitivenessProperty,
+                         ::testing::Values("pop", "lammps-chain",
+                                           "lammps-comb", "nas-lu",
+                                           "nas-mg-a", "nas-mg-b",
+                                           "sweep3d"));
+
+TEST(Generators, PhaseIdsRepeatAcrossIterations) {
+  // Stable phase ids are what Table 2.2's weights measure.
+  const auto prog = make_pop(16, TraceScale{6, 1.0, 1.0});
+  const auto ps = phase_stats(prog);
+  EXPECT_EQ(ps.total_phases, 2);       // baroclinic + barotropic
+  EXPECT_EQ(ps.relevant_phases, 2);
+  EXPECT_GE(ps.repetitions.at(1), 6 * 9);  // solver phase: 9 per step
+}
+
+TEST(Generators, LammpsUses3dDecomposition) {
+  const auto [px, py, pz] = grid_3d(64);
+  EXPECT_EQ(px * py * pz, 64);
+  EXPECT_EQ(px, 4);
+  EXPECT_EQ(py, 4);
+  EXPECT_EQ(pz, 4);
+  const auto m = CommMatrix::from_program(
+      make_lammps(64, false, TraceScale{2, 1.0, 1.0}), false);
+  EXPECT_EQ(m.max_tdc(), 7);  // 6 faces + the long-range partner
+}
+
+TEST(Generators, CommMatrixExpandsCollectives) {
+  TraceProgram prog("coll-only", 8);
+  for (int r = 0; r < 8; ++r) prog.add(r, TraceEvent::allreduce(1024));
+  const auto with = CommMatrix::from_program(prog, true);
+  const auto without = CommMatrix::from_program(prog, false);
+  EXPECT_GT(with.total_volume(), 0);
+  EXPECT_EQ(without.total_volume(), 0);
+}
+
+TEST(Generators, FtIsAllToAll) {
+  // FT's transpose touches every other rank: the densest matrix of the
+  // suite (TDC = ranks - 1).
+  const auto m = CommMatrix::from_program(
+      make_nas_ft(16, 'A', TraceScale{2, 1.0, 1.0}), false);
+  EXPECT_EQ(m.max_tdc(), 15);
+  EXPECT_EQ(m.avg_tdc(), 15.0);
+}
+
+TEST(Generators, Smg2000PartnerDistanceDoubles) {
+  // Semicoarsening: x-axis partners exist at strides 1, 2, 4, ... so the
+  // TDC exceeds a plain 4-neighbour stencil.
+  const auto m = CommMatrix::from_program(
+      make_smg2000(64, TraceScale{2, 1.0, 1.0}), false);
+  EXPECT_GT(m.max_tdc(), 4);
+  const auto stats = phase_stats(make_smg2000(64, TraceScale{4, 1.0, 1.0}));
+  EXPECT_EQ(stats.total_phases, 2);  // down- and up-sweep phases
+  EXPECT_GE(stats.repetitions.at(0), 4);
+}
+
+TEST(Generators, UnknownNameThrows) {
+  EXPECT_THROW(make_app_trace("quake", 16), std::invalid_argument);
+}
+
+TEST(Generators, Grid2dFactorsNearSquare) {
+  EXPECT_EQ(grid_2d(64), (std::pair{8, 8}));
+  EXPECT_EQ(grid_2d(32), (std::pair{4, 8}));
+  EXPECT_EQ(grid_2d(12), (std::pair{3, 4}));
+  EXPECT_EQ(grid_2d(7), (std::pair{1, 7}));
+}
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,211 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "routing/oblivious.hpp"
+#include "test_util.hpp"
+#include "traffic/bursty.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
+
+namespace prdrb {
+namespace {
+
+using test::Harness;
+
+// ---------------------------------------------------------------------------
+// Table 4.1 permutation definitions.
+
+TEST(Patterns, BitReversalMatchesTable41) {
+  // n = 3 bits: d_i = s_(n-1-i). 0b001 -> 0b100.
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  EXPECT_EQ(bit_reverse(0b101, 3), 0b101u);  // palindrome fixed point
+}
+
+TEST(Patterns, PerfectShuffleMatchesTable41) {
+  // d_i = s_((i-1) mod n): left rotation. 0b100 (n=3) -> 0b001.
+  EXPECT_EQ(bit_rotate_left(0b100, 3), 0b001u);
+  EXPECT_EQ(bit_rotate_left(0b011, 3), 0b110u);
+}
+
+TEST(Patterns, MatrixTransposeMatchesTable41) {
+  // d_i = s_((i + n/2) mod n): half rotation. n=4: 0b0011 -> 0b1100.
+  EXPECT_EQ(bit_transpose(0b0011, 4), 0b1100u);
+  EXPECT_EQ(bit_transpose(0b0110, 4), 0b1001u);
+}
+
+class PermutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationProperty, PatternsArePermutations) {
+  const int nodes = GetParam();
+  Rng rng(1);
+  for (const char* name :
+       {"bit-reversal", "perfect-shuffle", "matrix-transpose"}) {
+    auto pat = make_pattern(name, nodes);
+    std::set<NodeId> dests;
+    for (NodeId s = 0; s < nodes; ++s) {
+      const NodeId d = pat->destination(s, rng);
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, nodes);
+      dests.insert(d);
+    }
+    EXPECT_EQ(static_cast<int>(dests.size()), nodes)
+        << name << " must be a bijection on " << nodes << " nodes";
+    EXPECT_TRUE(pat->fixed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationProperty,
+                         ::testing::Values(4, 16, 32, 64, 256));
+
+TEST(Patterns, UniformAvoidsSelfAndCoversNodes) {
+  UniformPattern pat(16);
+  Rng rng(3);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId d = pat.destination(5, rng);
+    EXPECT_NE(d, 5);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 16);
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), 15u);
+  EXPECT_FALSE(pat.fixed());
+}
+
+TEST(Patterns, FactoryRejectsUnknownName) {
+  EXPECT_THROW(make_pattern("nonsense", 16), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BurstSchedule
+
+TEST(BurstSchedule, ActiveWindows) {
+  BurstSchedule b(1e-3, 2e-3, 3e-3, 2);  // bursts at [1,3) and [6,8) ms
+  EXPECT_FALSE(b.active(0.5e-3));
+  EXPECT_TRUE(b.active(1.5e-3));
+  EXPECT_FALSE(b.active(4e-3));
+  EXPECT_TRUE(b.active(6.5e-3));
+  EXPECT_FALSE(b.active(9e-3));  // schedule exhausted
+}
+
+TEST(BurstSchedule, NextActiveSkipsGaps) {
+  BurstSchedule b(1e-3, 2e-3, 3e-3, 2);
+  EXPECT_DOUBLE_EQ(b.next_active(0), 1e-3);
+  EXPECT_DOUBLE_EQ(b.next_active(2e-3), 2e-3);       // already active
+  EXPECT_DOUBLE_EQ(b.next_active(3.5e-3), 6e-3);     // jump the gap
+  EXPECT_EQ(b.next_active(9e-3), kTimeInfinity);     // done
+}
+
+TEST(BurstSchedule, BurstIndexAndEndTime) {
+  BurstSchedule b(0, 2e-3, 3e-3, 3);
+  EXPECT_EQ(b.burst_index(1e-3), 0);
+  EXPECT_EQ(b.burst_index(6e-3), 1);
+  EXPECT_DOUBLE_EQ(b.end_time(), 2 * 5e-3 + 2e-3);
+  BurstSchedule unbounded(0, 1e-3, 1e-3);
+  EXPECT_EQ(unbounded.end_time(), kTimeInfinity);
+}
+
+// ---------------------------------------------------------------------------
+// HotspotPattern
+
+TEST(Hotspot, FixedFlowAssignments) {
+  HotspotPattern pat({{0, 5}, {1, 5}});
+  Rng rng(1);
+  EXPECT_EQ(pat.destination(0, rng), 5);
+  EXPECT_EQ(pat.destination(1, rng), 5);
+  EXPECT_EQ(pat.destination(9, rng), 9);  // non-participant: no traffic
+  EXPECT_EQ(pat.sources(), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Hotspot, MeshCrossHotspotFlowsShareTrajectory) {
+  Mesh2D mesh(8, 8);
+  const auto pat = make_mesh_cross_hotspot(mesh, 6);
+  ASSERT_GE(pat.flows().size(), 5u);
+  std::set<NodeId> dsts;
+  for (const auto& [s, d] : pat.flows()) {
+    // West edge to east edge, distinct endpoints, vertical displacement of
+    // half the height: the shared trajectory is the last column.
+    EXPECT_EQ(mesh.x_of(s), 0);
+    EXPECT_EQ(mesh.x_of(d), 7);
+    EXPECT_EQ((mesh.y_of(s) + 4) % 8, mesh.y_of(d));
+    dsts.insert(d);
+  }
+  EXPECT_EQ(dsts.size(), pat.flows().size());  // no endpoint collisions
+}
+
+TEST(Hotspot, DoubleHotspotHasLongFlowAndLocalGroups) {
+  Mesh2D mesh(8, 8);
+  const auto pat = make_mesh_double_hotspot(mesh);
+  ASSERT_GT(pat.flows().size(), 4u);
+  const auto& [ls, ld] = pat.flows().front();
+  EXPECT_EQ(mesh.distance(ls, ld), 7);  // the long west-east flow
+}
+
+// ---------------------------------------------------------------------------
+// TrafficGenerator
+
+TEST(TrafficGenerator, RateProducesExpectedMessageCount) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  UniformPattern pat(16);
+  TrafficConfig cfg;
+  cfg.rate_bps = 400e6;
+  cfg.message_bytes = 1024;
+  cfg.stop = 1e-3;
+  TrafficGenerator gen(h.sim, *h.net, pat, cfg, 42);
+  gen.start();
+  h.sim.run();
+  // 400 Mb/s / 8192 bits per message = ~48.8 msgs/ms per node, 16 nodes.
+  const double expected = 400e6 / (1024 * 8) * 1e-3 * 16;
+  EXPECT_NEAR(static_cast<double>(gen.messages_sent()), expected,
+              expected * 0.1);
+  EXPECT_DOUBLE_EQ(h.metrics->delivery_ratio(), 1.0);
+}
+
+TEST(TrafficGenerator, BurstGateSuppressesQuietPhases) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  UniformPattern pat(16);
+  TrafficConfig cfg;
+  cfg.rate_bps = 400e6;
+  cfg.stop = 10e-3;
+  BurstSchedule bursts(0, 1e-3, 4e-3, 2);  // active 2 ms of the 10 ms
+  TrafficGenerator gen(h.sim, *h.net, pat, cfg, 42, {}, &bursts);
+  gen.start();
+  h.sim.run();
+  const double full_rate = 400e6 / (1024 * 8) * 10e-3 * 16;
+  EXPECT_LT(static_cast<double>(gen.messages_sent()), full_rate * 0.3);
+  EXPECT_GT(gen.messages_sent(), 0u);
+}
+
+TEST(TrafficGenerator, RestrictedNodeSetOnlyThoseInject) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  HotspotPattern pat({{0, 5}, {1, 5}});
+  TrafficConfig cfg;
+  cfg.stop = 0.5e-3;
+  TrafficGenerator gen(h.sim, *h.net, pat, cfg, 42, pat.sources());
+  gen.start();
+  h.sim.run();
+  EXPECT_GT(h.net->nic(0).packets_injected, 0u);
+  EXPECT_GT(h.net->nic(1).packets_injected, 0u);
+  EXPECT_EQ(h.net->nic(9).packets_injected, 0u);
+}
+
+TEST(TrafficGenerator, ExponentialInterarrivalApproximatesRate) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  UniformPattern pat(16);
+  TrafficConfig cfg;
+  cfg.rate_bps = 400e6;
+  cfg.stop = 2e-3;
+  cfg.exponential_interarrival = true;
+  TrafficGenerator gen(h.sim, *h.net, pat, cfg, 42);
+  gen.start();
+  h.sim.run();
+  const double expected = 400e6 / (1024 * 8) * 2e-3 * 16;
+  EXPECT_NEAR(static_cast<double>(gen.messages_sent()), expected,
+              expected * 0.2);
+}
+
+}  // namespace
+}  // namespace prdrb
