@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_drb_parameters"
+  "../bench/bench_ablation_drb_parameters.pdb"
+  "CMakeFiles/bench_ablation_drb_parameters.dir/bench_ablation_drb_parameters.cpp.o"
+  "CMakeFiles/bench_ablation_drb_parameters.dir/bench_ablation_drb_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drb_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

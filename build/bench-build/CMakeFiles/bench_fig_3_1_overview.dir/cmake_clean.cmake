@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_3_1_overview"
+  "../bench/bench_fig_3_1_overview.pdb"
+  "CMakeFiles/bench_fig_3_1_overview.dir/bench_fig_3_1_overview.cpp.o"
+  "CMakeFiles/bench_fig_3_1_overview.dir/bench_fig_3_1_overview.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_3_1_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

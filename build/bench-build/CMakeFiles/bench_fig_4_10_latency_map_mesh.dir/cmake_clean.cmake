@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_4_10_latency_map_mesh"
+  "../bench/bench_fig_4_10_latency_map_mesh.pdb"
+  "CMakeFiles/bench_fig_4_10_latency_map_mesh.dir/bench_fig_4_10_latency_map_mesh.cpp.o"
+  "CMakeFiles/bench_fig_4_10_latency_map_mesh.dir/bench_fig_4_10_latency_map_mesh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_10_latency_map_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

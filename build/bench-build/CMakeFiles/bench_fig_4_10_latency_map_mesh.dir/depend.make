@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_10_latency_map_mesh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_13_fattree_shuffle32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_15_fattree_bitrev32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_4_17_fattree_transpose64"
+  "../bench/bench_fig_4_17_fattree_transpose64.pdb"
+  "CMakeFiles/bench_fig_4_17_fattree_transpose64.dir/bench_fig_4_17_fattree_transpose64.cpp.o"
+  "CMakeFiles/bench_fig_4_17_fattree_transpose64.dir/bench_fig_4_17_fattree_transpose64.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_17_fattree_transpose64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_17_fattree_transpose64.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_20_nas_lu_map.
+# This may be replaced when dependencies are built.

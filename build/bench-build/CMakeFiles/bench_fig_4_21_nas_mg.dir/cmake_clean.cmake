@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_4_21_nas_mg"
+  "../bench/bench_fig_4_21_nas_mg.pdb"
+  "CMakeFiles/bench_fig_4_21_nas_mg.dir/bench_fig_4_21_nas_mg.cpp.o"
+  "CMakeFiles/bench_fig_4_21_nas_mg.dir/bench_fig_4_21_nas_mg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_21_nas_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_4_21_nas_mg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_21_nas_mg.
+# This may be replaced when dependencies are built.

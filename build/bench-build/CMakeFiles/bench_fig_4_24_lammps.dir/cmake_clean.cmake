@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_4_24_lammps"
+  "../bench/bench_fig_4_24_lammps.pdb"
+  "CMakeFiles/bench_fig_4_24_lammps.dir/bench_fig_4_24_lammps.cpp.o"
+  "CMakeFiles/bench_fig_4_24_lammps.dir/bench_fig_4_24_lammps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_24_lammps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_4_27_pop"
+  "../bench/bench_fig_4_27_pop.pdb"
+  "CMakeFiles/bench_fig_4_27_pop.dir/bench_fig_4_27_pop.cpp.o"
+  "CMakeFiles/bench_fig_4_27_pop.dir/bench_fig_4_27_pop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_27_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

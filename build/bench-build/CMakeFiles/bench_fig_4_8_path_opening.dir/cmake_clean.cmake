@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_4_8_path_opening"
+  "../bench/bench_fig_4_8_path_opening.pdb"
+  "CMakeFiles/bench_fig_4_8_path_opening.dir/bench_fig_4_8_path_opening.cpp.o"
+  "CMakeFiles/bench_fig_4_8_path_opening.dir/bench_fig_4_8_path_opening.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_4_8_path_opening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_4_8_path_opening.
+# This may be replaced when dependencies are built.

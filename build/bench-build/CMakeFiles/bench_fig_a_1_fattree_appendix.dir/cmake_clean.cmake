@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_a_1_fattree_appendix"
+  "../bench/bench_fig_a_1_fattree_appendix.pdb"
+  "CMakeFiles/bench_fig_a_1_fattree_appendix.dir/bench_fig_a_1_fattree_appendix.cpp.o"
+  "CMakeFiles/bench_fig_a_1_fattree_appendix.dir/bench_fig_a_1_fattree_appendix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_a_1_fattree_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

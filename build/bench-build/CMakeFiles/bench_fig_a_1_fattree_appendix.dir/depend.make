@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_a_1_fattree_appendix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_4_1_patterns"
+  "../bench/bench_table_4_1_patterns.pdb"
+  "CMakeFiles/bench_table_4_1_patterns.dir/bench_table_4_1_patterns.cpp.o"
+  "CMakeFiles/bench_table_4_1_patterns.dir/bench_table_4_1_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_4_1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_adaptive.dir/hotspot_adaptive.cpp.o"
+  "CMakeFiles/hotspot_adaptive.dir/hotspot_adaptive.cpp.o.d"
+  "hotspot_adaptive"
+  "hotspot_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdrb_sim.dir/prdrb_sim.cpp.o"
+  "CMakeFiles/prdrb_sim.dir/prdrb_sim.cpp.o.d"
+  "prdrb_sim"
+  "prdrb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdrb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cfd.cpp" "src/CMakeFiles/prdrb.dir/core/cfd.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/core/cfd.cpp.o.d"
+  "/root/repo/src/core/pr_drb.cpp" "src/CMakeFiles/prdrb.dir/core/pr_drb.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/core/pr_drb.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/CMakeFiles/prdrb.dir/core/signature.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/core/signature.cpp.o.d"
+  "/root/repo/src/core/solution_db.cpp" "src/CMakeFiles/prdrb.dir/core/solution_db.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/core/solution_db.cpp.o.d"
+  "/root/repo/src/experiment/scenario.cpp" "src/CMakeFiles/prdrb.dir/experiment/scenario.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/experiment/scenario.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/prdrb.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/energy.cpp" "src/CMakeFiles/prdrb.dir/metrics/energy.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/energy.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/CMakeFiles/prdrb.dir/metrics/histogram.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/histogram.cpp.o.d"
+  "/root/repo/src/metrics/latency_map.cpp" "src/CMakeFiles/prdrb.dir/metrics/latency_map.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/latency_map.cpp.o.d"
+  "/root/repo/src/metrics/latency_stats.cpp" "src/CMakeFiles/prdrb.dir/metrics/latency_stats.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/latency_stats.cpp.o.d"
+  "/root/repo/src/metrics/map_render.cpp" "src/CMakeFiles/prdrb.dir/metrics/map_render.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/map_render.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/CMakeFiles/prdrb.dir/metrics/time_series.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/metrics/time_series.cpp.o.d"
+  "/root/repo/src/net/config.cpp" "src/CMakeFiles/prdrb.dir/net/config.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/config.cpp.o.d"
+  "/root/repo/src/net/kary_ntree.cpp" "src/CMakeFiles/prdrb.dir/net/kary_ntree.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/kary_ntree.cpp.o.d"
+  "/root/repo/src/net/mesh2d.cpp" "src/CMakeFiles/prdrb.dir/net/mesh2d.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/mesh2d.cpp.o.d"
+  "/root/repo/src/net/mesh_nd.cpp" "src/CMakeFiles/prdrb.dir/net/mesh_nd.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/mesh_nd.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/prdrb.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/prdrb.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/nic.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/prdrb.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/prdrb.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/router.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/prdrb.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/net/topology.cpp.o.d"
+  "/root/repo/src/routing/adaptive.cpp" "src/CMakeFiles/prdrb.dir/routing/adaptive.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/routing/adaptive.cpp.o.d"
+  "/root/repo/src/routing/drb.cpp" "src/CMakeFiles/prdrb.dir/routing/drb.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/routing/drb.cpp.o.d"
+  "/root/repo/src/routing/fr_drb.cpp" "src/CMakeFiles/prdrb.dir/routing/fr_drb.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/routing/fr_drb.cpp.o.d"
+  "/root/repo/src/routing/metapath.cpp" "src/CMakeFiles/prdrb.dir/routing/metapath.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/routing/metapath.cpp.o.d"
+  "/root/repo/src/routing/oblivious.cpp" "src/CMakeFiles/prdrb.dir/routing/oblivious.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/routing/oblivious.cpp.o.d"
+  "/root/repo/src/routing/policy.cpp" "src/CMakeFiles/prdrb.dir/routing/policy.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/routing/policy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/prdrb.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/prdrb.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/prdrb.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/collectives.cpp" "src/CMakeFiles/prdrb.dir/trace/collectives.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/trace/collectives.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/CMakeFiles/prdrb.dir/trace/event.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/trace/event.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/CMakeFiles/prdrb.dir/trace/generators.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/trace/generators.cpp.o.d"
+  "/root/repo/src/trace/player.cpp" "src/CMakeFiles/prdrb.dir/trace/player.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/trace/player.cpp.o.d"
+  "/root/repo/src/trace/program.cpp" "src/CMakeFiles/prdrb.dir/trace/program.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/trace/program.cpp.o.d"
+  "/root/repo/src/traffic/bursty.cpp" "src/CMakeFiles/prdrb.dir/traffic/bursty.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/traffic/bursty.cpp.o.d"
+  "/root/repo/src/traffic/hotspot.cpp" "src/CMakeFiles/prdrb.dir/traffic/hotspot.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/traffic/hotspot.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/CMakeFiles/prdrb.dir/traffic/pattern.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/traffic/pattern.cpp.o.d"
+  "/root/repo/src/traffic/source.cpp" "src/CMakeFiles/prdrb.dir/traffic/source.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/traffic/source.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/prdrb.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/prdrb.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/prdrb.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

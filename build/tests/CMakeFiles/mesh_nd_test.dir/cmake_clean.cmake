@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_nd_test.dir/mesh_nd_test.cpp.o"
+  "CMakeFiles/mesh_nd_test.dir/mesh_nd_test.cpp.o.d"
+  "mesh_nd_test"
+  "mesh_nd_test.pdb"
+  "mesh_nd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_nd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdrb_test.dir/prdrb_test.cpp.o"
+  "CMakeFiles/prdrb_test.dir/prdrb_test.cpp.o.d"
+  "prdrb_test"
+  "prdrb_test.pdb"
+  "prdrb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdrb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
