@@ -43,7 +43,8 @@ Replication latency_of(const std::string& policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Ablation: DRB/PR-DRB design parameters (mesh hot-spot, "
             << kSeeds << " seeds, mean ± 95% CI in us) ===\n";
 

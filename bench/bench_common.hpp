@@ -4,6 +4,7 @@
 
 #include <iostream>
 
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "metrics/collector.hpp"
 #include "net/kary_ntree.hpp"
@@ -21,19 +22,37 @@ using prdrb::improvement_pct;
 using prdrb::make_policy;
 using prdrb::make_topology;
 using prdrb::PolicyBundle;
+using prdrb::run_policies;
+using prdrb::run_sweep;
 using prdrb::run_synthetic;
 using prdrb::run_trace;
 using prdrb::ScenarioResult;
+using prdrb::SweepJob;
 using prdrb::SyntheticScenario;
 using prdrb::TraceScenario;
 
 /// Older bench sources refer to trace results by this name.
 using TraceResult = ScenarioResult;
 
-/// Per-router latency map of a synthetic scenario (Figs. 4.10/4.11).
-inline std::vector<double> run_synthetic_map(const std::string& policy_name,
-                                             const SyntheticScenario& sc) {
-  return run_synthetic(policy_name, sc).router_map;
+/// Common entry-point setup for every bench binary: honours `--jobs N` /
+/// `--jobs=N` / `-jN` (falling back to the PRDRB_JOBS environment variable,
+/// then hardware concurrency) for the parallel sweep executor. Safe to call
+/// with the raw main() arguments.
+inline void bench_init(int argc, char** argv) {
+  if (const int jobs = prdrb::parse_jobs_flag(argc, argv)) {
+    prdrb::set_default_jobs(jobs);
+  }
+}
+
+/// Per-router latency maps of a synthetic scenario under several policies
+/// (Figs. 4.10/4.11), one sweep job per policy.
+inline std::vector<std::vector<double>> run_policy_maps(
+    const std::vector<std::string>& policies, const SyntheticScenario& sc) {
+  std::vector<std::vector<double>> maps;
+  for (auto& r : run_policies(policies, sc)) {
+    maps.push_back(std::move(r.router_map));
+  }
+  return maps;
 }
 
 /// Seconds -> microseconds, formatted.

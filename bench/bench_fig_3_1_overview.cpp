@@ -53,13 +53,16 @@ SyntheticScenario base_scenario() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Fig 3.1: PR-DRB learns in stage 1, re-applies from "
                "stage 2 ===\n";
   const auto sc = base_scenario();
-  const auto drb = run_synthetic("drb", sc);
-  const auto pr_dest = run_synthetic("pr-drb", sc);
-  const auto pr_router = run_synthetic("pr-drb@router", sc);
+  const auto results =
+      run_policies({"drb", "pr-drb", "pr-drb@router"}, sc);
+  const ScenarioResult& drb = results[0];
+  const ScenarioResult& pr_dest = results[1];
+  const ScenarioResult& pr_router = results[2];
 
   const auto b_drb = per_burst_latency(drb, sc);
   const auto b_dest = per_burst_latency(pr_dest, sc);

@@ -31,7 +31,8 @@ double peak(const std::vector<double>& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Figs 4.10/4.11: latency surface maps, 8x8 mesh, "
                "bursty hot-spot (Table 4.2) ===\n";
   SyntheticScenario sc;
@@ -44,9 +45,10 @@ int main() {
   sc.duration = 30e-3;
   sc.noise_rate_bps = 50e6;
 
-  const auto det = run_synthetic_map("deterministic", sc);
-  const auto drb = run_synthetic_map("drb", sc);
-  const auto pr = run_synthetic_map("pr-drb", sc);
+  const auto maps = run_policy_maps({"deterministic", "drb", "pr-drb"}, sc);
+  const std::vector<double>& det = maps[0];
+  const std::vector<double>& drb = maps[1];
+  const std::vector<double>& pr = maps[2];
 
   print_map("deterministic", det, 8, 8);
   print_map("drb (Fig 4.10)", drb, 8, 8);

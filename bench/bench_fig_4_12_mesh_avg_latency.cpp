@@ -14,7 +14,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Fig 4.12: average latency vs time, 8x8 mesh, "
                "bursty hot-spot ===\n";
   SyntheticScenario sc;
@@ -28,9 +29,10 @@ int main() {
   sc.noise_rate_bps = 50e6;
   sc.bin_width = 0.5e-3;
 
-  const auto det = run_synthetic("deterministic", sc);
-  const auto drb = run_synthetic("drb", sc);
-  const auto prdrb_r = run_synthetic("pr-drb", sc);
+  const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
+  const ScenarioResult& det = results[0];
+  const ScenarioResult& drb = results[1];
+  const ScenarioResult& prdrb_r = results[2];
 
   Table t({"time_ms", "det_us", "drb_us", "pr-drb_us"});
   const std::size_t bins =

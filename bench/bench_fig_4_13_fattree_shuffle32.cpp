@@ -3,8 +3,9 @@
 // achieves 29 % lower latency at low load and 22 % at high load.
 #include "permutation_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prdrb::bench;
+  bench_init(argc, argv);
   // In-burst rates sit just above the pattern's deterministic-routing
   // capacity cliff (~1 Gb/s/node for shuffle on the 2-ary 5-tree), the same
   // relative operating points as the paper's 400/600 Mbps on its testbed.

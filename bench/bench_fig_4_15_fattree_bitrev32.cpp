@@ -4,8 +4,9 @@
 // stabilize after the transitory state.
 #include "permutation_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prdrb::bench;
+  bench_init(argc, argv);
   // In-burst rates around bit-reversal's capacity cliff on the 2-ary
   // 5-tree; relative operating points chosen as in Fig 4.13.
   run_permutation_figure("Fig 4.15", "tree-32", "bit-reversal", 900e6,

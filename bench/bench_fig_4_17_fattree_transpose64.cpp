@@ -4,8 +4,9 @@
 // bounded because PR-DRB handles resources more efficiently).
 #include "permutation_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prdrb::bench;
+  bench_init(argc, argv);
   // Matrix transpose is the most adversarial permutation for the 4-ary
   // 3-tree; its capacity cliff sits near 650 Mb/s/node in-burst.
   run_permutation_figure("Fig 4.17", "tree-64", "matrix-transpose", 660e6,

@@ -13,7 +13,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Fig 4.20: NAS LU class A latency map, 64-node fat tree "
                "===\n";
   TraceScale scale;
@@ -22,10 +23,7 @@ int main() {
   scale.compute_scale = 0.5;
   const auto sc = app_scenario("nas-lu", "tree-64", scale);
 
-  std::vector<TraceResult> results;
-  for (const char* policy : {"deterministic", "drb", "pr-drb"}) {
-    results.push_back(run_trace(policy, sc));
-  }
+  const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
   print_app_summary("summary (LU class A):", results);
 
   // The latency map itself: per-router average contention, printed by tree

@@ -14,7 +14,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Figs 4.21-4.23: NAS MG classes S/A/B, 64-node fat tree "
                "===\n";
   struct ClassRow {
@@ -29,10 +30,7 @@ int main() {
     scale.compute_scale = 0.5;
     const std::string app = std::string("nas-mg-") + static_cast<char>(std::tolower(cls));
     auto sc = app_scenario(app, "tree-64", scale);
-    ClassRow row{cls, {}};
-    for (const char* policy : {"deterministic", "drb", "pr-drb"}) {
-      row.results.push_back(run_trace(policy, sc));
-    }
+    ClassRow row{cls, run_policies({"deterministic", "drb", "pr-drb"}, sc)};
     rows.push_back(std::move(row));
   }
 

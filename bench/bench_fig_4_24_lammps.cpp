@@ -15,7 +15,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Figs 4.24-4.26: LAMMPS (chain), 64-node fat tree ===\n";
   TraceScale scale;
   scale.iterations = 16;  // many timesteps: the repetitive phases
@@ -23,10 +24,7 @@ int main() {
   scale.compute_scale = 0.5;
   const auto sc = app_scenario("lammps-chain", "tree-64", scale);
 
-  std::vector<TraceResult> results;
-  for (const char* policy : {"deterministic", "drb", "pr-drb"}) {
-    results.push_back(run_trace(policy, sc));
-  }
+  const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
   print_app_summary("summary (Figs 4.24/4.25):", results);
 
   const auto& det = results[0];

@@ -16,7 +16,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Figs 4.27-4.30: POP, 64-node fat tree, full policy set "
                "===\n";
   TraceScale scale;
@@ -25,11 +26,10 @@ int main() {
   scale.compute_scale = 0.5;
   const auto sc = app_scenario("pop", "tree-64", scale);
 
-  std::vector<TraceResult> results;
-  for (const char* policy : {"deterministic", "cyclic", "random", "drb",
-                             "pr-drb", "fr-drb", "pr-fr-drb"}) {
-    results.push_back(run_trace(policy, sc));
-  }
+  const auto results =
+      run_policies({"deterministic", "cyclic", "random", "drb", "pr-drb",
+                    "fr-drb", "pr-fr-drb"},
+                   sc);
   print_app_summary("Fig 4.27 — global latency & execution time:", results);
 
   auto by_name = [&](const std::string& n) -> const TraceResult& {

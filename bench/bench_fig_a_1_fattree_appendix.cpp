@@ -3,8 +3,9 @@
 // the 400 Mbps/node operating point.
 #include "permutation_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prdrb::bench;
+  bench_init(argc, argv);
   run_permutation_figure("Fig A.1", "tree-32", "matrix-transpose", 1050e6,
                          "appendix complement of Fig 4.17");
   // On the 4-ary 3-tree the adaptive ascending phase alone handles shuffle

@@ -4,18 +4,28 @@
 // throughput keeping latency values as low as possible" — this bench shows
 // where each policy's latency knee sits and verifies accepted load tracks
 // offered load (lossless network, delivery ratio 1.0 after drain).
+//
+// The full (rate x policy) grid is submitted to the parallel sweep executor
+// in one batch; results come back indexed by submission order, so the table
+// is bit-identical at any --jobs value.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_init(argc, argv);
   std::cout << "=== Load sweep: global latency vs offered load, 8x8 mesh "
                "hot-spot ===\n";
-  Table t({"offered_Mbps", "det_us", "drb_us", "pr-drb_us", "delivery"});
-  for (double rate : {200e6, 400e6, 600e6, 800e6, 1000e6, 1200e6}) {
+  const std::vector<double> rates = {200e6, 400e6, 600e6,
+                                     800e6, 1000e6, 1200e6};
+  const std::vector<std::string> policies = {"deterministic", "drb",
+                                             "pr-drb"};
+  std::vector<SweepJob> jobs;
+  for (double rate : rates) {
     SyntheticScenario sc;
     sc.topology = "mesh-8x8";
     sc.pattern = "hotspot-cross";
@@ -25,10 +35,18 @@ int main() {
     sc.gap_len = 2e-3;
     sc.duration = 14e-3;
     sc.noise_rate_bps = 40e6;
-    const auto det = run_synthetic("deterministic", sc);
-    const auto drb = run_synthetic("drb", sc);
-    const auto pr = run_synthetic("pr-drb", sc);
-    t.add_row({Table::num(rate / 1e6, 4), us(det.global_latency),
+    for (const std::string& policy : policies) {
+      jobs.push_back(SweepJob::make_synthetic(policy, sc));
+    }
+  }
+  const auto results = run_sweep(jobs);
+
+  Table t({"offered_Mbps", "det_us", "drb_us", "pr-drb_us", "delivery"});
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const ScenarioResult& det = results[i * policies.size() + 0];
+    const ScenarioResult& drb = results[i * policies.size() + 1];
+    const ScenarioResult& pr = results[i * policies.size() + 2];
+    t.add_row({Table::num(rates[i] / 1e6, 4), us(det.global_latency),
                us(drb.global_latency), us(pr.global_latency),
                Table::num(pr.delivery_ratio, 6)});
   }

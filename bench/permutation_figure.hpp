@@ -30,8 +30,9 @@ inline void run_permutation_figure(const std::string& figure,
   sc.duration = 8 * 3.5e-3 + 4e-3;
   sc.bin_width = 0.5e-3;
 
-  const auto drb = run_synthetic("drb", sc);
-  const auto pr = run_synthetic("pr-drb", sc);
+  const auto results = run_policies({"drb", "pr-drb"}, sc);
+  const ScenarioResult& drb = results[0];
+  const ScenarioResult& pr = results[1];
 
   Table t({"time_ms", "drb_us", "pr-drb_us"});
   const std::size_t bins = std::max(drb.series.size(), pr.series.size());

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +40,9 @@ options (synthetic traffic):
   --noise <bps>       uniform background load (default 0)
   --seeds <n>         replicated runs, reported mean ± 95% CI (default 1)
   --seed <v>          base seed (default 11)
+  --jobs <n>          parallel sweep workers for replicated runs (default
+                      PRDRB_JOBS env, else hardware concurrency; results
+                      are identical at any worker count)
 
 options (application trace; overrides --pattern):
   --app <name>        pop | nas-lu | nas-mg-{s,a,b} | nas-ft-{a,b} |
@@ -98,6 +102,8 @@ int main(int argc, char** argv) {
         sc.noise_rate_bps = num_arg(argc, argv, i);
       } else if (a == "--seeds") {
         seeds = static_cast<int>(num_arg(argc, argv, i));
+      } else if (a == "--jobs") {
+        set_default_jobs(static_cast<int>(num_arg(argc, argv, i)));
       } else if (a == "--seed") {
         sc.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
       } else if (a == "--app") {

@@ -1,0 +1,173 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace prdrb {
+
+SweepJob SweepJob::make_synthetic(std::string policy, SyntheticScenario sc) {
+  SweepJob j;
+  j.kind = Kind::kSynthetic;
+  j.policy = std::move(policy);
+  j.synthetic = std::move(sc);
+  return j;
+}
+
+SweepJob SweepJob::make_trace(std::string policy, TraceScenario sc) {
+  SweepJob j;
+  j.kind = Kind::kTrace;
+  j.policy = std::move(policy);
+  j.trace = std::move(sc);
+  return j;
+}
+
+ScenarioResult run_job(const SweepJob& job) {
+  return job.kind == SweepJob::Kind::kSynthetic
+             ? run_synthetic(job.policy, job.synthetic)
+             : run_trace(job.policy, job.trace);
+}
+
+namespace {
+
+std::atomic<int> g_default_jobs_override{0};
+
+int env_or_hardware_jobs() {
+  if (const char* env = std::getenv("PRDRB_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min(v, 1024L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int default_jobs() {
+  const int override_jobs = g_default_jobs_override.load();
+  return override_jobs >= 1 ? override_jobs : env_or_hardware_jobs();
+}
+
+void set_default_jobs(int n) { g_default_jobs_override.store(std::max(n, 0)); }
+
+int parse_jobs_flag(int argc, char** argv) {
+  auto parse = [](const char* s) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    return (end != s && *end == '\0' && v >= 1)
+               ? static_cast<int>(std::min(v, 1024L))
+               : 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--jobs") == 0) {
+      if (i + 1 < argc) return parse(argv[i + 1]);
+      return 0;
+    }
+    if (std::strncmp(a, "--jobs=", 7) == 0) return parse(a + 7);
+    if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') return parse(a + 2);
+  }
+  return 0;
+}
+
+std::vector<ScenarioResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                      int n_threads) {
+  std::vector<ScenarioResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  if (n_threads <= 0) n_threads = default_jobs();
+  const int workers =
+      std::min<int>(n_threads, static_cast<int>(jobs.size()));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i]);
+    return results;
+  }
+
+  // Dynamic claim: each worker atomically takes the next unstarted job and
+  // writes into its own slot. Slot indexing (not completion order) is what
+  // makes the output independent of scheduling.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= jobs.size()) return;
+          try {
+            results[i] = run_job(jobs[i]);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+            // Drain the remaining claims so all workers wind down promptly.
+            next.store(jobs.size());
+            return;
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+namespace {
+
+template <typename Scenario>
+std::vector<ScenarioResult> run_policy_set(
+    const std::vector<std::string>& policies, const Scenario& sc,
+    int n_threads) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(policies.size());
+  for (const std::string& p : policies) {
+    if constexpr (std::is_same_v<Scenario, SyntheticScenario>) {
+      jobs.push_back(SweepJob::make_synthetic(p, sc));
+    } else {
+      jobs.push_back(SweepJob::make_trace(p, sc));
+    }
+  }
+  return run_sweep(jobs, n_threads);
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> run_policies(
+    const std::vector<std::string>& policies, const SyntheticScenario& sc,
+    int n_threads) {
+  return run_policy_set(policies, sc, n_threads);
+}
+
+std::vector<ScenarioResult> run_policies(
+    const std::vector<std::string>& policies, const TraceScenario& sc,
+    int n_threads) {
+  return run_policy_set(policies, sc, n_threads);
+}
+
+// Defined here (declared in scenario.hpp) so multi-seed replication fans
+// out through the same deterministic executor: seeds are assigned at
+// submission time and results come back in seed order, identical to the
+// old serial loop.
+std::vector<ScenarioResult> run_synthetic_replicated(
+    const std::string& policy_name, SyntheticScenario sc, int runs) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(std::max(runs, 0)));
+  const std::uint64_t base_seed = sc.seed;
+  for (int i = 0; i < runs; ++i) {
+    sc.seed = base_seed + static_cast<std::uint64_t>(i);
+    jobs.push_back(SweepJob::make_synthetic(policy_name, sc));
+  }
+  return run_sweep(jobs);
+}
+
+}  // namespace prdrb

@@ -1,6 +1,7 @@
 #include "experiment/scenario.hpp"
 
 #include <cmath>
+#include <iostream>
 #include <stdexcept>
 
 #include "metrics/collector.hpp"
@@ -121,7 +122,15 @@ std::unique_ptr<Topology> make_topology(const std::string& name) {
 }
 
 double improvement_pct(double baseline, double value) {
-  return baseline > 0 ? 100.0 * (baseline - value) / baseline : 0.0;
+  // A baseline of 0 (e.g. a run that delivered no packets) or a non-finite
+  // input would poison every bench table built on top of this; report the
+  // degenerate comparison once and call it "no improvement".
+  if (!(baseline > 0) || !std::isfinite(baseline) || !std::isfinite(value)) {
+    std::cerr << "[prdrb] improvement_pct: degenerate baseline/value ("
+              << baseline << ", " << value << "); reporting 0 %\n";
+    return 0.0;
+  }
+  return 100.0 * (baseline - value) / baseline;
 }
 
 double Replication::ci95() const {
@@ -149,17 +158,8 @@ Replication summarize(const std::vector<double>& values) {
   return r;
 }
 
-std::vector<ScenarioResult> run_synthetic_replicated(
-    const std::string& policy_name, SyntheticScenario sc, int runs) {
-  std::vector<ScenarioResult> out;
-  out.reserve(static_cast<std::size_t>(runs));
-  const std::uint64_t base_seed = sc.seed;
-  for (int i = 0; i < runs; ++i) {
-    sc.seed = base_seed + static_cast<std::uint64_t>(i);
-    out.push_back(run_synthetic(policy_name, sc));
-  }
-  return out;
-}
+// run_synthetic_replicated lives in experiment/runner.cpp: replication is a
+// sweep and goes through the parallel executor.
 
 namespace {
 

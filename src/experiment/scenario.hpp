@@ -70,6 +70,10 @@ struct ScenarioResult {
   std::vector<double> router_map;                      // avg contention per router
   std::vector<std::pair<RouterId, std::vector<std::pair<double, double>>>>
       router_series;                                   // watched routers
+
+  /// Exact (bit-wise on doubles) comparison; the parallel sweep executor's
+  /// determinism contract is stated in terms of this equality.
+  bool operator==(const ScenarioResult&) const = default;
 };
 
 /// Synthetic-traffic scenario (Tables 4.2/4.3 style).
@@ -114,6 +118,9 @@ ScenarioResult run_trace(const std::string& policy_name,
                          const TraceScenario& sc);
 
 /// Percentage improvement of `value` over `baseline` (positive = better).
+/// A zero or non-finite baseline (or non-finite value) is a degenerate
+/// comparison: it returns 0 and warns on stderr instead of emitting
+/// inf/NaN into bench tables.
 double improvement_pct(double baseline, double value);
 
 // --- multi-seed replication (thesis §4.3: "executing multiple instances of

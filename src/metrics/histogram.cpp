@@ -24,11 +24,15 @@ void LatencyHistogram::record(SimTime latency) {
 
 SimTime LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
+  // Clamp so p == 1.0 (and any out-of-range request) resolves to the last
+  // occupied bucket instead of walking past the array, and p <= 0 resolves
+  // to the first occupied bucket rather than an empty leading bucket.
+  p = std::clamp(p, 0.0, 1.0);
   const double target = p * static_cast<double>(count_);
   double cumulative = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
     cumulative += static_cast<double>(buckets_[static_cast<std::size_t>(b)]);
-    if (cumulative >= target) return bucket_upper(b);
+    if (cumulative > 0 && cumulative >= target) return bucket_upper(b);
   }
   return bucket_upper(kNumBuckets - 1);
 }

@@ -25,7 +25,9 @@ class LatencyHistogram {
   std::uint64_t count() const { return count_; }
 
   /// Smallest latency L such that at least `p` (in [0,1]) of the samples
-  /// are <= L; returns the bucket's upper bound. 0 when empty.
+  /// are <= L; returns the bucket's upper bound. Defined for every input:
+  /// 0 when empty, p clamped into [0,1] (p == 1.0 is the last occupied
+  /// bucket, p <= 0 the first occupied bucket).
   SimTime percentile(double p) const;
 
   SimTime p50() const { return percentile(0.50); }

@@ -10,11 +10,15 @@ EventId EventQueue::schedule(SimTime when, Action action) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{when, id, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  live_.insert(id);
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
+  // Only ids still pending may grow the tombstone set; an id that already
+  // fired (popped below the watermark), was already cancelled, or was never
+  // issued is dropped here, so cancelled_ stays bounded by heap_.size().
+  if (live_.erase(id) == 0) return;
   cancelled_.insert(id);
 }
 
@@ -44,6 +48,7 @@ EventQueue::Fired EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
+  live_.erase(e.id);
   return Fired{e.time, std::move(e.action)};
 }
 

@@ -30,15 +30,19 @@ class EventQueue {
   /// Schedule `action` at absolute time `when`. Returns a cancellation id.
   EventId schedule(SimTime when, Action action);
 
-  /// Lazily cancel a pending event. The caller must not cancel an event that
-  /// has already fired (callers track their own pending handles); cancelling
-  /// twice is a no-op.
+  /// Lazily cancel a pending event. Cancelling an id that already fired,
+  /// was already cancelled, or was never issued is a true no-op: only ids
+  /// still pending in the heap may add a tombstone, so the tombstone set
+  /// stays bounded by the number of pending events.
   void cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
   bool empty();
 
   std::size_t size() const { return heap_.size(); }
+
+  /// Number of cancelled-but-not-yet-purged entries (bounded by size()).
+  std::size_t pending_cancellations() const { return cancelled_.size(); }
 
   /// Time of the earliest live event; kTimeInfinity when empty.
   SimTime next_time();
@@ -65,7 +69,8 @@ class EventQueue {
   void purge_top();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;       // ids currently in heap_
+  std::unordered_set<EventId> cancelled_;  // subset awaiting purge
   EventId next_id_ = 1;
 };
 

@@ -2,6 +2,7 @@
 // extended synthetic-pattern suite, trace-file serialization, the latency
 // histogram, the energy model and the experiment harness.
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -197,6 +198,41 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.p50(), 0.0);
 }
 
+TEST(Histogram, EmptyIsDefinedForEveryP) {
+  LatencyHistogram h;
+  for (double p : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 0.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, POneReturnsLastOccupiedBucketNotArrayEnd) {
+  LatencyHistogram h;
+  h.record(1e-6);
+  h.record(2e-6);
+  // p == 1.0 must resolve to the bucket holding the 2 us sample, not to
+  // the histogram's top bucket (~1000 s).
+  EXPECT_GE(h.percentile(1.0), 2e-6);
+  EXPECT_LT(h.percentile(1.0), 1e-5);
+  // Out-of-range p clamps instead of walking past the bucket array.
+  EXPECT_DOUBLE_EQ(h.percentile(5.0), h.percentile(1.0));
+}
+
+TEST(Histogram, PZeroSkipsEmptyLeadingBuckets) {
+  LatencyHistogram h;
+  h.record(1e-4);  // far above the 100 ns first bucket
+  // p <= 0 must land on the first occupied bucket, not bucket 0.
+  EXPECT_GE(h.percentile(0.0), 1e-4);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+}
+
+TEST(Histogram, ExtremeSamplesClampIntoEdgeBuckets) {
+  LatencyHistogram h;
+  h.record(0.0);    // below kMinLatency
+  h.record(1e9);    // beyond the last bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.percentile(1.0), 0.0);
+}
+
 TEST(Histogram, ResetClears) {
   LatencyHistogram h;
   h.record(1e-6);
@@ -319,6 +355,20 @@ TEST(ExperimentHarness, SyntheticRunProducesMetrics) {
   EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0);
   EXPECT_GT(r.global_latency, 0.0);
   EXPECT_EQ(r.router_map.size(), 16u);
+}
+
+TEST(ExperimentHarness, ImprovementPctGuardsDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(improvement_pct(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(10.0, 15.0), -50.0);
+  // A baseline of 0 (e.g. a run that recorded no latency) must not divide.
+  EXPECT_DOUBLE_EQ(improvement_pct(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(-1.0, 5.0), 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(improvement_pct(nan, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(10.0, nan), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(inf, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(10.0, inf), 0.0);
 }
 
 TEST(ExperimentHarness, SummarizeStatistics) {

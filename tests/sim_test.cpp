@@ -47,6 +47,51 @@ TEST(EventQueue, CancelTwiceIsHarmless) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, CancelAfterFireLeavesNoTombstone) {
+  // Regression: cancelling an id whose event already fired used to park a
+  // tombstone in the cancelled set forever (nothing ever purged it).
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop().action();  // the event fires
+  q.cancel(id);      // FR-DRB-style late cancel must be a true no-op
+  EXPECT_EQ(q.pending_cancellations(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TombstoneSetStaysBoundedUnderChurn) {
+  // Watchdog churn: schedule, fire, then cancel the fired id — repeated.
+  // The tombstone set must stay bounded (here: empty) instead of growing
+  // by one entry per iteration.
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = q.schedule(static_cast<SimTime>(i), [] {});
+    q.pop().action();
+    q.cancel(id);
+  }
+  EXPECT_EQ(q.pending_cancellations(), 0u);
+
+  // Pending cancels do tombstone, but purge on pop reclaims them.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+  }
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_LE(q.pending_cancellations(), 100u);
+  EXPECT_TRUE(q.empty());  // purges everything
+  EXPECT_EQ(q.pending_cancellations(), 0u);
+}
+
+TEST(EventQueue, CancelOfUnknownIdIsIgnored) {
+  EventQueue q;
+  q.cancel(0);     // the "no event" sentinel
+  q.cancel(999);   // never issued
+  EXPECT_EQ(q.pending_cancellations(), 0u);
+  const EventId id = q.schedule(1.0, [] {});
+  q.cancel(id + 1);  // not issued yet
+  EXPECT_EQ(q.pending_cancellations(), 0u);
+  q.pop();
+}
+
 TEST(EventQueue, NextTimeReflectsEarliestLiveEvent) {
   EventQueue q;
   const EventId early = q.schedule(1.0, [] {});
