@@ -29,6 +29,8 @@ SyntheticScenario base_scenario() {
 
 constexpr int kSeeds = 3;
 
+BenchMain* g_bench = nullptr;  // set in main; latency_of records through it
+
 std::string stat(const Replication& r, double scale = 1e6) {
   return Table::num(r.mean * scale, 4) + " ± " +
          Table::num(r.ci95() * scale, 3);
@@ -37,6 +39,7 @@ std::string stat(const Replication& r, double scale = 1e6) {
 Replication latency_of(const std::string& policy,
                        const SyntheticScenario& sc) {
   const auto runs = run_synthetic_replicated(policy, sc, kSeeds);
+  if (g_bench) g_bench->record(runs);
   return replicate_metric(
       runs, [](const ScenarioResult& r) { return r.global_latency; });
 }
@@ -44,7 +47,10 @@ Replication latency_of(const std::string& policy,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_ablation_drb_parameters", argc, argv);
+  g_bench = &bench;
+  bench.manifest().add_config("topology", "mesh-8x8");
+  bench.manifest().add_config("seeds", std::to_string(kSeeds));
   std::cout << "=== Ablation: DRB/PR-DRB design parameters (mesh hot-spot, "
             << kSeeds << " seeds, mean ± 95% CI in us) ===\n";
 

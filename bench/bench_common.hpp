@@ -1,14 +1,22 @@
 // Thin adapter over the library's experiment harness (experiment/scenario)
-// for the per-figure bench binaries: aliases plus table-formatting helpers.
+// for the per-figure bench binaries: aliases, table-formatting helpers, the
+// shared command-line flags (--jobs, --trace-out, --metrics-out,
+// --manifest-out, --no-manifest) and the BenchMain RAII wrapper that writes
+// the run manifest (EXPERIMENTS.md "Run manifests") on exit.
 #pragma once
 
+#include <chrono>
 #include <iostream>
+#include <string_view>
 
+#include "experiment/manifest.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "metrics/collector.hpp"
 #include "net/kary_ntree.hpp"
 #include "net/mesh2d.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/hotspot.hpp"
@@ -43,6 +51,114 @@ inline void bench_init(int argc, char** argv) {
     prdrb::set_default_jobs(jobs);
   }
 }
+
+/// Observability flags shared by every bench binary (and prdrb_sim).
+struct BenchOptions {
+  int jobs = 0;              // --jobs N / --jobs=N / -jN; 0 = default
+  std::string trace_out;     // --trace-out=PATH: Chrome trace of the probe
+  std::string metrics_out;   // --metrics-out=PATH: counter CSV/JSON export
+  std::string manifest_out;  // --manifest-out=PATH (default NAME.manifest.json)
+  bool manifest = true;      // --no-manifest suppresses the manifest file
+};
+
+/// Parse the shared flags. Unknown arguments are ignored (each bench keeps
+/// its own extra flags); both "--flag=value" and "--flag value" work.
+inline BenchOptions parse_bench_flags(int argc, char** argv) {
+  BenchOptions o;
+  o.jobs = prdrb::parse_jobs_flag(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    const auto take = [&](std::string_view name, std::string& out) {
+      if (a.starts_with(name) && a.size() > name.size() &&
+          a[name.size()] == '=') {
+        out = std::string(a.substr(name.size() + 1));
+        return true;
+      }
+      if (a == name && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (take("--trace-out", o.trace_out)) continue;
+    if (take("--metrics-out", o.metrics_out)) continue;
+    if (take("--manifest-out", o.manifest_out)) continue;
+    if (a == "--no-manifest") o.manifest = false;
+  }
+  return o;
+}
+
+/// RAII entry point for bench binaries: parses the shared flags, applies
+/// --jobs, accumulates every recorded ScenarioResult into a RunManifest and
+/// writes it (plus the optional trace / counter exports) when main() ends.
+///
+/// The instrumented run is a dedicated *probe*: probe_scenario() executes
+/// one scenario serially with a tracer and a counter registry attached and
+/// writes --trace-out / --metrics-out. Because the probe never goes through
+/// the parallel executor, the trace bytes are a function of the scenario and
+/// seed only — identical at any --jobs value.
+class BenchMain {
+ public:
+  BenchMain(std::string name, int argc, char** argv)
+      : name_(std::move(name)),
+        opts_(parse_bench_flags(argc, argv)),
+        manifest_(name_),
+        start_(std::chrono::steady_clock::now()) {
+    if (opts_.jobs) prdrb::set_default_jobs(opts_.jobs);
+  }
+
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+
+  const BenchOptions& options() const { return opts_; }
+  RunManifest& manifest() { return manifest_; }
+
+  void record(const ScenarioResult& r) { manifest_.add_result(r); }
+  void record(const std::vector<ScenarioResult>& rs) {
+    for (const ScenarioResult& r : rs) manifest_.add_result(r);
+  }
+
+  /// True when --trace-out or --metrics-out was given (the caller should
+  /// then run a probe).
+  bool wants_probe() const {
+    return !opts_.trace_out.empty() || !opts_.metrics_out.empty();
+  }
+
+  /// Run `policy` over `sc` serially with tracing + counters attached and
+  /// write the requested outputs. No-op (empty result) when no
+  /// observability output was requested.
+  ScenarioResult probe_scenario(const std::string& policy,
+                                SyntheticScenario sc) {
+    if (!wants_probe()) return {};
+    obs::Tracer tracer;
+    obs::CounterRegistry counters(sc.bin_width);
+    sc.sinks.tracer = &tracer;
+    sc.sinks.counters = &counters;
+    ScenarioResult r = run_synthetic(policy, sc);
+    if (!opts_.trace_out.empty()) tracer.write_file(opts_.trace_out);
+    if (!opts_.metrics_out.empty()) counters.write_file(opts_.metrics_out);
+    return r;
+  }
+
+  ~BenchMain() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    manifest_.set_wall_seconds(
+        std::chrono::duration<double>(elapsed).count());
+    manifest_.set_jobs(prdrb::default_jobs());
+    if (opts_.manifest) {
+      const std::string path = opts_.manifest_out.empty()
+                                   ? name_ + ".manifest.json"
+                                   : opts_.manifest_out;
+      manifest_.write_file(path);
+    }
+  }
+
+ private:
+  std::string name_;
+  BenchOptions opts_;
+  RunManifest manifest_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Per-router latency maps of a synthetic scenario under several policies
 /// (Figs. 4.10/4.11), one sweep job per policy.

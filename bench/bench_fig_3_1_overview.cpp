@@ -54,12 +54,16 @@ SyntheticScenario base_scenario() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_3_1_overview", argc, argv);
   std::cout << "=== Fig 3.1: PR-DRB learns in stage 1, re-applies from "
                "stage 2 ===\n";
   const auto sc = base_scenario();
   const auto results =
       run_policies({"drb", "pr-drb", "pr-drb@router"}, sc);
+  bench.record(results);
+  bench.manifest().set_seed(sc.seed);
+  bench.manifest().add_config("topology", sc.topology);
+  bench.manifest().add_config("pattern", sc.pattern);
   const ScenarioResult& drb = results[0];
   const ScenarioResult& pr_dest = results[1];
   const ScenarioResult& pr_router = results[2];

@@ -32,7 +32,7 @@ double peak(const std::vector<double>& m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_10_latency_map_mesh", argc, argv);
   std::cout << "=== Figs 4.10/4.11: latency surface maps, 8x8 mesh, "
                "bursty hot-spot (Table 4.2) ===\n";
   SyntheticScenario sc;
@@ -45,10 +45,14 @@ int main(int argc, char** argv) {
   sc.duration = 30e-3;
   sc.noise_rate_bps = 50e6;
 
-  const auto maps = run_policy_maps({"deterministic", "drb", "pr-drb"}, sc);
-  const std::vector<double>& det = maps[0];
-  const std::vector<double>& drb = maps[1];
-  const std::vector<double>& pr = maps[2];
+  const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
+  bench.record(results);
+  bench.manifest().set_seed(sc.seed);
+  bench.manifest().add_config("topology", sc.topology);
+  bench.manifest().add_config("pattern", sc.pattern);
+  const std::vector<double>& det = results[0].router_map;
+  const std::vector<double>& drb = results[1].router_map;
+  const std::vector<double>& pr = results[2].router_map;
 
   print_map("deterministic", det, 8, 8);
   print_map("drb (Fig 4.10)", drb, 8, 8);

@@ -15,7 +15,7 @@ using namespace prdrb;
 using namespace prdrb::bench;
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_12_mesh_avg_latency", argc, argv);
   std::cout << "=== Fig 4.12: average latency vs time, 8x8 mesh, "
                "bursty hot-spot ===\n";
   SyntheticScenario sc;
@@ -30,6 +30,10 @@ int main(int argc, char** argv) {
   sc.bin_width = 0.5e-3;
 
   const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
+  bench.record(results);
+  bench.manifest().set_seed(sc.seed);
+  bench.manifest().add_config("topology", sc.topology);
+  bench.manifest().add_config("pattern", sc.pattern);
   const ScenarioResult& det = results[0];
   const ScenarioResult& drb = results[1];
   const ScenarioResult& prdrb_r = results[2];

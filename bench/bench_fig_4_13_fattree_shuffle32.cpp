@@ -5,13 +5,13 @@
 
 int main(int argc, char** argv) {
   using namespace prdrb::bench;
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_13_fattree_shuffle32", argc, argv);
   // In-burst rates sit just above the pattern's deterministic-routing
   // capacity cliff (~1 Gb/s/node for shuffle on the 2-ary 5-tree), the same
   // relative operating points as the paper's 400/600 Mbps on its testbed.
   run_permutation_figure("Fig 4.13", "tree-32", "perfect-shuffle", 1050e6,
-                         "paper: ~29 % at the low operating point");
+                         "paper: ~29 % at the low operating point", &bench);
   run_permutation_figure("Fig 4.14", "tree-32", "perfect-shuffle", 1150e6,
-                         "paper: ~22 % at the high operating point");
+                         "paper: ~22 % at the high operating point", &bench);
   return 0;
 }

@@ -6,12 +6,12 @@
 
 int main(int argc, char** argv) {
   using namespace prdrb::bench;
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_15_fattree_bitrev32", argc, argv);
   // In-burst rates around bit-reversal's capacity cliff on the 2-ary
   // 5-tree; relative operating points chosen as in Fig 4.13.
   run_permutation_figure("Fig 4.15", "tree-32", "bit-reversal", 900e6,
-                         "paper: ~23 % at the low operating point");
+                         "paper: ~23 % at the low operating point", &bench);
   run_permutation_figure("Fig 4.16", "tree-32", "bit-reversal", 1000e6,
-                         "paper: ~18 % at the high operating point");
+                         "paper: ~18 % at the high operating point", &bench);
   return 0;
 }

@@ -6,12 +6,12 @@
 
 int main(int argc, char** argv) {
   using namespace prdrb::bench;
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_17_fattree_transpose64", argc, argv);
   // Matrix transpose is the most adversarial permutation for the 4-ary
   // 3-tree; its capacity cliff sits near 650 Mb/s/node in-burst.
   run_permutation_figure("Fig 4.17", "tree-64", "matrix-transpose", 660e6,
-                         "paper: ~31 % at the low operating point");
+                         "paper: ~31 % at the low operating point", &bench);
   run_permutation_figure("Fig 4.18", "tree-64", "matrix-transpose", 700e6,
-                         "paper: ~40 % at the high operating point");
+                         "paper: ~40 % at the high operating point", &bench);
   return 0;
 }

@@ -14,7 +14,7 @@ using namespace prdrb;
 using namespace prdrb::bench;
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_20_nas_lu_map", argc, argv);
   std::cout << "=== Fig 4.20: NAS LU class A latency map, 64-node fat tree "
                "===\n";
   TraceScale scale;
@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   const auto sc = app_scenario("nas-lu", "tree-64", scale);
 
   const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
+  bench.record(results);
+  bench.manifest().add_config("app", sc.app);
+  bench.manifest().add_config("topology", sc.topology);
   print_app_summary("summary (LU class A):", results);
 
   // The latency map itself: per-router average contention, printed by tree

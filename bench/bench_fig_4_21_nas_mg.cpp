@@ -15,7 +15,8 @@ using namespace prdrb;
 using namespace prdrb::bench;
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_21_nas_mg", argc, argv);
+  bench.manifest().add_config("topology", "tree-64");
   std::cout << "=== Figs 4.21-4.23: NAS MG classes S/A/B, 64-node fat tree "
                "===\n";
   struct ClassRow {
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     const std::string app = std::string("nas-mg-") + static_cast<char>(std::tolower(cls));
     auto sc = app_scenario(app, "tree-64", scale);
     ClassRow row{cls, run_policies({"deterministic", "drb", "pr-drb"}, sc)};
+    bench.record(row.results);
     rows.push_back(std::move(row));
   }
 

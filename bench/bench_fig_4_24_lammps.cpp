@@ -16,7 +16,7 @@ using namespace prdrb;
 using namespace prdrb::bench;
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_24_lammps", argc, argv);
   std::cout << "=== Figs 4.24-4.26: LAMMPS (chain), 64-node fat tree ===\n";
   TraceScale scale;
   scale.iterations = 16;  // many timesteps: the repetitive phases
@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   const auto sc = app_scenario("lammps-chain", "tree-64", scale);
 
   const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
+  bench.record(results);
+  bench.manifest().add_config("app", sc.app);
+  bench.manifest().add_config("topology", sc.topology);
   print_app_summary("summary (Figs 4.24/4.25):", results);
 
   const auto& det = results[0];

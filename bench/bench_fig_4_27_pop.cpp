@@ -17,7 +17,7 @@ using namespace prdrb;
 using namespace prdrb::bench;
 
 int main(int argc, char** argv) {
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_4_27_pop", argc, argv);
   std::cout << "=== Figs 4.27-4.30: POP, 64-node fat tree, full policy set "
                "===\n";
   TraceScale scale;
@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
       run_policies({"deterministic", "cyclic", "random", "drb", "pr-drb",
                     "fr-drb", "pr-fr-drb"},
                    sc);
+  bench.record(results);
+  bench.manifest().add_config("app", sc.app);
+  bench.manifest().add_config("topology", sc.topology);
   print_app_summary("Fig 4.27 — global latency & execution time:", results);
 
   auto by_name = [&](const std::string& n) -> const TraceResult& {

@@ -47,11 +47,19 @@ void report_flows(Probe& p, const HotspotPattern& pat, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchMain bench("bench_fig_4_8_path_opening", argc, argv);
   std::cout << "=== Figs 4.8/4.9: DRB path-opening procedures under "
                "scripted hot-spots ===\n";
   {
     Probe p;
+    // The scripted hot-spot is a natural tracing subject: attach the
+    // lifecycle tracer directly when --trace-out was given.
+    obs::Tracer tracer;
+    if (!bench.options().trace_out.empty()) {
+      p.net->add_observer(&tracer);
+      p.policy.set_tracer(&tracer);
+    }
     const HotspotPattern pat = make_mesh_cross_hotspot(*p.mesh, 8);
     TrafficConfig tc;
     tc.rate_bps = 1200e6;
@@ -75,6 +83,9 @@ int main() {
     std::cout << "global avg latency: " << us(p.metrics->global_average_latency())
               << " us, expansions total: " << p.policy.total_expansions()
               << "\n";
+    if (!bench.options().trace_out.empty()) {
+      tracer.write_file(bench.options().trace_out);
+    }
   }
   {
     Probe p;

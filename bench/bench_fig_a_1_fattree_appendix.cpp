@@ -5,15 +5,15 @@
 
 int main(int argc, char** argv) {
   using namespace prdrb::bench;
-  bench_init(argc, argv);
+  BenchMain bench("bench_fig_a_1_fattree_appendix", argc, argv);
   run_permutation_figure("Fig A.1", "tree-32", "matrix-transpose", 1050e6,
-                         "appendix complement of Fig 4.17");
+                         "appendix complement of Fig 4.17", &bench);
   // On the 4-ary 3-tree the adaptive ascending phase alone handles shuffle
   // and bit-reversal up to a razor-thin saturation cliff, so the PR-DRB
   // margin here is small (see EXPERIMENTS.md for the fidelity note).
   run_permutation_figure("Fig A.3", "tree-64", "perfect-shuffle", 1000e6,
-                         "appendix complement of Fig 4.13");
+                         "appendix complement of Fig 4.13", &bench);
   run_permutation_figure("Fig A.4", "tree-64", "bit-reversal", 1000e6,
-                         "appendix complement of Fig 4.15");
+                         "appendix complement of Fig 4.15", &bench);
   return 0;
 }

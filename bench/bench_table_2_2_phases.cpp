@@ -10,7 +10,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchMain bench("bench_table_2_2_phases", argc, argv);
   std::cout << "=== Tables 2.1 / 2.2 and Figs 2.10-2.13 statistics ===\n";
   const std::vector<std::string> apps{"pop",         "lammps-chain",
                                       "lammps-comb", "nas-lu",

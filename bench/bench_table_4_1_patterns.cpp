@@ -8,7 +8,8 @@
 using namespace prdrb;
 using namespace prdrb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchMain bench("bench_table_4_1_patterns", argc, argv);
   std::cout << "=== Table 4.1: synthetic traffic pattern definitions ===\n";
   Table defs({"pattern", "definition"});
   defs.add_row({"bit reversal", "d_i = s_(n-1-i)"});

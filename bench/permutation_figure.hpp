@@ -17,7 +17,8 @@ inline void run_permutation_figure(const std::string& figure,
                                    const std::string& topology,
                                    const std::string& pattern,
                                    double rate_bps,
-                                   const std::string& paper_note) {
+                                   const std::string& paper_note,
+                                   BenchMain* bench = nullptr) {
   std::cout << "=== " << figure << ": " << topology << ", " << pattern
             << ", " << rate_bps / 1e6 << " Mbps/node (in-burst) ===\n";
   SyntheticScenario sc;
@@ -31,6 +32,10 @@ inline void run_permutation_figure(const std::string& figure,
   sc.bin_width = 0.5e-3;
 
   const auto results = run_policies({"drb", "pr-drb"}, sc);
+  if (bench) {
+    bench->record(results);
+    bench->manifest().add_config(figure, topology + " " + pattern);
+  }
   const ScenarioResult& drb = results[0];
   const ScenarioResult& pr = results[1];
 

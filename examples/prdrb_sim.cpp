@@ -6,12 +6,16 @@
 //       --pattern hotspot-cross --rate 1000e6 --bursts 5 --seeds 3
 //   ./build/examples/prdrb_sim --topology tree-64 --policy drb --app pop
 //   ./build/examples/prdrb_sim --help
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "experiment/manifest.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
 #include "util/table.hpp"
 
 using namespace prdrb;
@@ -50,6 +54,13 @@ options (application trace; overrides --pattern):
   --iterations <n>    trace time steps (default 8)
   --bytes-scale <f>   message-volume multiplier (default 1.0)
   --compute-scale <f> compute-time multiplier (default 1.0)
+
+observability (DESIGN.md "Observability"):
+  --trace-out <path>    write a Chrome trace_event JSON (open in Perfetto)
+                        of a serial, base-seed run
+  --metrics-out <path>  export the counter registry (.csv -> CSV, else JSON)
+  --manifest-out <path> run-manifest path (default prdrb_sim.manifest.json)
+  --no-manifest         do not write a manifest
 )";
 }
 
@@ -75,45 +86,75 @@ int main(int argc, char** argv) {
   std::string app;
   TraceScale scale;
   int seeds = 1;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string manifest_out = "prdrb_sim.manifest.json";
+  bool write_manifest = true;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   try {
     for (int i = 1; i < argc; ++i) {
-      const std::string a = argv[i];
+      std::string a = argv[i];
+      // Accept "--flag=value" as well as "--flag value", like the bench
+      // binaries do.
+      std::string inline_val;
+      bool has_inline = false;
+      if (a.rfind("--", 0) == 0) {
+        if (const auto eq = a.find('='); eq != std::string::npos) {
+          inline_val = a.substr(eq + 1);
+          a = a.substr(0, eq);
+          has_inline = true;
+        }
+      }
+      const auto sval = [&]() -> std::string {
+        return has_inline ? inline_val : str_arg(argc, argv, i);
+      };
+      const auto nval = [&]() -> double {
+        return has_inline ? std::stod(inline_val) : num_arg(argc, argv, i);
+      };
       if (a == "--help" || a == "-h") {
         usage();
         return 0;
       } else if (a == "--topology") {
-        sc.topology = str_arg(argc, argv, i);
+        sc.topology = sval();
       } else if (a == "--policy") {
-        policy = str_arg(argc, argv, i);
+        policy = sval();
       } else if (a == "--pattern") {
-        sc.pattern = str_arg(argc, argv, i);
+        sc.pattern = sval();
       } else if (a == "--rate") {
-        sc.rate_bps = num_arg(argc, argv, i);
+        sc.rate_bps = nval();
       } else if (a == "--duration") {
-        sc.duration = num_arg(argc, argv, i);
+        sc.duration = nval();
       } else if (a == "--bursts") {
-        sc.bursts = static_cast<int>(num_arg(argc, argv, i));
+        sc.bursts = static_cast<int>(nval());
       } else if (a == "--burst-len") {
-        sc.burst_len = num_arg(argc, argv, i);
+        sc.burst_len = nval();
       } else if (a == "--gap") {
-        sc.gap_len = num_arg(argc, argv, i);
+        sc.gap_len = nval();
       } else if (a == "--noise") {
-        sc.noise_rate_bps = num_arg(argc, argv, i);
+        sc.noise_rate_bps = nval();
       } else if (a == "--seeds") {
-        seeds = static_cast<int>(num_arg(argc, argv, i));
+        seeds = static_cast<int>(nval());
       } else if (a == "--jobs") {
-        set_default_jobs(static_cast<int>(num_arg(argc, argv, i)));
+        set_default_jobs(static_cast<int>(nval()));
       } else if (a == "--seed") {
-        sc.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
+        sc.seed = static_cast<std::uint64_t>(nval());
       } else if (a == "--app") {
-        app = str_arg(argc, argv, i);
+        app = sval();
       } else if (a == "--iterations") {
-        scale.iterations = static_cast<int>(num_arg(argc, argv, i));
+        scale.iterations = static_cast<int>(nval());
       } else if (a == "--bytes-scale") {
-        scale.bytes_scale = num_arg(argc, argv, i);
+        scale.bytes_scale = nval();
       } else if (a == "--compute-scale") {
-        scale.compute_scale = num_arg(argc, argv, i);
+        scale.compute_scale = nval();
+      } else if (a == "--trace-out") {
+        trace_out = sval();
+      } else if (a == "--metrics-out") {
+        metrics_out = sval();
+      } else if (a == "--manifest-out") {
+        manifest_out = sval();
+      } else if (a == "--no-manifest") {
+        write_manifest = false;
       } else {
         std::cerr << "unknown option: " << a << "\n";
         usage();
@@ -121,13 +162,35 @@ int main(int argc, char** argv) {
       }
     }
 
+    RunManifest manifest("prdrb_sim");
+    manifest.set_seed(sc.seed);
+    manifest.add_config("topology", sc.topology);
+    manifest.add_config("policy", policy);
+    const auto finish = [&](double) {
+      const auto elapsed = std::chrono::steady_clock::now() - wall_start;
+      manifest.set_wall_seconds(
+          std::chrono::duration<double>(elapsed).count());
+      manifest.set_jobs(default_jobs());
+      if (write_manifest) manifest.write_file(manifest_out);
+    };
+
     if (!app.empty()) {
       TraceScenario ts;
       ts.topology = sc.topology;
       ts.app = app;
       ts.scale = scale;
       ts.seed = sc.seed;
+      // run_trace is serial: the sinks can ride the measured run itself.
+      obs::Tracer tracer;
+      obs::CounterRegistry counters(ts.bin_width);
+      if (!trace_out.empty()) ts.sinks.tracer = &tracer;
+      if (!metrics_out.empty()) ts.sinks.counters = &counters;
       const ScenarioResult r = run_trace(policy, ts);
+      if (!trace_out.empty()) tracer.write_file(trace_out);
+      if (!metrics_out.empty()) counters.write_file(metrics_out);
+      manifest.add_config("app", app);
+      manifest.add_result(r);
+      finish(0);
       Table t({"metric", "value"});
       t.add_row({"policy", r.policy});
       t.add_row({"application", app});
@@ -144,6 +207,24 @@ int main(int argc, char** argv) {
     }
 
     const auto runs = run_synthetic_replicated(policy, sc, seeds);
+    manifest.add_config("pattern", sc.pattern);
+    manifest.add_config("rate_bps", sc.rate_bps);
+    manifest.add_config("seeds", static_cast<std::int64_t>(seeds));
+    for (const ScenarioResult& r : runs) manifest.add_result(r);
+    // The replicated runs go through the parallel executor, so the
+    // instrumented run is a separate serial probe at the base seed — its
+    // trace bytes are independent of --jobs.
+    if (!trace_out.empty() || !metrics_out.empty()) {
+      SyntheticScenario probe = sc;
+      obs::Tracer tracer;
+      obs::CounterRegistry counters(probe.bin_width);
+      if (!trace_out.empty()) probe.sinks.tracer = &tracer;
+      if (!metrics_out.empty()) probe.sinks.counters = &counters;
+      run_synthetic(policy, probe);
+      if (!trace_out.empty()) tracer.write_file(trace_out);
+      if (!metrics_out.empty()) counters.write_file(metrics_out);
+    }
+    finish(0);
     const auto lat = replicate_metric(
         runs, [](const ScenarioResult& r) { return r.global_latency; });
     const auto peak = replicate_metric(

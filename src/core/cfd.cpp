@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/tracer.hpp"
+
 namespace prdrb {
 
 CongestionDetector::CongestionDetector(NotificationMode mode) : mode_(mode) {}
@@ -43,7 +45,7 @@ void CongestionDetector::select_contenders(const Packet& head,
   }
 }
 
-void CongestionDetector::on_transmit(Network& net, RouterId r, int /*port*/,
+void CongestionDetector::on_transmit(Network& net, RouterId r, int port,
                                      Packet& head, SimTime wait,
                                      const std::deque<Packet>& queue) {
   if (head.is_ack()) return;  // control traffic is not monitored
@@ -53,6 +55,11 @@ void CongestionDetector::on_transmit(Network& net, RouterId r, int /*port*/,
 
   static thread_local std::vector<ContendingFlow> flows;
   select_contenders(head, queue, cfg.max_contending_flows, flows);
+  if (tracer_) {
+    tracer_->congestion_detected(r, port, wait,
+                                 static_cast<int>(flows.size()),
+                                 net.simulator().now());
+  }
   if (flows.empty()) return;
 
   if (mode_ == NotificationMode::kDestinationBased) {
@@ -98,6 +105,7 @@ void CongestionDetector::on_transmit(Network& net, RouterId r, int /*port*/,
     ack.contending.assign(flows.begin(), flows.end());
     net.inject_at_router(r, std::move(ack));
     ++predictive_acks_;
+    if (tracer_) tracer_->predictive_ack(r, f.src, now);
   }
 }
 

@@ -19,6 +19,10 @@
 
 namespace prdrb {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 enum class NotificationMode : std::uint8_t {
   kDestinationBased,  // flows travel in the data packet (§3.2.2)
   kRouterBased,       // router injects predictive ACKs early (§3.4.1)
@@ -43,6 +47,10 @@ class CongestionDetector final : public RouterMonitor {
   std::uint64_t detections() const { return detections_; }
   std::uint64_t predictive_acks() const { return predictive_acks_; }
 
+  /// Attach a tracer for "congestion"/"pred-ack" events; nullptr detaches
+  /// (the disabled state costs a single branch per detection).
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
  private:
   /// Pick the top-contributing flows in the queue (by queued bytes).
   void select_contenders(const Packet& head, const std::deque<Packet>& queue,
@@ -54,6 +62,7 @@ class CongestionDetector final : public RouterMonitor {
   std::unordered_map<std::uint64_t, SimTime> last_notify_;
   std::uint64_t detections_ = 0;
   std::uint64_t predictive_acks_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace prdrb

@@ -1,12 +1,18 @@
 #include "core/pr_drb.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace prdrb {
 
-bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst) {
+bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
+                                  SimTime now) {
   if (mp.installed_since_low) return false;  // once per episode
   const FlowSignature sig = FlowSignature::from(mp.recent_flows);
   SavedSolution* sol = db_.lookup(src, dst, sig, cfg_.similarity);
-  if (!sol) return false;
+  if (!sol) {
+    if (tracer_) tracer_->solution_miss(src, dst, now);
+    return false;
+  }
   // Re-apply the best known solution wholesale: the saved latency estimates
   // seed the path-selection PDF so traffic spreads immediately the way it
   // did when the solution was found.
@@ -18,13 +24,16 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst) {
   mp.acks_since_expand = 0;
   mp.installed_since_low = true;
   ++installs_;
+  if (tracer_) tracer_->solution_hit(src, dst, mp.paths.size(), now);
   return true;
 }
 
-void PredictiveEngine::calmed(const Metapath& mp, NodeId src, NodeId dst) {
+void PredictiveEngine::calmed(const Metapath& mp, NodeId src, NodeId dst,
+                              SimTime now) {
   if (mp.paths.size() <= 1) return;  // nothing beyond the direct path
   db_.save(src, dst, FlowSignature::from(mp.recent_flows), mp.paths,
            mp.mp_latency, cfg_.similarity);
+  if (tracer_) tracer_->solution_save(src, dst, mp.paths.size(), now);
 }
 
 bool PredictiveEngine::predicts_congestion(const Metapath& mp,
@@ -43,13 +52,13 @@ namespace {
 
 template <typename ExpandFn, typename ShrinkFn>
 void predictive_react(PredictiveEngine& engine, Metapath& mp, NodeId src,
-                      NodeId dst, Zone previous, Zone current,
+                      NodeId dst, Zone previous, Zone current, SimTime now,
                       ExpandFn&& expand, ShrinkFn&& shrink) {
   if (current == Zone::kHigh) {
     if (previous != Zone::kHigh) {
       // M -> H: congestion detected — first look for an already analyzed
       // situation; only open paths gradually on a database miss.
-      if (!engine.enter_high(mp, src, dst)) expand();
+      if (!engine.enter_high(mp, src, dst, now)) expand();
     } else {
       // Still congested: continue the gradual opening procedure. If the
       // installed solution was wrong for this (actually new) pattern, this
@@ -61,7 +70,7 @@ void predictive_react(PredictiveEngine& engine, Metapath& mp, NodeId src,
   }
   if (previous == Zone::kHigh && current == Zone::kMedium) {
     // H -> M: good paths found; feed the saved-paths database.
-    engine.calmed(mp, src, dst);
+    engine.calmed(mp, src, dst, now);
     return;
   }
   if (current == Zone::kLow) {
@@ -79,10 +88,10 @@ PrDrbPolicy::PrDrbPolicy(DrbConfig cfg, PrDrbConfig pcfg, std::uint64_t seed)
     : DrbPolicy(cfg, seed), engine_(pcfg) {}
 
 void PrDrbPolicy::react(Metapath& mp, NodeId src, NodeId dst, Zone previous,
-                        Zone current, SimTime /*now*/) {
+                        Zone current, SimTime now) {
   predictive_react(
-      engine_, mp, src, dst, previous, current,
-      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+      engine_, mp, src, dst, previous, current, now,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
   // §5.2 trend extension: while still in the working zone, a rising latency
   // trend that projects across Threshold_High triggers the High reaction
   // early (speculative congestion avoidance).
@@ -91,20 +100,20 @@ void PrDrbPolicy::react(Metapath& mp, NodeId src, NodeId dst, Zone previous,
     engine_.count_trend_trigger();
     mp.zone = Zone::kHigh;
     predictive_react(
-        engine_, mp, src, dst, previous, Zone::kHigh,
-        [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+        engine_, mp, src, dst, previous, Zone::kHigh, now,
+        [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
   }
 }
 
 void PrDrbPolicy::on_predictive_ack(Metapath& mp, NodeId src, NodeId dst,
-                                    const Packet& /*ack*/, SimTime /*now*/) {
+                                    const Packet& /*ack*/, SimTime now) {
   // Early router-based notification: speculatively treat the pair as
   // congested before the metapath latency itself crosses the threshold.
   const Zone previous = mp.zone;
   mp.zone = Zone::kHigh;
   predictive_react(
-      engine_, mp, src, dst, previous, Zone::kHigh,
-      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+      engine_, mp, src, dst, previous, Zone::kHigh, now,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
 }
 
 // ---------------------------------------------------------------------------
@@ -115,39 +124,38 @@ PrFrDrbPolicy::PrFrDrbPolicy(DrbConfig cfg, FrDrbConfig fr, PrDrbConfig pcfg,
     : FrDrbPolicy(cfg, fr, seed), engine_(pcfg) {}
 
 void PrFrDrbPolicy::react(Metapath& mp, NodeId src, NodeId dst, Zone previous,
-                          Zone current, SimTime /*now*/) {
+                          Zone current, SimTime now) {
   predictive_react(
-      engine_, mp, src, dst, previous, current,
-      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+      engine_, mp, src, dst, previous, current, now,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
   if (current == Zone::kMedium && previous != Zone::kHigh &&
       engine_.predicts_congestion(mp, drb_config().threshold_high)) {
     engine_.count_trend_trigger();
     mp.zone = Zone::kHigh;
     predictive_react(
-        engine_, mp, src, dst, previous, Zone::kHigh,
-        [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+        engine_, mp, src, dst, previous, Zone::kHigh, now,
+        [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
   }
 }
 
 void PrFrDrbPolicy::on_predictive_ack(Metapath& mp, NodeId src, NodeId dst,
-                                      const Packet& /*ack*/,
-                                      SimTime /*now*/) {
+                                      const Packet& /*ack*/, SimTime now) {
   const Zone previous = mp.zone;
   mp.zone = Zone::kHigh;
   predictive_react(
-      engine_, mp, src, dst, previous, Zone::kHigh,
-      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+      engine_, mp, src, dst, previous, Zone::kHigh, now,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
 }
 
-void PrFrDrbPolicy::on_watchdog(NodeId src, NodeId dst, SimTime /*now*/) {
+void PrFrDrbPolicy::on_watchdog(NodeId src, NodeId dst, SimTime now) {
   // Watchdog expiry = congestion without an ACK. Consult the database
   // before falling back to FR-DRB's immediate single-path opening.
   Metapath& mp = metapath(src, dst);
   const Zone previous = mp.zone;
   mp.zone = Zone::kHigh;
   predictive_react(
-      engine_, mp, src, dst, previous, Zone::kHigh,
-      [&] { expand(mp, src, dst); }, [&] { shrink(mp); });
+      engine_, mp, src, dst, previous, Zone::kHigh, now,
+      [&] { expand(mp, src, dst); }, [&] { shrink(mp, src, dst); });
 }
 
 }  // namespace prdrb

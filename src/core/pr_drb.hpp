@@ -48,11 +48,13 @@ class PredictiveEngine {
   explicit PredictiveEngine(PrDrbConfig cfg) : cfg_(cfg) {}
 
   /// Entering the High zone: look the situation up; on a hit install the
-  /// saved paths into `mp` and return true.
-  bool enter_high(Metapath& mp, NodeId src, NodeId dst);
+  /// saved paths into `mp` and return true. Emits "sdb-hit"/"sdb-miss"
+  /// trace events when a tracer is attached.
+  bool enter_high(Metapath& mp, NodeId src, NodeId dst, SimTime now);
 
-  /// High -> Medium: congestion controlled; persist the winning path set.
-  void calmed(const Metapath& mp, NodeId src, NodeId dst);
+  /// High -> Medium: congestion controlled; persist the winning path set
+  /// (traced as "sdb-save").
+  void calmed(const Metapath& mp, NodeId src, NodeId dst, SimTime now);
 
   /// Trend extension: true when the sample trend predicts the Eq. 3.4
   /// aggregate will cross `threshold_high` within the configured horizon.
@@ -65,11 +67,16 @@ class PredictiveEngine {
   std::uint64_t trend_triggers() const { return trend_triggers_; }
   void count_trend_trigger() { ++trend_triggers_; }
 
+  /// Attach a tracer for solution-database hit/miss/save events; nullptr
+  /// detaches (single-branch disabled fast path).
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
  private:
   PrDrbConfig cfg_;
   SolutionDatabase db_;
   std::uint64_t installs_ = 0;
   std::uint64_t trend_triggers_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class PrDrbPolicy : public DrbPolicy {

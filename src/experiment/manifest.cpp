@@ -1,0 +1,100 @@
+#include "experiment/manifest.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace prdrb {
+
+RunManifest::RunManifest(std::string tool) : tool_(std::move(tool)) {}
+
+void RunManifest::add_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunManifest::add_config(std::string key, double value) {
+  config_.emplace_back(std::move(key), obs::json_number(value));
+}
+
+void RunManifest::add_config(std::string key, std::int64_t value) {
+  config_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void RunManifest::add_result(const ScenarioResult& r) {
+  ++results_;
+  events_ += r.events;
+  PolicySummary* s = nullptr;
+  for (PolicySummary& p : policies_) {
+    if (p.policy == r.policy) {
+      s = &p;
+      break;
+    }
+  }
+  if (!s) {
+    policies_.emplace_back();
+    policies_.back().policy = r.policy;
+    s = &policies_.back();
+  }
+  // Incremental means keep the summary independent of how many runs a
+  // policy contributed (sweep points, replications, ...).
+  const double n = static_cast<double>(s->runs + 1);
+  s->global_latency += (r.global_latency - s->global_latency) / n;
+  s->mean_latency += (r.mean_latency - s->mean_latency) / n;
+  s->delivery_ratio += (r.delivery_ratio - s->delivery_ratio) / n;
+  s->packets += r.packets;
+  s->events += r.events;
+  ++s->runs;
+}
+
+double RunManifest::events_per_sec() const {
+  return wall_s_ > 0 ? static_cast<double>(events_) / wall_s_ : 0.0;
+}
+
+void RunManifest::write(std::ostream& os) const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "prdrb-manifest-v1");
+  w.field("tool", tool_);
+  w.field("seed", seed_);
+  w.field("jobs", jobs_);
+  w.field("wall_s", wall_s_);
+  w.field("events", events_);
+  w.field("events_per_sec", events_per_sec());
+  w.field("results", static_cast<std::uint64_t>(results_));
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) {
+    // Config values are pre-rendered: numbers stay bare, everything else is
+    // emitted as a JSON string.
+    w.key(k);
+    w.raw_number_or_string(v);
+  }
+  w.end_object();
+  w.key("policies").begin_array();
+  for (const PolicySummary& p : policies_) {
+    w.begin_object();
+    w.field("policy", p.policy);
+    w.field("runs", p.runs);
+    w.field("global_latency_us", p.global_latency * 1e6);
+    w.field("mean_latency_us", p.mean_latency * 1e6);
+    w.field("delivery_ratio", p.delivery_ratio);
+    w.field("packets", p.packets);
+    w.field("events", p.events);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str() << '\n';
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+bool RunManifest::write_file(const std::string& path) const {
+  return obs::write_text_file(path, to_json());
+}
+
+}  // namespace prdrb

@@ -1,0 +1,70 @@
+// Run manifests: a machine-readable record of every bench / simulator run.
+//
+// A manifest captures what was run (tool, config key/values, seed, jobs),
+// how it went (wall-clock, kernel events, events/second) and a per-policy
+// summary of the headline metrics, serialized as JSON
+// ("prdrb-manifest-v1"; format documented in EXPERIMENTS.md). Every bench
+// binary and examples/prdrb_sim write one next to their other outputs so a
+// results directory is self-describing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace prdrb {
+
+class RunManifest {
+ public:
+  /// `tool` is the producing binary's name ("bench_load_sweep", ...).
+  explicit RunManifest(std::string tool);
+
+  // --- what was run ---
+  /// Ordered config key/value pairs (topology, pattern, rates, ...).
+  void add_config(std::string key, std::string value);
+  void add_config(std::string key, double value);
+  void add_config(std::string key, std::int64_t value);
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  void set_jobs(int jobs) { jobs_ = jobs; }
+
+  // --- how it went ---
+  void set_wall_seconds(double s) { wall_s_ = s; }
+  /// Fold one finished scenario into the per-policy summary (latencies are
+  /// averaged over runs, packets/events summed).
+  void add_result(const ScenarioResult& r);
+
+  std::uint64_t total_events() const { return events_; }
+  double events_per_sec() const;
+  std::size_t results_recorded() const { return results_; }
+
+  // --- output ---
+  void write(std::ostream& os) const;
+  std::string to_json() const;
+  /// Write to `path`; false on IO failure (warns on stderr, never throws).
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct PolicySummary {
+    std::string policy;
+    int runs = 0;
+    double global_latency = 0;  // running means, seconds
+    double mean_latency = 0;
+    double delivery_ratio = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t events = 0;
+  };
+
+  std::string tool_;
+  std::vector<std::pair<std::string, std::string>> config_;  // ordered
+  std::uint64_t seed_ = 0;
+  int jobs_ = 1;
+  double wall_s_ = 0;
+  std::uint64_t events_ = 0;
+  std::size_t results_ = 0;
+  std::vector<PolicySummary> policies_;  // first-seen order
+};
+
+}  // namespace prdrb

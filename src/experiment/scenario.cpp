@@ -8,6 +8,8 @@
 #include "net/kary_ntree.hpp"
 #include "net/mesh2d.hpp"
 #include "net/mesh_nd.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/oblivious.hpp"
 #include "sim/simulator.hpp"
@@ -233,6 +235,57 @@ PolicyBundle build_policy(const std::string& name, const DrbConfig& drb,
   return make_policy(name, drb, seed);
 }
 
+/// Wires the optional observability sinks into a freshly built run: the
+/// tracer onto the observer list and every control-plane hook, the counter
+/// registry onto the network/routing/sim gauges plus a periodic sampler.
+/// Returns the sampler keeping the snapshots ticking (nullptr when no
+/// registry was supplied).
+std::unique_ptr<obs::CounterSampler> attach_sinks(Simulator& sim, Network& net,
+                                                  PolicyBundle& b,
+                                                  const ObsSinks& sinks) {
+  if (sinks.tracer) {
+    net.add_observer(sinks.tracer);
+    if (b.drb) b.drb->set_tracer(sinks.tracer);
+    if (b.engine) b.engine->set_tracer(sinks.tracer);
+    if (b.monitor) b.monitor->set_tracer(sinks.tracer);
+  }
+  std::unique_ptr<obs::CounterSampler> sampler;
+  if (sinks.counters) {
+    obs::CounterRegistry& reg = *sinks.counters;
+    net.bind_counters(reg);
+    reg.gauge("sim.events", [&sim] {
+      return static_cast<double>(sim.events_executed());
+    });
+    if (b.drb) {
+      DrbPolicy* drb = b.drb;
+      reg.gauge("routing.expansions", [drb] {
+        return static_cast<double>(drb->total_expansions());
+      });
+      reg.gauge("routing.contractions", [drb] {
+        return static_cast<double>(drb->total_contractions());
+      });
+    }
+    if (b.engine) {
+      PredictiveEngine* eng = b.engine;
+      reg.gauge("routing.sdb.installs", [eng] {
+        return static_cast<double>(eng->installs());
+      });
+      reg.gauge("routing.sdb.size", [eng] {
+        return static_cast<double>(eng->db().size());
+      });
+    }
+    if (b.monitor) {
+      CongestionDetector* mon = b.monitor.get();
+      reg.gauge("routing.cfd.detections", [mon] {
+        return static_cast<double>(mon->detections());
+      });
+    }
+    sampler = std::make_unique<obs::CounterSampler>(sim, reg);
+    sampler->start(sinks.sample_interval);
+  }
+  return sampler;
+}
+
 }  // namespace
 
 ScenarioResult run_synthetic(const std::string& policy_name,
@@ -246,6 +299,7 @@ ScenarioResult run_synthetic(const std::string& policy_name,
   for (RouterId r : sc.watch) metrics.watch_router(r);
   net.set_observer(&metrics);
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
+  auto sampler = attach_sinks(sim, net, bundle, sc.sinks);
 
   std::unique_ptr<DestinationPattern> pattern;
   std::vector<NodeId> nodes;
@@ -291,6 +345,7 @@ ScenarioResult run_synthetic(const std::string& policy_name,
   sim.run();  // drains: generation stops at sc.duration
   ScenarioResult r;
   r.policy = policy_name;
+  r.events = sim.events_executed();
   fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
   return r;
 }
@@ -306,6 +361,7 @@ ScenarioResult run_trace(const std::string& policy_name,
   for (RouterId r : sc.watch) metrics.watch_router(r);
   net.set_observer(&metrics);
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
+  auto sampler = attach_sinks(sim, net, bundle, sc.sinks);
 
   const TraceProgram prog =
       make_app_trace(sc.app, topo->num_nodes(), sc.scale);
@@ -315,6 +371,7 @@ ScenarioResult run_trace(const std::string& policy_name,
 
   ScenarioResult r;
   r.policy = policy_name;
+  r.events = sim.events_executed();
   fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
   r.exec_time = player.finished() ? player.execution_time() : -1.0;
   return r;

@@ -26,6 +26,22 @@ namespace prdrb {
 /// (Tables 4.2/4.3).
 DrbConfig default_drb_config();
 
+/// Optional observability sinks for a scenario run (DESIGN.md
+/// "Observability"). All pointers are borrowed: the caller owns the tracer
+/// and the registry and reads them back after the run. When `tracer` is
+/// non-null it is attached as an additional network observer and to every
+/// control-plane hook (DRB reactions, predictive engine, CFD). When
+/// `counters` is non-null the network/routing/sim counters and gauges are
+/// registered and a CounterSampler snapshots them every `sample_interval`
+/// of virtual time. Gauges registered by a run probe run-local state; when
+/// the run finishes they are frozen (final value captured, probe dropped),
+/// so the registry stays safe to query and export afterwards.
+struct ObsSinks {
+  obs::Tracer* tracer = nullptr;
+  obs::CounterRegistry* counters = nullptr;
+  SimTime sample_interval = 1e-3;
+};
+
 /// A policy plus its router-side monitor (PR variants) and typed views.
 struct PolicyBundle {
   std::unique_ptr<RoutingPolicy> policy;
@@ -60,6 +76,7 @@ struct ScenarioResult {
   double p95_latency = 0;
   double p99_latency = 0;
   std::uint64_t packets = 0;
+  std::uint64_t events = 0;  // kernel events executed (deterministic)
   std::uint64_t expansions = 0;
   std::uint64_t installs = 0;
   std::uint64_t trend_triggers = 0;
@@ -96,6 +113,7 @@ struct SyntheticScenario {
   DrbConfig drb = default_drb_config();
   PrDrbConfig prdrb;  // notification mode is overridden by "@router" names
   std::vector<RouterId> watch;
+  ObsSinks sinks;  // optional tracer / counter-registry attachments
 };
 
 ScenarioResult run_synthetic(const std::string& policy_name,
@@ -112,6 +130,7 @@ struct TraceScenario {
   DrbConfig drb = default_drb_config();
   PrDrbConfig prdrb;
   std::vector<RouterId> watch;  // routers whose series to record
+  ObsSinks sinks;               // optional tracer / counter attachments
 };
 
 ScenarioResult run_trace(const std::string& policy_name,

@@ -52,9 +52,11 @@ SimTime MetricsCollector::avg_message_latency() const {
 }
 
 double MetricsCollector::delivery_ratio() const {
-  return bytes_offered_
-             ? static_cast<double>(bytes_accepted_) / static_cast<double>(bytes_offered_)
-             : 1.0;
+  // No traffic offered -> nothing was delivered: report 0, never a
+  // divide-by-zero NaN/inf and never a misleading "perfect" 1.0.
+  if (bytes_offered_ == 0) return 0.0;
+  return static_cast<double>(bytes_accepted_) /
+         static_cast<double>(bytes_offered_);
 }
 
 void MetricsCollector::reset() {

@@ -49,6 +49,7 @@ class MetricsCollector final : public NetworkObserver {
   std::int64_t bytes_accepted() const { return bytes_accepted_; }
 
   /// Accepted/offered ratio; ~1.0 means no traffic was lost or stuck.
+  /// 0 when nothing was offered (degenerate run), never NaN/inf.
   double delivery_ratio() const;
 
   /// Drop every accumulated statistic (e.g. to measure a later burst in

@@ -4,7 +4,26 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace prdrb {
+
+namespace {
+
+/// Bytes of multi-header and predictive-header overhead a packet carries on
+/// the wire beyond its payload: 4 bytes per used intermediate-node slot and
+/// per congested-router field, 8 per contending-flow entry (Figs. 3.16-3.18
+/// field widths). Tracked by the "net.header.overhead_bytes" counter.
+std::int64_t header_overhead_bytes(const Packet& p) {
+  std::int64_t b = 0;
+  if (p.intermediate1 != kInvalidNode) b += 4;
+  if (p.intermediate2 != kInvalidNode) b += 4;
+  if (p.congested_router != kInvalidRouter) b += 4;
+  b += static_cast<std::int64_t>(p.contending.size()) * 8;
+  return b;
+}
+
+}  // namespace
 
 Network::Network(Simulator& sim, const Topology& topo, const NetConfig& cfg,
                  RoutingPolicy& policy)
@@ -94,6 +113,8 @@ void Network::nic_try_inject(NodeId n) {
   if (target.vn_used[static_cast<std::size_t>(vn)] + head.size_bytes > vn_capacity_) {
     if (!nic.waiting) {
       nic.waiting = true;
+      ++nic.inject_stalls;
+      if (counters_) counters_->credit_stalls->increment();
       Waiter w;
       w.kind = Waiter::Kind::kNic;
       w.nic = n;
@@ -189,6 +210,8 @@ void Network::try_transmit(RouterId r, int port) {
   if (downstream.vn_used[static_cast<std::size_t>(vn)] + head.size_bytes > vn_capacity_) {
     if (!out.waiting) {
       out.waiting = true;
+      ++out.credit_stalls;
+      if (counters_) counters_->credit_stalls->increment();
       Waiter w;
       w.kind = Waiter::Kind::kRouterPort;
       w.router = r;
@@ -216,6 +239,15 @@ void Network::try_transmit(RouterId r, int port) {
     obs->on_packet_forwarded(p, r, now);
   }
   if (monitor_) monitor_->on_transmit(*this, r, port, p, wait, out.queue);
+  if (counters_) {
+    counters_->link_packets->increment();
+    counters_->link_bytes->add(static_cast<std::uint64_t>(p.size_bytes));
+    counters_->header_overhead_bytes->add(
+        static_cast<std::uint64_t>(header_overhead_bytes(p)));
+    if (p.is_ack()) {
+      counters_->ack_bytes->add(static_cast<std::uint64_t>(p.size_bytes));
+    }
+  }
 
   out.busy = true;
   const SimTime ser = cfg_.serialization_time(p.size_bytes);
@@ -338,6 +370,63 @@ void Network::release(RouterId r, int vn, std::int64_t bytes) {
 
 void Network::add_waiter(RouterId r, int vn, Waiter w) {
   routers_[static_cast<std::size_t>(r)].waiters[static_cast<std::size_t>(vn)].push_back(w);
+}
+
+void Network::bind_counters(obs::CounterRegistry& reg) {
+  counters_ = std::make_unique<NetCounters>();
+  counters_->link_packets = &reg.counter("net.link.packets");
+  counters_->link_bytes = &reg.counter("net.link.bytes");
+  counters_->ack_bytes = &reg.counter("net.ack.bytes");
+  counters_->header_overhead_bytes = &reg.counter("net.header.overhead_bytes");
+  counters_->credit_stalls = &reg.counter("net.credit.stalls");
+
+  // Pull-style gauges: evaluated only when the registry is sampled, so
+  // they add nothing to the event-processing hot path.
+  reg.gauge("net.link.utilization", [this] {
+    std::size_t busy = 0, total = 0;
+    for (const Router& r : routers_) {
+      for (const OutputPort& port : r.ports) {
+        busy += port.busy ? 1u : 0u;
+        ++total;
+      }
+    }
+    return total ? static_cast<double>(busy) / static_cast<double>(total)
+                 : 0.0;
+  });
+  reg.gauge("net.queue.bytes", [this] {
+    std::int64_t sum = 0;
+    for (const Router& r : routers_) {
+      for (const OutputPort& port : r.ports) sum += port.queue_bytes;
+    }
+    return static_cast<double>(sum);
+  });
+  reg.gauge("net.buffer.vn_bytes", [this] {
+    std::int64_t sum = 0;
+    for (const Router& r : routers_) {
+      for (const std::int64_t used : r.vn_used) sum += used;
+    }
+    return static_cast<double>(sum);
+  });
+  reg.gauge("net.inject.backlog_packets", [this] {
+    std::size_t sum = 0;
+    for (const Nic& nic : nics_) sum += nic.inject_queue.size();
+    return static_cast<double>(sum);
+  });
+  reg.gauge("net.delivered.packets", [this] {
+    return static_cast<double>(packets_delivered_);
+  });
+  // Per-router queue occupancy: one gauge per router, the counter-registry
+  // view of the contention surface (thesis latency-map figures).
+  for (RouterId r = 0; r < static_cast<RouterId>(routers_.size()); ++r) {
+    reg.gauge("net.router." + std::to_string(r) + ".queue_bytes", [this, r] {
+      std::int64_t sum = 0;
+      for (const OutputPort& port :
+           routers_[static_cast<std::size_t>(r)].ports) {
+        sum += port.queue_bytes;
+      }
+      return static_cast<double>(sum);
+    });
+  }
 }
 
 void Network::wake_waiters(RouterId r, int vn) {

@@ -27,6 +27,11 @@
 
 namespace prdrb {
 
+namespace obs {
+class Counter;
+class CounterRegistry;
+}  // namespace obs
+
 /// Observer of network events; metrics collectors implement this. Several
 /// observers can be attached to one network (add_observer).
 class NetworkObserver {
@@ -86,6 +91,11 @@ class Network {
   void set_monitor(RouterMonitor* mon) { monitor_ = mon; }
   void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
 
+  /// Register this network's counters and gauges ("net.*", DESIGN.md
+  /// "Observability") with `reg`. Until called, the hot-path accounting is
+  /// a single not-taken branch — the zero-overhead disabled state.
+  void bind_counters(obs::CounterRegistry& reg);
+
   // ----- send path -----
 
   /// Queue a message for injection at `src`'s NIC. The routing policy picks
@@ -139,6 +149,16 @@ class Network {
   void add_waiter(RouterId r, int vn, Waiter w);
   void wake_waiters(RouterId r, int vn);
 
+  /// Hot-path counter cells (owned by a CounterRegistry); grouped behind
+  /// one pointer so the disabled fast path costs a single branch.
+  struct NetCounters {
+    obs::Counter* link_packets = nullptr;
+    obs::Counter* link_bytes = nullptr;
+    obs::Counter* ack_bytes = nullptr;
+    obs::Counter* header_overhead_bytes = nullptr;
+    obs::Counter* credit_stalls = nullptr;
+  };
+
   Simulator& sim_;
   const Topology& topo_;
   NetConfig cfg_;
@@ -146,6 +166,7 @@ class Network {
   std::vector<NetworkObserver*> observers_;
   RouterMonitor* monitor_ = nullptr;
   MessageHandler on_message_;
+  std::unique_ptr<NetCounters> counters_;
 
   std::vector<Router> routers_;
   std::vector<Nic> nics_;

@@ -47,6 +47,10 @@ struct Nic {
   std::uint64_t packets_received = 0;
   std::int64_t bytes_injected = 0;
   std::int64_t bytes_received = 0;
+
+  // Times injection blocked on the local router's buffer space (credit
+  // stall); surfaced through the observability counter registry (src/obs).
+  std::uint64_t inject_stalls = 0;
 };
 
 }  // namespace prdrb

@@ -38,6 +38,10 @@ struct OutputPort {
   std::uint64_t packets_sent = 0;
   SimTime total_wait = 0;     // accumulated contention latency
   SimTime last_wait = 0;      // wait of the most recent departure
+
+  // Times this port blocked on downstream buffer space (credit stall);
+  // surfaced through the observability counter registry (src/obs).
+  std::uint64_t credit_stalls = 0;
 };
 
 struct Router {

@@ -1,0 +1,312 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace prdrb::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  // Shortest round-trip form: deterministic for identical doubles, and what
+  // std::to_chars guarantees across runs of the same binary.
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  std::string s(buf, res.ptr);
+  // Bare exponent-free integers stay integers ("3" not "3.0"): fine for
+  // JSON, every consumer reads them as numbers either way.
+  return s;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ += json_number(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_number_or_string(std::string_view s) {
+  const bool number_like =
+      !s.empty() &&
+      (s[0] == '-' || std::isdigit(static_cast<unsigned char>(s[0]))) &&
+      json_valid(s);
+  if (!number_like) return value(s);
+  comma();
+  out_ += s;
+  need_comma_ = true;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// json_valid: a strict recursive-descent checker.
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    if (eof() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+};
+
+bool parse_value(Cursor& c);
+
+bool parse_string(Cursor& c) {
+  if (!c.consume('"')) return false;
+  while (!c.eof()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '\\') {
+      if (c.eof()) return false;
+      const char esc = c.s[c.i++];
+      if (esc == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          if (c.eof() || !std::isxdigit(static_cast<unsigned char>(c.s[c.i]))) {
+            return false;
+          }
+          ++c.i;
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+bool parse_number(Cursor& c) {
+  const std::size_t start = c.i;
+  c.consume('-');
+  if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    return false;
+  }
+  while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  if (!c.eof() && c.peek() == '.') {
+    ++c.i;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      return false;
+    }
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.i;
+    }
+  }
+  if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.i;
+    if (!c.eof() && (c.peek() == '+' || c.peek() == '-')) ++c.i;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      return false;
+    }
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.i;
+    }
+  }
+  return c.i > start;
+}
+
+bool parse_literal(Cursor& c, std::string_view lit) {
+  if (c.s.substr(c.i, lit.size()) != lit) return false;
+  c.i += lit.size();
+  return true;
+}
+
+bool parse_object(Cursor& c) {
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) return true;
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.consume(':')) return false;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume('}')) return true;
+    if (!c.consume(',')) return false;
+  }
+}
+
+bool parse_array(Cursor& c) {
+  if (!c.consume('[')) return false;
+  c.skip_ws();
+  if (c.consume(']')) return true;
+  for (;;) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume(']')) return true;
+    if (!c.consume(',')) return false;
+  }
+}
+
+bool parse_value(Cursor& c) {
+  if (++c.depth > 512) return false;  // stack-depth guard
+  c.skip_ws();
+  if (c.eof()) return false;
+  bool ok = false;
+  switch (c.peek()) {
+    case '{':
+      ok = parse_object(c);
+      break;
+    case '[':
+      ok = parse_array(c);
+      break;
+    case '"':
+      ok = parse_string(c);
+      break;
+    case 't':
+      ok = parse_literal(c, "true");
+      break;
+    case 'f':
+      ok = parse_literal(c, "false");
+      break;
+    case 'n':
+      ok = parse_literal(c, "null");
+      break;
+    default:
+      ok = parse_number(c);
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace
+
+bool json_valid(std::string_view s) {
+  Cursor c{s};
+  if (!parse_value(c)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::cerr << "[prdrb::obs] cannot open " << path << " for writing\n";
+    return false;
+  }
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!f.good()) {
+    std::cerr << "[prdrb::obs] short write to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prdrb::obs

@@ -1,0 +1,73 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// Everything the obs subsystem writes (Chrome traces, counter exports, run
+// manifests) goes through JsonWriter so escaping and number formatting are
+// uniform — and, crucially, *deterministic*: the same simulation produces
+// byte-identical output across runs and worker counts. json_valid() is a
+// strict-enough recursive-descent checker used by the tests (and mirrors
+// what `python3 -m json.tool` accepts in CI) without an external parser
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace prdrb::obs {
+
+/// Escape a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// Format a double the way every obs emitter does: shortest round-trip
+/// representation, with non-finite values mapped to 0 (JSON has no inf/NaN).
+std::string json_number(double v);
+
+/// Streaming JSON builder. Purely syntactic: the caller opens/closes
+/// objects and arrays; the writer tracks whether a comma is needed.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit `"key":` inside an object (before a value or a begin_*).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Emit `s` bare when it already is a valid JSON number (pre-rendered
+  /// config values), quoted otherwise.
+  JsonWriter& raw_number_or_string(std::string_view s);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// True when `s` is a syntactically valid JSON document.
+bool json_valid(std::string_view s);
+
+/// Write `content` to `path`; returns false (and warns on stderr) on
+/// failure instead of throwing — observability must never abort a run.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace prdrb::obs

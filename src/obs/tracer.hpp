@@ -1,0 +1,100 @@
+// Packet-lifecycle tracer: Chrome trace_event JSON (Perfetto-loadable).
+//
+// The tracer records the life of every packet — inject at the source NIC,
+// one span per hop (queuing wait on the router's output port), delivery at
+// the destination — plus the PR-DRB control-plane events: congestion
+// detections at routers (CFD), predictive-ACK injections (GPA), metapath
+// open/close reactions, and solution-database hits/misses/saves. Events
+// land on three Perfetto "processes":
+//
+//   pid 1 "network"  — router tracks (tid = router id): hop / congestion /
+//                      predictive-ack
+//   pid 2 "nodes"    — terminal tracks (tid = node id): inject / deliver
+//   pid 3 "routing"  — per-source tracks (tid = source node): mp-open /
+//                      mp-close / sdb-hit / sdb-miss / sdb-save
+//
+// Lifecycle events arrive through the ordinary NetworkObserver interface
+// (attach with Network::add_observer); control-plane events come from the
+// single-branch `if (tracer_)` hooks in DrbPolicy, PredictiveEngine and
+// CongestionDetector. When no tracer is attached those hooks cost one
+// predictable-not-taken branch — the disabled fast path; a tracer attached
+// but set_enabled(false) early-returns on one branch per callback
+// (bench_micro_components measures both deltas).
+//
+// Determinism: events are appended in simulation order by a single-threaded
+// simulation and formatted via obs/json number rules, so a seeded run
+// produces a byte-identical trace at any --jobs count (the traced run owns
+// its tracer; see tests/obs_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace prdrb::obs {
+
+class Tracer final : public NetworkObserver {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Hard cap on buffered events; past it new events are counted in
+  /// dropped() but not stored (deterministic: the same prefix survives).
+  void set_limit(std::size_t max_events) { limit_ = max_events; }
+
+  std::size_t events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+
+  // --- packet lifecycle (NetworkObserver) ---
+  void on_message_injected(NodeId src, NodeId dst, std::int64_t bytes,
+                           SimTime now) override;
+  void on_packet_forwarded(const Packet& p, RouterId r, SimTime now) override;
+  void on_packet_delivered(const Packet& p, SimTime now) override;
+
+  // --- PR-DRB control plane (called via single-branch guards) ---
+  void congestion_detected(RouterId r, int port, SimTime wait,
+                           std::size_t flows, SimTime now);
+  void predictive_ack(RouterId r, NodeId to, SimTime now);
+  void metapath_open(NodeId src, NodeId dst, int open_paths, SimTime now);
+  void metapath_close(NodeId src, NodeId dst, int open_paths, SimTime now);
+  void solution_hit(NodeId src, NodeId dst, std::size_t paths, SimTime now);
+  void solution_miss(NodeId src, NodeId dst, SimTime now);
+  void solution_save(NodeId src, NodeId dst, std::size_t paths, SimTime now);
+
+  // --- output ---
+  /// Serialize the complete Chrome trace document.
+  void write(std::ostream& os) const;
+  std::string to_json() const;
+  /// Write to `path`; false on IO failure (warns, never throws).
+  bool write_file(const std::string& path) const;
+
+  void clear();
+
+ private:
+  // Perfetto process ids for the three event families.
+  static constexpr int kPidNetwork = 1;
+  static constexpr int kPidNodes = 2;
+  static constexpr int kPidRouting = 3;
+
+  /// True when the event should be recorded (advances drop accounting).
+  bool admit();
+  /// Append one instant event ("ph":"i"); args_json is the inner object
+  /// body ("\"a\":1,\"b\":2") or empty.
+  void instant(const char* name, int pid, std::int64_t tid, SimTime ts,
+               const std::string& args_json);
+  /// Append one complete-span event ("ph":"X").
+  void span(const char* name, int pid, std::int64_t tid, SimTime ts,
+            SimTime dur, const std::string& args_json);
+
+  bool enabled_;
+  std::size_t limit_ = 4'000'000;
+  std::size_t events_ = 0;
+  std::size_t dropped_ = 0;
+  std::string buf_;  // comma-separated event objects
+};
+
+}  // namespace prdrb::obs

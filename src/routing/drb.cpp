@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "net/network.hpp"
+#include "obs/tracer.hpp"
 
 namespace prdrb {
 
@@ -131,7 +132,7 @@ void DrbPolicy::react(Metapath& mp, NodeId src, NodeId dst, Zone /*previous*/,
   if (current == Zone::kHigh) {
     expand(mp, src, dst);
   } else if (current == Zone::kLow) {
-    shrink(mp);
+    shrink(mp, src, dst);
   }
 }
 
@@ -179,12 +180,16 @@ bool DrbPolicy::expand(Metapath& mp, NodeId src, NodeId dst) {
     mp.acks_since_expand = 0;
     ++mp.expansions;
     ++expansions_;
+    if (tracer_) {
+      tracer_->metapath_open(src, dst, static_cast<int>(mp.paths.size()),
+                             net_->simulator().now());
+    }
     return true;
   }
   return false;
 }
 
-bool DrbPolicy::shrink(Metapath& mp) {
+bool DrbPolicy::shrink(Metapath& mp, NodeId src, NodeId dst) {
   if (mp.paths.size() <= 1) return false;
   // Drop the slowest alternative path; the direct path (index 0) persists.
   std::size_t worst = 1;
@@ -195,6 +200,10 @@ bool DrbPolicy::shrink(Metapath& mp) {
   mp.update_mp_latency();
   ++mp.contractions;
   ++contractions_;
+  if (tracer_) {
+    tracer_->metapath_close(src, dst, static_cast<int>(mp.paths.size()),
+                            net_->simulator().now());
+  }
   if (mp.paths.size() == 1) {
     // Fully contracted: rewind the candidate cursor so the next congestion
     // episode re-opens the same near-minimal paths ("DRB response to the

@@ -23,6 +23,10 @@
 
 namespace prdrb {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 struct DrbConfig {
   /// Metapath-latency thresholds (seconds) defining the L/M/H zones.
   SimTime threshold_low = 6e-6;
@@ -70,6 +74,11 @@ class DrbPolicy : public RoutingPolicy {
   std::uint64_t total_contractions() const { return contractions_; }
   const DrbConfig& drb_config() const { return cfg_; }
 
+  /// Attach a packet-lifecycle tracer; metapath open/close reactions are
+  /// emitted as "mp-open"/"mp-close" events. nullptr detaches (the default
+  /// — the disabled state costs one branch per reaction).
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
  protected:
   /// Zone reaction (Fig. 3.12). The base DRB expands on High and shrinks on
   /// Low; PR-DRB overrides this to add the predictive procedures.
@@ -88,7 +97,7 @@ class DrbPolicy : public RoutingPolicy {
   bool expand(Metapath& mp, NodeId src, NodeId dst);
 
   /// Close the slowest alternative MSP (never the direct path).
-  bool shrink(Metapath& mp);
+  bool shrink(Metapath& mp, NodeId src, NodeId dst);
 
   /// Optimistic latency estimate for a new/unmeasured path.
   SimTime base_latency(NodeId src, NodeId dst, const MspCandidate& c) const;
@@ -103,6 +112,7 @@ class DrbPolicy : public RoutingPolicy {
   std::unordered_map<std::uint64_t, Metapath> mps_;
   std::uint64_t expansions_ = 0;
   std::uint64_t contractions_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace prdrb

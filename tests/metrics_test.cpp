@@ -93,6 +93,19 @@ TEST(Collector, AggregatesPacketAndMessageEvents) {
   EXPECT_DOUBLE_EQ(c.global_average_latency(), 5e-6);
 }
 
+TEST(Collector, DeliveryRatioZeroWhenNothingOffered) {
+  MetricsCollector c(4, 4, 1e-3);
+  // Degenerate run: no injection at all. The ratio must read 0 (never
+  // NaN/inf from 0/0, never a misleading "perfect" 1.0).
+  EXPECT_EQ(c.delivery_ratio(), 0.0);
+  // Same after reset() clears a populated collector.
+  c.on_message_injected(0, 1, 512, 0);
+  c.on_message_delivered(0, 1, 512, 0, 5e-6);
+  EXPECT_DOUBLE_EQ(c.delivery_ratio(), 1.0);
+  c.reset();
+  EXPECT_EQ(c.delivery_ratio(), 0.0);
+}
+
 TEST(Collector, WatchedRouterSeries) {
   MetricsCollector c(4, 4, 1e-3);
   c.watch_router(2);
