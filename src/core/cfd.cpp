@@ -9,10 +9,9 @@ namespace prdrb {
 
 CongestionDetector::CongestionDetector(NotificationMode mode) : mode_(mode) {}
 
-void CongestionDetector::select_contenders(const Packet& head,
-                                           const std::deque<Packet>& queue,
-                                           int max_flows,
-                                           std::vector<ContendingFlow>& out) {
+void CongestionDetector::select_contenders(
+    const Packet& head, const std::deque<Packet*>& queue, int max_flows,
+    std::vector<ContendingFlow>& out) {
   // Accumulate queued bytes per flow: the "average of occupation of every
   // unique source" heuristic of §3.2.2, realized as byte shares.
   struct Share {
@@ -32,7 +31,7 @@ void CongestionDetector::select_contenders(const Packet& head,
     shares.push_back(Share{f, p.size_bytes});
   };
   account(head);
-  for (const Packet& p : queue) account(p);
+  for (const Packet* p : queue) account(*p);
 
   std::stable_sort(shares.begin(), shares.end(),
                    [](const Share& a, const Share& b) {
@@ -47,7 +46,7 @@ void CongestionDetector::select_contenders(const Packet& head,
 
 void CongestionDetector::on_transmit(Network& net, RouterId r, int port,
                                      Packet& head, SimTime wait,
-                                     const std::deque<Packet>& queue) {
+                                     const std::deque<Packet*>& queue) {
   if (head.is_ack()) return;  // control traffic is not monitored
   const NetConfig& cfg = net.config();
   if (wait < cfg.router_contention_threshold_s) return;
@@ -67,13 +66,10 @@ void CongestionDetector::on_transmit(Network& net, RouterId r, int port,
     // copies it into the ACK (§3.2.2).
     head.congested_router = r;
     for (const ContendingFlow& f : flows) {
-      if (static_cast<int>(head.contending.size()) >=
-          cfg.max_contending_flows) {
-        break;
-      }
-      if (std::find(head.contending.begin(), head.contending.end(), f) ==
-          head.contending.end()) {
-        head.contending.push_back(f);
+      if (append_flow(head.contending, f, cfg.max_contending_flows) ==
+          FlowAppend::kCapped) {
+        ++truncated_flows_;
+        net.note_header_truncation();
       }
     }
     return;

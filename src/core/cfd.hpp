@@ -34,7 +34,7 @@ class CongestionDetector final : public RouterMonitor {
       NotificationMode mode = NotificationMode::kDestinationBased);
 
   void on_transmit(Network& net, RouterId r, int port, Packet& head,
-                   SimTime wait, const std::deque<Packet>& queue) override;
+                   SimTime wait, const std::deque<Packet*>& queue) override;
 
   NotificationMode mode() const { return mode_; }
 
@@ -47,14 +47,19 @@ class CongestionDetector final : public RouterMonitor {
   std::uint64_t detections() const { return detections_; }
   std::uint64_t predictive_acks() const { return predictive_acks_; }
 
+  /// Contending flows dropped because a predictive header was already at
+  /// max_contending_flows (destination-based mode).
+  std::uint64_t truncated_flows() const { return truncated_flows_; }
+
   /// Attach a tracer for "congestion"/"pred-ack" events; nullptr detaches
   /// (the disabled state costs a single branch per detection).
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
  private:
   /// Pick the top-contributing flows in the queue (by queued bytes).
-  void select_contenders(const Packet& head, const std::deque<Packet>& queue,
-                         int max_flows, std::vector<ContendingFlow>& out);
+  void select_contenders(const Packet& head,
+                         const std::deque<Packet*>& queue, int max_flows,
+                         std::vector<ContendingFlow>& out);
 
   NotificationMode mode_;
   SimTime cooldown_ = 5e-6;
@@ -62,6 +67,7 @@ class CongestionDetector final : public RouterMonitor {
   std::unordered_map<std::uint64_t, SimTime> last_notify_;
   std::uint64_t detections_ = 0;
   std::uint64_t predictive_acks_ = 0;
+  std::uint64_t truncated_flows_ = 0;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -50,7 +50,7 @@ void SolutionDatabase::save(NodeId src, NodeId dst, FlowSignature sig,
   s.signature = std::move(sig);
   s.paths = std::move(paths);
   s.best_latency = latency;
-  bucket.push_back(std::move(s));
+  bucket.push_back(std::move(s));  // deque: never invalidates lookup() ptrs
   ++saves_;
 }
 

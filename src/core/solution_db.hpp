@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,8 @@ class SolutionDatabase {
  public:
   /// Most similar stored solution for (src, dst) with similarity >=
   /// `min_similarity`; nullptr when nothing matches. Bumps the hit counter.
+  /// The pointer stays valid across later save()/import_text() calls:
+  /// solutions live in deque buckets, which never relocate elements.
   SavedSolution* lookup(NodeId src, NodeId dst, const FlowSignature& sig,
                         double min_similarity);
 
@@ -74,7 +77,9 @@ class SolutionDatabase {
            static_cast<std::uint32_t>(dst);
   }
 
-  std::unordered_map<std::uint64_t, std::vector<SavedSolution>> db_;
+  // Deque buckets: save() appends must not invalidate pointers previously
+  // handed out by lookup() (a vector bucket reallocates and dangles them).
+  std::unordered_map<std::uint64_t, std::deque<SavedSolution>> db_;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t saves_ = 0;

@@ -65,26 +65,26 @@ std::uint64_t Network::send_message(NodeId src, NodeId dst,
 
   Nic& nic = nics_[static_cast<std::size_t>(src)];
   for (std::int32_t i = 0; i < total_frags; ++i) {
-    Packet p;
-    p.id = next_packet_id_++;
-    p.message_id = mid;
-    p.type = PacketType::kData;
-    p.source = src;
-    p.destination = dst;
-    p.intermediate1 = pc.in1;
-    p.intermediate2 = pc.in2;
-    p.msp_index = pc.msp_index;
-    p.size_bytes =
+    Packet* p = pool_.acquire();
+    p->id = next_packet_id_++;
+    p->message_id = mid;
+    p->type = PacketType::kData;
+    p->source = src;
+    p->destination = dst;
+    p->intermediate1 = pc.in1;
+    p->intermediate2 = pc.in2;
+    p->msp_index = pc.msp_index;
+    p->size_bytes =
         static_cast<std::int32_t>(std::min<std::int64_t>(remaining, cfg_.packet_bytes));
-    remaining -= p.size_bytes;
-    p.fragment_index = i;
-    p.total_fragments = total_frags;
-    p.final_fragment = (i == total_frags - 1);
-    p.mpi_type = type;
-    p.mpi_sequence = seq;
-    p.inject_time = now;
-    p.queued_at = now;
-    nic.inject_queue.push_back(std::move(p));
+    remaining -= p->size_bytes;
+    p->fragment_index = i;
+    p->total_fragments = total_frags;
+    p->final_fragment = (i == total_frags - 1);
+    p->mpi_type = type;
+    p->mpi_sequence = seq;
+    p->inject_time = now;
+    p->queued_at = now;
+    nic.inject_queue.push_back(p);
   }
   policy_.on_message_sent(src, dst, mid, pc, now);
   nic_try_inject(src);
@@ -95,18 +95,20 @@ void Network::inject_at_router(RouterId r, Packet&& p) {
   // GPA module (§3.3.2): a congested router injects a predictive ACK.
   // Control injection is forced (may transiently exceed the VN partition);
   // the partition check at every transmit keeps the system draining.
-  p.inject_time = sim_.now();
-  p.queued_at = sim_.now();
-  p.id = next_packet_id_++;
-  p.message_id = next_message_id_++;
-  routers_[static_cast<std::size_t>(r)].vn_used[static_cast<std::size_t>(p.virtual_network())] += p.size_bytes;
-  router_receive(r, std::move(p));
+  Packet* cell = pool_.acquire();
+  *cell = std::move(p);
+  cell->inject_time = sim_.now();
+  cell->queued_at = sim_.now();
+  cell->id = next_packet_id_++;
+  cell->message_id = next_message_id_++;
+  routers_[static_cast<std::size_t>(r)].vn_used[static_cast<std::size_t>(cell->virtual_network())] += cell->size_bytes;
+  router_receive(r, cell);
 }
 
 void Network::nic_try_inject(NodeId n) {
   Nic& nic = nics_[static_cast<std::size_t>(n)];
   if (nic.injecting || nic.inject_queue.empty()) return;
-  Packet& head = nic.inject_queue.front();
+  Packet& head = *nic.inject_queue.front();
   const RouterId r0 = topo_.node_router(n);
   const int vn = head.virtual_network();
   Router& target = routers_[static_cast<std::size_t>(r0)];
@@ -123,77 +125,71 @@ void Network::nic_try_inject(NodeId n) {
     return;
   }
 
-  Packet p = std::move(nic.inject_queue.front());
+  Packet* p = nic.inject_queue.front();
   nic.inject_queue.pop_front();
-  target.vn_used[static_cast<std::size_t>(vn)] += p.size_bytes;
+  target.vn_used[static_cast<std::size_t>(vn)] += p->size_bytes;
   nic.injecting = true;
   ++nic.packets_injected;
-  nic.bytes_injected += p.size_bytes;
+  nic.bytes_injected += p->size_bytes;
 
-  const SimTime ser = cfg_.serialization_time(p.size_bytes);
+  const SimTime ser = cfg_.serialization_time(p->size_bytes);
   sim_.schedule_in(ser, [this, n] {
     nics_[static_cast<std::size_t>(n)].injecting = false;
     nic_try_inject(n);
   });
   // Cut-through: the head reaches the first router after the wire delay and
-  // can be routed while the tail is still serializing.
-  sim_.schedule_in(cfg_.wire_delay_s,
-                   [this, r0, pkt = std::move(p)]() mutable {
-                     router_receive(r0, std::move(pkt));
-                   });
+  // can be routed while the tail is still serializing. The lambda captures
+  // the pooled handle (16 bytes of state) — no packet copy.
+  sim_.schedule_in(cfg_.wire_delay_s, [this, r0, p] { router_receive(r0, p); });
 }
 
-void Network::router_receive(RouterId r, Packet&& p) {
+void Network::router_receive(RouterId r, Packet* p) {
   // HDP module: advance the multi-header cursor past every intermediate
   // target attached to this router (the IN is a waypoint — reaching its
   // router completes the MSP segment, §3.3.1).
-  const int vn_before = p.virtual_network();
+  const int vn_before = p->virtual_network();
   while (true) {
-    const NodeId t = p.current_target();
-    if (t != p.destination && topo_.node_router(t) == r) {
-      ++p.header_id;
+    const NodeId t = p->current_target();
+    if (t != p->destination && topo_.node_router(t) == r) {
+      ++p->header_id;
     } else {
       break;
     }
   }
-  const int vn_after = p.virtual_network();
+  const int vn_after = p->virtual_network();
   if (vn_after != vn_before) {
     // The packet changes escape-channel class between MSP segments
     // (§3.2.8). Transfer its buffer accounting; the new class may
     // transiently exceed its partition — it cannot block mid-network.
-    routers_[static_cast<std::size_t>(r)].vn_used[static_cast<std::size_t>(vn_after)] += p.size_bytes;
-    release(r, vn_before, p.size_bytes);
+    routers_[static_cast<std::size_t>(r)].vn_used[static_cast<std::size_t>(vn_after)] += p->size_bytes;
+    release(r, vn_before, p->size_bytes);
   }
 
-  const NodeId target = p.current_target();
-  if (target == p.destination && topo_.node_router(target) == r) {
+  const NodeId target = p->current_target();
+  if (target == p->destination && topo_.node_router(target) == r) {
     // Delivery: the message leaves through the local port once its tail
     // arrives (one serialization time behind the head).
-    const SimTime tail = cfg_.serialization_time(p.size_bytes);
+    const SimTime tail = cfg_.serialization_time(p->size_bytes);
     sim_.schedule_in(cfg_.router_delay_s + tail,
-                     [this, r, pkt = std::move(p)]() mutable {
-                       deliver(r, std::move(pkt));
-                     });
+                     [this, r, p] { deliver(r, p); });
     return;
   }
   sim_.schedule_in(cfg_.router_delay_s,
-                   [this, r, pkt = std::move(p)]() mutable {
-                     route_and_enqueue(r, std::move(pkt));
-                   });
+                   [this, r, p] { route_and_enqueue(r, p); });
 }
 
-void Network::route_and_enqueue(RouterId r, Packet&& p) {
+void Network::route_and_enqueue(RouterId r, Packet* p) {
   static thread_local std::vector<int> candidates;
   candidates.clear();
-  topo_.minimal_ports(r, p.current_target(), candidates);
+  topo_.minimal_ports(r, p->current_target(), candidates);
   assert(!candidates.empty() && "target must be reachable");
-  const int port = policy_.select_port(r, p, candidates);
+  const int port = policy_.select_port(r, *p, candidates);
   assert(std::find(candidates.begin(), candidates.end(), port) !=
          candidates.end());
   OutputPort& out = routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(port)];
-  p.queued_at = sim_.now();
-  out.queue_bytes += p.size_bytes;
-  out.queue.push_back(std::move(p));
+  p->queued_at = sim_.now();
+  out.queue_bytes += p->size_bytes;
+  out.queue.push_back(p);
   try_transmit(r, port);
 }
 
@@ -202,7 +198,7 @@ void Network::try_transmit(RouterId r, int port) {
   OutputPort& out = router.ports[static_cast<std::size_t>(port)];
   if (out.busy || out.queue.empty()) return;
 
-  Packet& head = out.queue.front();
+  Packet& head = *out.queue.front();
   const PortTarget tgt = topo_.neighbor(r, port);
   assert(tgt.valid() && "minimal routing never selects a dangling port");
   const int vn = head.virtual_network();
@@ -221,14 +217,14 @@ void Network::try_transmit(RouterId r, int port) {
     return;
   }
 
-  Packet p = std::move(out.queue.front());
+  Packet* p = out.queue.front();
   out.queue.pop_front();
-  out.queue_bytes -= p.size_bytes;
-  downstream.vn_used[static_cast<std::size_t>(vn)] += p.size_bytes;
+  out.queue_bytes -= p->size_bytes;
+  downstream.vn_used[static_cast<std::size_t>(vn)] += p->size_bytes;
 
   const SimTime now = sim_.now();
-  const SimTime wait = now - p.queued_at;
-  p.path_latency += wait;  // LU module: accumulate contention latency
+  const SimTime wait = now - p->queued_at;
+  p->path_latency += wait;  // LU module: accumulate contention latency
   out.total_wait += wait;
   out.last_wait = wait;
   ++out.packets_sent;
@@ -236,79 +232,75 @@ void Network::try_transmit(RouterId r, int port) {
   ++router.packets_forwarded;
   for (NetworkObserver* obs : observers_) {
     obs->on_port_wait(r, port, wait, now);
-    obs->on_packet_forwarded(p, r, now);
+    obs->on_packet_forwarded(*p, r, now);
   }
-  if (monitor_) monitor_->on_transmit(*this, r, port, p, wait, out.queue);
+  if (monitor_) monitor_->on_transmit(*this, r, port, *p, wait, out.queue);
   if (counters_) {
     counters_->link_packets->increment();
-    counters_->link_bytes->add(static_cast<std::uint64_t>(p.size_bytes));
+    counters_->link_bytes->add(static_cast<std::uint64_t>(p->size_bytes));
     counters_->header_overhead_bytes->add(
-        static_cast<std::uint64_t>(header_overhead_bytes(p)));
-    if (p.is_ack()) {
-      counters_->ack_bytes->add(static_cast<std::uint64_t>(p.size_bytes));
+        static_cast<std::uint64_t>(header_overhead_bytes(*p)));
+    if (p->is_ack()) {
+      counters_->ack_bytes->add(static_cast<std::uint64_t>(p->size_bytes));
     }
   }
 
   out.busy = true;
-  const SimTime ser = cfg_.serialization_time(p.size_bytes);
-  const std::int64_t bytes = p.size_bytes;
+  const SimTime ser = cfg_.serialization_time(p->size_bytes);
+  const std::int64_t bytes = p->size_bytes;
   sim_.schedule_in(ser, [this, r, port, vn, bytes] {
     routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(port)].busy = false;
     release(r, vn, bytes);
     try_transmit(r, port);
   });
   sim_.schedule_in(cfg_.wire_delay_s,
-                   [this, rt = tgt.router, pkt = std::move(p)]() mutable {
-                     router_receive(rt, std::move(pkt));
-                   });
+                   [this, rt = tgt.router, p] { router_receive(rt, p); });
 }
 
-void Network::deliver(RouterId r, Packet&& p) {
-  release(r, p.virtual_network(), p.size_bytes);
+void Network::deliver(RouterId r, Packet* p) {
+  release(r, p->virtual_network(), p->size_bytes);
   const SimTime now = sim_.now();
 
-  if (p.is_ack()) {
-    policy_.on_ack(p.destination, p, now);
+  if (p->is_ack()) {
+    policy_.on_ack(p->destination, *p, now);
+    pool_.release(p);
     return;
   }
 
-  Nic& nic = nics_[static_cast<std::size_t>(p.destination)];
+  Nic& nic = nics_[static_cast<std::size_t>(p->destination)];
   ++nic.packets_received;
-  nic.bytes_received += p.size_bytes;
+  nic.bytes_received += p->size_bytes;
   ++packets_delivered_;
-  for (NetworkObserver* obs : observers_) obs->on_packet_delivered(p, now);
+  for (NetworkObserver* obs : observers_) obs->on_packet_delivered(*p, now);
 
-  RxMessage& msg = nic.rx[p.message_id];
+  RxMessage& msg = nic.rx[p->message_id];
   if (msg.total_fragments == 0) {
-    msg.total_fragments = p.total_fragments;
-    msg.inject_time = p.inject_time;
-    msg.msp_index = p.msp_index;
-    msg.mpi_type = p.mpi_type;
-    msg.mpi_sequence = p.mpi_sequence;
+    msg.total_fragments = p->total_fragments;
+    msg.inject_time = p->inject_time;
+    msg.msp_index = p->msp_index;
+    msg.mpi_type = p->mpi_type;
+    msg.mpi_sequence = p->mpi_sequence;
   }
   ++msg.fragments_received;
-  msg.bytes += p.size_bytes;
-  msg.max_path_latency = std::max(msg.max_path_latency, p.path_latency);
-  msg.predictive_bit = msg.predictive_bit || p.predictive_bit;
-  if (p.congested_router != kInvalidRouter) {
-    msg.congested_router = p.congested_router;
+  msg.bytes += p->size_bytes;
+  msg.max_path_latency = std::max(msg.max_path_latency, p->path_latency);
+  msg.predictive_bit = msg.predictive_bit || p->predictive_bit;
+  if (p->congested_router != kInvalidRouter) {
+    msg.congested_router = p->congested_router;
   }
-  for (const ContendingFlow& f : p.contending) {
-    if (msg.contending.size() >=
-        static_cast<std::size_t>(cfg_.max_contending_flows)) {
-      break;
-    }
-    if (std::find(msg.contending.begin(), msg.contending.end(), f) ==
-        msg.contending.end()) {
-      msg.contending.push_back(f);
+  for (const ContendingFlow& f : p->contending) {
+    if (append_flow(msg.contending, f, cfg_.max_contending_flows) ==
+        FlowAppend::kCapped) {
+      note_header_truncation();
     }
   }
 
   if (msg.fragments_received == msg.total_fragments) {
     RxMessage done = std::move(msg);
-    nic.rx.erase(p.message_id);
-    complete_message(nic, p, std::move(done));
+    nic.rx.erase(p->message_id);
+    complete_message(nic, *p, std::move(done));
   }
+  pool_.release(p);
 }
 
 void Network::complete_message(Nic& nic, const Packet& last, RxMessage&& msg) {
@@ -327,32 +319,37 @@ void Network::complete_message(Nic& nic, const Packet& last, RxMessage&& msg) {
     // latency — and the contending-flow set, unless a router already
     // notified it via a predictive ACK (the P bit, §3.4.2) — back to the
     // source.
-    Packet ack;
-    ack.id = next_packet_id_++;
-    ack.message_id = next_message_id_++;
-    ack.type = PacketType::kAck;
-    ack.source = last.destination;
-    ack.destination = last.source;
-    ack.size_bytes = cfg_.ack_bytes;
-    ack.msp_index = msg.msp_index;
-    ack.reported_latency = msg.max_path_latency;
+    Packet* ack = pool_.acquire();
+    ack->id = next_packet_id_++;
+    ack->message_id = next_message_id_++;
+    ack->type = PacketType::kAck;
+    ack->source = last.destination;
+    ack->destination = last.source;
+    ack->size_bytes = cfg_.ack_bytes;
+    ack->msp_index = msg.msp_index;
+    ack->reported_latency = msg.max_path_latency;
     // Normalize multi-packet messages to a single-packet-equivalent path
     // latency (subtract the back-to-back serialization of the trailing
     // fragments) so the DRB thresholds — calibrated on the Table 4.2/4.3
     // packet size — compare like with like across message sizes.
     const SimTime tail_serialization =
         (msg.total_fragments - 1) * cfg_.serialization_time(cfg_.packet_bytes);
-    ack.reported_e2e =
+    ack->reported_e2e =
         std::max(now - msg.inject_time - tail_serialization, 0.0);
-    ack.mpi_sequence = msg.mpi_sequence;
-    ack.acked_message_id = last.message_id;
-    ack.inject_time = now;
-    ack.queued_at = now;
-    ack.congested_router = msg.congested_router;
-    if (!msg.predictive_bit) ack.contending = std::move(msg.contending);
-    nic.inject_queue.push_back(std::move(ack));
+    ack->mpi_sequence = msg.mpi_sequence;
+    ack->acked_message_id = last.message_id;
+    ack->inject_time = now;
+    ack->queued_at = now;
+    ack->congested_router = msg.congested_router;
+    if (!msg.predictive_bit) ack->contending = std::move(msg.contending);
+    nic.inject_queue.push_back(ack);
     nic_try_inject(nic.node);
   }
+}
+
+void Network::note_header_truncation() {
+  ++header_truncations_;
+  if (counters_) counters_->header_truncated_flows->increment();
 }
 
 bool Network::reserve(RouterId r, int vn, std::int64_t bytes) {
@@ -378,6 +375,8 @@ void Network::bind_counters(obs::CounterRegistry& reg) {
   counters_->link_bytes = &reg.counter("net.link.bytes");
   counters_->ack_bytes = &reg.counter("net.ack.bytes");
   counters_->header_overhead_bytes = &reg.counter("net.header.overhead_bytes");
+  counters_->header_truncated_flows =
+      &reg.counter("net.header.truncated_flows");
   counters_->credit_stalls = &reg.counter("net.credit.stalls");
 
   // Pull-style gauges: evaluated only when the registry is sampled, so

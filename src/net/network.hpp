@@ -19,6 +19,7 @@
 #include "net/config.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/router.hpp"
 #include "net/topology.hpp"
 #include "routing/policy.hpp"
@@ -62,7 +63,8 @@ class RouterMonitor {
   /// predictive header); `queue` is the remaining contents of the output
   /// queue it waited in.
   virtual void on_transmit(Network& net, RouterId r, int port, Packet& head,
-                           SimTime wait, const std::deque<Packet>& queue) = 0;
+                           SimTime wait,
+                           const std::deque<Packet*>& queue) = 0;
 };
 
 /// Completion callback for full messages (used by the trace player).
@@ -134,13 +136,26 @@ class Network {
   /// Total packets delivered so far (data only).
   std::uint64_t packets_delivered() const { return packets_delivered_; }
 
+  /// The packet arena (pool occupancy introspection, DESIGN.md "Pooled
+  /// event kernel").
+  const PacketPool& packet_pool() const { return pool_; }
+
+  /// Truncation bookkeeping for the bounded predictive header: called by
+  /// the CFD module and the reassembly path whenever a contending flow is
+  /// dropped because the header already carries max_contending_flows.
+  void note_header_truncation();
+
+  /// Contending-flow entries dropped by the max_contending_flows cap.
+  std::uint64_t header_truncations() const { return header_truncations_; }
+
  private:
-  // --- pipeline stages ---
+  // --- pipeline stages (packets travel as pooled handles; a stage either
+  //     forwards the handle or releases it back to the pool) ---
   void nic_try_inject(NodeId n);
-  void router_receive(RouterId r, Packet&& p);
-  void route_and_enqueue(RouterId r, Packet&& p);
+  void router_receive(RouterId r, Packet* p);
+  void route_and_enqueue(RouterId r, Packet* p);
   void try_transmit(RouterId r, int port);
-  void deliver(RouterId r, Packet&& p);
+  void deliver(RouterId r, Packet* p);
   void complete_message(Nic& nic, const Packet& last, RxMessage&& msg);
 
   // --- buffer management ---
@@ -156,6 +171,7 @@ class Network {
     obs::Counter* link_bytes = nullptr;
     obs::Counter* ack_bytes = nullptr;
     obs::Counter* header_overhead_bytes = nullptr;
+    obs::Counter* header_truncated_flows = nullptr;
     obs::Counter* credit_stalls = nullptr;
   };
 
@@ -168,6 +184,7 @@ class Network {
   MessageHandler on_message_;
   std::unique_ptr<NetCounters> counters_;
 
+  PacketPool pool_;
   std::vector<Router> routers_;
   std::vector<Nic> nics_;
   std::int64_t vn_capacity_ = 0;
@@ -175,6 +192,7 @@ class Network {
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t packets_delivered_ = 0;
+  std::uint64_t header_truncations_ = 0;
 };
 
 }  // namespace prdrb

@@ -29,13 +29,14 @@ struct RxMessage {
   MpiType mpi_type = MpiType::kNone;
   std::int64_t mpi_sequence = 0;
   RouterId congested_router = kInvalidRouter;
-  std::vector<ContendingFlow> contending;  // union across fragments
+  ContendingList contending;  // union across fragments (bounded by config)
 };
 
 struct Nic {
   NodeId node = kInvalidNode;
 
-  std::deque<Packet> inject_queue;
+  // Pending pooled packets; cells are owned by Network's PacketPool.
+  std::deque<Packet*> inject_queue;
   bool injecting = false;  // serializing a packet onto the local link
   bool waiting = false;    // blocked on the local router's buffer space
 

@@ -1,8 +1,19 @@
 #include "net/packet.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace prdrb {
+
+FlowAppend append_flow(ContendingList& list, const ContendingFlow& f,
+                       int cap) {
+  if (std::find(list.begin(), list.end(), f) != list.end()) {
+    return FlowAppend::kDuplicate;
+  }
+  if (static_cast<int>(list.size()) >= cap) return FlowAppend::kCapped;
+  list.push_back(f);
+  return FlowAppend::kAdded;
+}
 
 NodeId Packet::current_target() const {
   if (header_id == 0 && intermediate1 != kInvalidNode) return intermediate1;

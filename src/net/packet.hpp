@@ -12,8 +12,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "util/small_vector.hpp"
 #include "util/types.hpp"
 
 namespace prdrb {
@@ -28,6 +28,22 @@ struct ContendingFlow {
   friend auto operator<=>(const ContendingFlow&, const ContendingFlow&) =
       default;
 };
+
+/// Contending-flow list of the predictive header. The inline capacity
+/// matches the default `NetConfig::max_contending_flows` cap, so a packet's
+/// header never heap-allocates in the default configuration.
+using ContendingList = SmallVector<ContendingFlow, 8>;
+
+/// Outcome of appending one flow to a bounded predictive header.
+enum class FlowAppend : std::uint8_t {
+  kAdded,      // new entry recorded
+  kDuplicate,  // already present (dedup)
+  kCapped,     // dropped: the header is full (counted as a truncation)
+};
+
+/// Deduplicating, capped append (the paper carries only the top `n`
+/// contenders, Fig. 3.18 — `cap` is NetConfig::max_contending_flows).
+FlowAppend append_flow(ContendingList& list, const ContendingFlow& f, int cap);
 
 enum class PacketType : std::uint8_t {
   kData,           // application payload (Fig. 3.16)
@@ -98,8 +114,9 @@ struct Packet {
   SimTime reported_latency = 0;
   SimTime reported_e2e = 0;
 
-  // Predictive header (only populated above the congestion threshold).
-  std::vector<ContendingFlow> contending;
+  // Predictive header (only populated above the congestion threshold;
+  // bounded by NetConfig::max_contending_flows).
+  ContendingList contending;
   RouterId congested_router = kInvalidRouter;
 
   // For ACKs: id of the acknowledged message (lets FR-DRB disarm the

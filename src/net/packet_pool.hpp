@@ -1,0 +1,62 @@
+// Free-list packet arena for the network's steady-state hot path.
+//
+// Every data packet and ACK in flight used to be moved (vector header and
+// all) into each per-hop lambda; the pool replaces that with stable Packet
+// cells handed around by pointer. Cells live in a deque (addresses never
+// move) and retired packets go on a free list, so after warm-up a hop
+// acquires and releases packets without touching the allocator at all. A
+// recycled packet keeps its predictive header's spilled capacity (if any)
+// so repeated congestion episodes don't re-allocate either.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace prdrb {
+
+class PacketPool {
+ public:
+  /// Fetch a cell reset to a default-constructed Packet. The pointer stays
+  /// valid until release() — cells are never deallocated mid-run.
+  Packet* acquire() {
+    if (free_.empty()) {
+      store_.emplace_back();
+      ++outstanding_;
+      return &store_.back();
+    }
+    Packet* p = free_.back();
+    free_.pop_back();
+    ++outstanding_;
+    // Reset to defaults while keeping the contending list's storage.
+    ContendingList keep = std::move(p->contending);
+    keep.clear();
+    *p = Packet{};
+    p->contending = std::move(keep);
+    return p;
+  }
+
+  /// Return a cell to the free list. The caller must drop every reference.
+  void release(Packet* p) {
+    assert(p && outstanding_ > 0);
+    --outstanding_;
+    free_.push_back(p);
+  }
+
+  /// Cells ever created (high-water mark of concurrently live packets).
+  std::size_t allocated() const { return store_.size(); }
+
+  /// Cells currently handed out.
+  std::size_t outstanding() const { return outstanding_; }
+
+ private:
+  std::deque<Packet> store_;   // address-stable backing cells
+  std::vector<Packet*> free_;  // retired cells, most recently used last
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace prdrb

@@ -29,7 +29,8 @@ struct Waiter {
 };
 
 struct OutputPort {
-  std::deque<Packet> queue;
+  // FIFO of pooled packet handles; the cells live in Network's PacketPool.
+  std::deque<Packet*> queue;
   std::int64_t queue_bytes = 0;
   bool busy = false;      // currently serializing a packet onto the link
   bool waiting = false;   // registered as a waiter downstream

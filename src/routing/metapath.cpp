@@ -34,7 +34,7 @@ void Metapath::update_mp_latency() {
   mp_latency = inv_sum > 0 ? 1.0 / inv_sum : 0.0;
 }
 
-void Metapath::note_flows(const std::vector<ContendingFlow>& flows,
+void Metapath::note_flows(std::span<const ContendingFlow> flows,
                           std::size_t cap) {
   for (const ContendingFlow& f : flows) {
     auto it = std::find(recent_flows.begin(), recent_flows.end(), f);

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -91,7 +92,7 @@ struct Metapath {
   void update_mp_latency();
 
   /// Record contending flows from a notification (bounded, deduplicated).
-  void note_flows(const std::vector<ContendingFlow>& flows, std::size_t cap);
+  void note_flows(std::span<const ContendingFlow> flows, std::size_t cap);
 
   /// True if an equivalent MSP is already open.
   bool has_route(const MspCandidate& c) const;

@@ -2,54 +2,74 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <utility>
 
 namespace prdrb {
 
+void EventQueue::heap_remove_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+}
+
 EventId EventQueue::schedule(SimTime when, Action action) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(action)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    assert(slots_.size() <= (kSlotMask + 1) && "too many pending events");
+  }
+  assert((next_seq_ >> (64 - kSlotBits)) == 0 && "sequence space exhausted");
+  const EventId id = (next_seq_++ << kSlotBits) | slot;
+  Slot& cell = slots_[slot];
+  cell.action = std::move(action);
+  cell.key = id;
+  heap_.push_back(Entry{when, id});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  live_.insert(id);
   return id;
 }
 
+void EventQueue::retire(std::uint32_t slot) {
+  Slot& cell = slots_[slot];
+  cell.action = Action{};  // release captured state eagerly
+  cell.key = 0;            // invalidate every outstanding id for this slot
+  free_slots_.push_back(slot);
+}
+
 void EventQueue::cancel(EventId id) {
-  // Only ids still pending may grow the tombstone set; an id that already
-  // fired (popped below the watermark), was already cancelled, or was never
-  // issued is dropped here, so cancelled_ stays bounded by heap_.size().
-  if (live_.erase(id) == 0) return;
-  cancelled_.insert(id);
+  if (id == 0) return;  // the "no event" sentinel (a vacant slot's key is 0)
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  // A stale, already-fired, already-cancelled or never-issued id fails the
+  // key compare and is a true no-op; only ids still pending in the heap can
+  // add a tombstone, so tombstones_ stays bounded by heap_.size().
+  if (slot >= slots_.size() || slots_[slot].key != id) return;
+  retire(slot);
+  ++tombstones_;
+  purge_top();  // keep the "non-empty heap has a live top" invariant
 }
 
 void EventQueue::purge_top() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
+    const Entry& top = heap_.front();
+    if (slots_[top.key & kSlotMask].key == top.key) break;  // live
+    heap_remove_top();
+    --tombstones_;
   }
 }
 
-bool EventQueue::empty() {
-  purge_top();
-  return heap_.empty();
-}
-
-SimTime EventQueue::next_time() {
-  purge_top();
-  return heap_.empty() ? kTimeInfinity : heap_.front().time;
-}
-
 EventQueue::Fired EventQueue::pop() {
+  assert(!heap_.empty() && "pop() requires a live event");
+  const Entry e = heap_.front();
+  const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+  assert(slots_[slot].key == e.key && "heap top must be live");
+  heap_remove_top();
+  Fired fired{e.time, std::move(slots_[slot].action)};
+  retire(slot);
   purge_top();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  live_.erase(e.id);
-  return Fired{e.time, std::move(e.action)};
+  return fired;
 }
 
 }  // namespace prdrb

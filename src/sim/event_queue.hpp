@@ -1,51 +1,76 @@
 // Pending-event set for the discrete-event kernel.
 //
-// The queue is a binary heap keyed by (time, sequence). The monotonically
+// The queue is a binary heap of 16-byte entries keyed by (time, sequence). The monotonically
 // increasing sequence number makes simultaneous events fire in scheduling
 // order, which keeps every run bit-for-bit reproducible for a given seed —
 // the property the evaluation methodology (thesis §4.3) relies on when
 // averaging repeated runs.
 //
-// Cancellation is lazy (tombstone set): FR-DRB arms a watchdog per in-flight
-// message and cancels it when the ACK arrives, so cancel must be O(1).
+// Hot-path design (DESIGN.md "Pooled event kernel"):
+//  * Actions are InlineFunction callbacks — captures up to kActionCapacity
+//    bytes live inside the slot, so schedule/pop never touch the heap for
+//    the per-hop lambdas that dominate a simulation.
+//  * Callbacks live in a recycled slot array; heap entries reference slots
+//    by (index, generation). A cancelled or fired slot bumps its generation,
+//    which invalidates every outstanding EventId for it — cancellation needs
+//    no hash lookup, just one array access and a generation compare.
+//  * Cancellation is lazy (tombstones): FR-DRB arms a watchdog per in-flight
+//    message and cancels it when the ACK arrives, so cancel must be cheap.
+//    Stale entries are purged whenever they surface at the top of the heap,
+//    which maintains the invariant "a non-empty heap has a live top". That
+//    makes empty() and next_time() truly const (no deferred mutation), and
+//    bounds pending_cancellations() by size() at all times.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/types.hpp"
 
 namespace prdrb {
 
 /// Opaque handle used to cancel a scheduled event (e.g. FR-DRB watchdogs).
-/// Id 0 is never issued and may be used as a "no event" sentinel.
+/// Id 0 is never issued and may be used as a "no event" sentinel. Ids are
+/// monotonically increasing in scheduling order.
 using EventId = std::uint64_t;
+
+/// Inline capture budget for event actions. 48 bytes covers every kernel
+/// lambda in the packet pipeline (pooled-handle captures are ≤ 24 bytes);
+/// larger captures transparently spill to one heap allocation.
+inline constexpr std::size_t kActionCapacity = 48;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFunction<kActionCapacity>;
 
   /// Schedule `action` at absolute time `when`. Returns a cancellation id.
   EventId schedule(SimTime when, Action action);
 
   /// Lazily cancel a pending event. Cancelling an id that already fired,
-  /// was already cancelled, or was never issued is a true no-op: only ids
-  /// still pending in the heap may add a tombstone, so the tombstone set
-  /// stays bounded by the number of pending events.
+  /// was already cancelled, or was never issued is a true no-op: the slot
+  /// generation no longer matches, so the tombstone count only ever grows
+  /// for ids still pending in the heap and stays bounded by size().
   void cancel(EventId id);
 
-  /// True when no live (non-cancelled) events remain.
-  bool empty();
+  /// True when no live (non-cancelled) events remain. Because stale tops
+  /// are purged eagerly on cancel/pop, a non-empty heap always has a live
+  /// top — so this is a genuine const query.
+  bool empty() const { return heap_.empty(); }
 
+  /// Heap entries, live + tombstoned.
   std::size_t size() const { return heap_.size(); }
 
+  /// Live (non-cancelled) pending events.
+  std::size_t live() const { return heap_.size() - tombstones_; }
+
   /// Number of cancelled-but-not-yet-purged entries (bounded by size()).
-  std::size_t pending_cancellations() const { return cancelled_.size(); }
+  std::size_t pending_cancellations() const { return tombstones_; }
 
   /// Time of the earliest live event; kTimeInfinity when empty.
-  SimTime next_time();
+  SimTime next_time() const {
+    return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  }
 
   /// Pop and return the earliest live event. Precondition: !empty().
   struct Fired {
@@ -55,23 +80,48 @@ class EventQueue {
   Fired pop();
 
  private:
+  // An EventId packs (sequence << kSlotBits) | slot. The sequence number is
+  // globally monotonic, so ids order by scheduling time; the low bits locate
+  // the callback slot. 2^24 concurrent pending events and 2^40 total
+  // scheduled events per queue are far beyond any simulation this repo runs
+  // (asserted in schedule()).
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+
+  /// 16 bytes — four heap entries per cache line, which is what makes deep
+  /// sift-downs cheap. `key` is the EventId: equal times tie-break on the
+  /// sequence in its high bits, i.e. FIFO scheduling order (determinism).
   struct Entry {
     SimTime time;
-    EventId id;
-    Action action;
+    std::uint64_t key;
     bool operator>(const Entry& o) const {
       if (time != o.time) return time > o.time;
-      return id > o.id;
+      return key > o.key;
     }
   };
 
-  /// Remove cancelled entries sitting at the top of the heap.
+  /// One recyclable callback cell. `key` stamps the occupant's EventId
+  /// (0 = vacant); a heap entry or cancellation handle is stale exactly when
+  /// its key no longer matches — one load and one compare, no hash lookup.
+  struct Slot {
+    Action action;
+    std::uint64_t key = 0;
+  };
+
+  /// Retire a slot: invalidate outstanding ids and recycle the cell.
+  void retire(std::uint32_t slot);
+
+  /// Drop tombstoned entries from the top of the heap so the top is live.
   void purge_top();
 
+  /// Pop the heap's top entry (std::pop_heap), live or stale.
+  void heap_remove_top();
+
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> live_;       // ids currently in heap_
-  std::unordered_set<EventId> cancelled_;  // subset awaiting purge
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t tombstones_ = 0;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace prdrb

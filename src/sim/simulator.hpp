@@ -32,7 +32,10 @@ class Simulator {
   std::uint64_t run() { return run_until(kTimeInfinity); }
 
   /// True when no live events remain.
-  bool idle() { return queue_.empty(); }
+  bool idle() const { return queue_.empty(); }
+
+  /// The underlying pending-event set (tombstone/occupancy introspection).
+  const EventQueue& queue() const { return queue_; }
 
   std::uint64_t events_executed() const { return executed_; }
 

@@ -1,0 +1,134 @@
+// Small-buffer-optimized, move-only callable — the event kernel's callback
+// type.
+//
+// std::function<void()> heap-allocates whenever a capture exceeds its tiny
+// internal buffer (16 bytes on libstdc++), which used to put one malloc/free
+// pair on every scheduled simulation event. InlineFunction stores callables
+// up to `Capacity` bytes directly inside the object, so scheduling a per-hop
+// lambda that captures a couple of pointers allocates nothing. Callables
+// larger than `Capacity` still work — they fall back to a single heap
+// allocation, exactly like std::function — so correctness never depends on
+// capture size, only performance does.
+//
+// Move-only on purpose: event actions are scheduled once and fired once, and
+// copyability is what forces std::function to type-erase with the expensive
+// copy machinery in the first place.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace prdrb {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      vt_ = &kVTableInline<Fn>;
+    } else {
+      ::new (storage_) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kVTableHeap<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept { take(o); }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      take(o);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    assert(vt_ && "calling an empty InlineFunction");
+    vt_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// True when a callable of type F is stored without a heap allocation.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  // `relocate`/`destroy` are null for trivially copyable + destructible
+  // inline callables (the common case: lambdas capturing `this` and a few
+  // scalars/handles) — moves become one fixed-size memcpy and destruction a
+  // no-op, with no indirect calls on the event hot path.
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool trivially_relocatable =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr VTable kVTableInline = {
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      trivially_relocatable<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+              static_cast<Fn*>(src)->~Fn();
+            },
+      trivially_relocatable<Fn>
+          ? nullptr
+          : +[](void* s) { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kVTableHeap = {
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      nullptr,  // the stored pointer relocates by memcpy
+      [](void* s) { delete *static_cast<Fn**>(s); },
+  };
+
+  void take(InlineFunction& o) noexcept {
+    if (o.vt_) {
+      if (o.vt_->relocate) {
+        o.vt_->relocate(storage_, o.storage_);
+      } else {
+        __builtin_memcpy(storage_, o.storage_, Capacity);
+      }
+      vt_ = o.vt_;
+      o.vt_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (vt_) {
+      if (vt_->destroy) vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace prdrb

@@ -1,0 +1,152 @@
+// Inline small vector: the first N elements live inside the object, larger
+// sizes spill to the heap.
+//
+// Purpose-built for the hot structures of the packet pipeline — the
+// predictive header (Packet::contending) holds at most max_contending_flows
+// entries (8 by default), so with N matched to that cap a packet never
+// allocates for its header and moving a pooled packet is a flat copy.
+// Supports trivially-copyable element types only, which keeps relocation a
+// memcpy and lets the event kernel treat captures holding one as trivially
+// relocatable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace prdrb {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& o) { assign(o.begin(), o.end()); }
+
+  SmallVector(SmallVector&& o) noexcept { steal(o); }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) assign(o.begin(), o.end());
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  /// Drop all elements; inline storage is retained, heap storage (if the
+  /// vector ever spilled) is kept for reuse — clear() never deallocates.
+  void clear() { size_ = 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr std::size_t inline_capacity() { return N; }
+
+  /// True when the elements live in the inline buffer (no heap involved).
+  bool is_inline() const { return data_ == inline_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void grow(std::size_t new_cap) {
+    T* heap = new T[new_cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (!is_inline()) delete[] data_;
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void release() {
+    if (!is_inline()) delete[] data_;
+    data_ = inline_;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void steal(SmallVector& o) noexcept {
+    if (o.is_inline()) {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+      data_ = inline_;
+      capacity_ = N;
+      size_ = o.size_;
+    } else {
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.capacity_ = N;
+    }
+    o.size_ = 0;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace prdrb

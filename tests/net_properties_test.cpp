@@ -121,8 +121,8 @@ TEST(AckGating, DrbReceivesOneAckPerMessage) {
 class RecordingMonitor final : public RouterMonitor {
  public:
   void on_transmit(Network&, RouterId, int, Packet& head, SimTime,
-                   const std::deque<Packet>&) override {
-    last_contending = head.contending;
+                   const std::deque<Packet*>&) override {
+    last_contending.assign(head.contending.begin(), head.contending.end());
   }
   std::vector<ContendingFlow> last_contending;
 };
@@ -130,7 +130,6 @@ class RecordingMonitor final : public RouterMonitor {
 TEST(Cfd, TopContributorsSelectedFirst) {
   CongestionDetector cfd(NotificationMode::kDestinationBased);
   // Build a synthetic congested queue: flow (1,9) has 3 packets, (2,9) one.
-  std::deque<Packet> queue;
   auto mk = [](NodeId s, NodeId d, std::int32_t bytes) {
     Packet p;
     p.source = s;
@@ -138,9 +137,13 @@ TEST(Cfd, TopContributorsSelectedFirst) {
     p.size_bytes = bytes;
     return p;
   };
-  queue.push_back(mk(1, 9, 1024));
-  queue.push_back(mk(2, 9, 1024));
-  queue.push_back(mk(1, 9, 1024));
+  std::vector<Packet> backing;
+  backing.reserve(3);
+  backing.push_back(mk(1, 9, 1024));
+  backing.push_back(mk(2, 9, 1024));
+  backing.push_back(mk(1, 9, 1024));
+  std::deque<Packet*> queue;
+  for (Packet& p : backing) queue.push_back(&p);
 
   Simulator sim;
   Mesh2D mesh(4, 4);
@@ -170,7 +173,7 @@ TEST(Cfd, AcksAreNeverMonitored) {
   ack.source = 1;
   ack.destination = 2;
   ack.size_bytes = 64;
-  std::deque<Packet> queue;
+  std::deque<Packet*> queue;
   cfd.on_transmit(net, 0, 0, ack, 1e-3, queue);
   EXPECT_EQ(cfd.detections(), 0u);
   EXPECT_TRUE(ack.contending.empty());
@@ -185,7 +188,7 @@ TEST(Cfd, RouterBasedCooldownLimitsAckStorm) {
   cfg.router_contention_threshold_s = 1e-6;
   DeterministicPolicy pol;
   Network net(sim, mesh, cfg, pol);
-  std::deque<Packet> queue;
+  std::deque<Packet*> queue;
   Packet head;
   head.source = 1;
   head.destination = 9;
@@ -207,7 +210,7 @@ TEST(Cfd, PredictiveBitSetOnRouterBasedNotification) {
   cfg.router_contention_threshold_s = 1e-6;
   DeterministicPolicy pol;
   Network net(sim, mesh, cfg, pol);
-  std::deque<Packet> queue;
+  std::deque<Packet*> queue;
   Packet head;
   head.source = 1;
   head.destination = 9;
@@ -226,20 +229,128 @@ TEST(Cfd, MaxContendingFlowsRespected) {
   cfg.max_contending_flows = 3;
   DeterministicPolicy pol;
   Network net(sim, mesh, cfg, pol);
-  std::deque<Packet> queue;
+  std::vector<Packet> backing;
+  backing.reserve(10);
   for (NodeId s = 0; s < 10; ++s) {
     Packet p;
     p.source = s;
     p.destination = 63;
     p.size_bytes = 1024;
-    queue.push_back(p);
+    backing.push_back(p);
   }
+  std::deque<Packet*> queue;
+  for (Packet& p : backing) queue.push_back(&p);
   Packet head;
   head.source = 20;
   head.destination = 63;
   head.size_bytes = 1024;
   cfd.on_transmit(net, 0, 0, head, 5e-6, queue);
   EXPECT_LE(head.contending.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-freedom of the hot path (operator-new interposer, test_util.hpp)
+
+TEST(Allocations, EventQueueSteadyStateIsAllocationFree) {
+  // After warm-up, schedule+pop with an inline-sized capture must never
+  // touch the allocator: actions live in recycled slots, heap entries in a
+  // vector that has reached its high-water capacity.
+  EventQueue q;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 4096; ++i) {
+    q.schedule(static_cast<SimTime>(i), [&sink, i] {
+      sink += static_cast<std::uint64_t>(i);
+    });
+  }
+  while (!q.empty()) q.pop().action();
+
+  test::AllocationScope scope;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      q.schedule(static_cast<SimTime>(round * 4 + i), [&sink, i] {
+        sink += static_cast<std::uint64_t>(i);
+      });
+    }
+    while (!q.empty()) q.pop().action();
+  }
+  EXPECT_EQ(scope.count(), 0u) << "steady-state schedule/pop allocated";
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(Allocations, NetworkSteadyStateHopsAreAllocationFree) {
+  // Drive the same workload twice through one network. The second pass
+  // reuses pooled packets, recycled event slots and warmed queues, so the
+  // only remaining allocations are per-message bookkeeping (rx-reassembly
+  // map nodes and ACK metapath stats) — bounded by messages, not by hops
+  // or events.
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  const int kMessages = 400;
+  auto run_pass = [&] {
+    for (int i = 0; i < kMessages; ++i) {
+      const NodeId src = static_cast<NodeId>(i % 16);
+      const NodeId dst = static_cast<NodeId>((i * 7 + 5) % 16);
+      h.net->send_message(src, dst, 1024);
+    }
+    h.sim.run();
+  };
+  run_pass();  // warm-up: pool fills, queues and heap reach steady capacity
+
+  const std::uint64_t events_before = h.sim.events_executed();
+  test::AllocationScope scope;
+  run_pass();
+  const std::uint64_t events = h.sim.events_executed() - events_before;
+  ASSERT_GT(events, static_cast<std::uint64_t>(4 * kMessages));
+  // Per-hop/per-event cost must be nil: allow only the per-message nodes.
+  EXPECT_LT(scope.count(), static_cast<std::uint64_t>(4 * kMessages))
+      << "events in pass: " << events;
+  EXPECT_EQ(h.net->packet_pool().outstanding(), 0u);
+}
+
+TEST(Cfd, HeaderTruncationIsCountedWhenTheCapBites) {
+  // A header already at max_contending_flows drops further (distinct)
+  // flows; every drop must show up in both the CFD stat and the network's
+  // truncation counter so the loss of prediction accuracy is observable.
+  CongestionDetector cfd(NotificationMode::kDestinationBased);
+  Simulator sim;
+  Mesh2D mesh(8, 8);
+  NetConfig cfg;
+  cfg.router_contention_threshold_s = 1e-6;
+  cfg.max_contending_flows = 2;
+  DeterministicPolicy pol;
+  Network net(sim, mesh, cfg, pol);
+
+  auto congested_queue = [](NodeId first_src) {
+    std::vector<Packet> backing;
+    for (NodeId s = first_src; s < first_src + 3; ++s) {
+      Packet p;
+      p.source = s;
+      p.destination = 63;
+      p.size_bytes = 1024;
+      backing.push_back(p);
+    }
+    return backing;
+  };
+
+  Packet head;
+  head.source = 20;
+  head.destination = 63;
+  head.size_bytes = 1024;
+
+  auto run = [&](NodeId first_src) {
+    std::vector<Packet> backing = congested_queue(first_src);
+    std::deque<Packet*> queue;
+    for (Packet& p : backing) queue.push_back(&p);
+    cfd.on_transmit(net, 0, 0, head, 5e-6, queue);
+  };
+  run(0);  // fills the header to the cap of 2
+  EXPECT_EQ(head.contending.size(), 2u);
+  EXPECT_EQ(cfd.truncated_flows(), 0u);
+  run(30);  // new flows, zero free slots: the non-duplicate one is dropped
+  // select_contenders picks 2 flows: the head's own (already in the header,
+  // deduplicated) and one new queue flow — which the full header drops.
+  EXPECT_EQ(head.contending.size(), 2u);
+  EXPECT_EQ(cfd.truncated_flows(), 1u);
+  EXPECT_EQ(net.header_truncations(), 1u);
 }
 
 }  // namespace

@@ -1,3 +1,5 @@
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "net/packet.hpp"
@@ -92,4 +94,44 @@ TEST(ContendingFlow, OrderingAndEquality) {
 }
 
 }  // namespace
+TEST(AppendFlow, DedupsCapsAndReportsOutcome) {
+  ContendingList list;
+  EXPECT_EQ(append_flow(list, {1, 2}, 2), FlowAppend::kAdded);
+  EXPECT_EQ(append_flow(list, {1, 2}, 2), FlowAppend::kDuplicate);
+  EXPECT_EQ(append_flow(list, {3, 4}, 2), FlowAppend::kAdded);
+  EXPECT_EQ(append_flow(list, {5, 6}, 2), FlowAppend::kCapped);
+  // A duplicate of a stored flow is reported as such even at the cap.
+  EXPECT_EQ(append_flow(list, {3, 4}, 2), FlowAppend::kDuplicate);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SmallVectorT, StaysInlineUpToCapacityThenSpills) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  v.push_back(4);
+  EXPECT_FALSE(v.is_inline());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  // clear() keeps the spilled capacity for reuse (no churn on recycle).
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVectorT, MoveStealsHeapAndCopiesInline) {
+  SmallVector<int, 2> inline_v{7, 8};
+  SmallVector<int, 2> m1 = std::move(inline_v);
+  ASSERT_EQ(m1.size(), 2u);
+  EXPECT_EQ(m1[0], 7);
+  EXPECT_TRUE(m1.is_inline());
+
+  SmallVector<int, 2> spilled{1, 2, 3};
+  SmallVector<int, 2> m2 = std::move(spilled);
+  ASSERT_EQ(m2.size(), 3u);
+  EXPECT_EQ(m2[2], 3);
+  EXPECT_FALSE(m2.is_inline());
+  EXPECT_TRUE(spilled.empty());  // NOLINT(bugprone-use-after-move)
+}
+
 }  // namespace prdrb

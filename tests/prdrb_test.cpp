@@ -174,6 +174,26 @@ TEST(SolutionDatabase, DistinctSituationsCoexist) {
   EXPECT_EQ(db.max_reuse(), 1u);
 }
 
+TEST(SolutionDatabase, LookupPointerSurvivesLaterSaves) {
+  // Regression (ASan-visible): lookup() used to return a pointer into a
+  // vector bucket; the next save() to the same pair could reallocate the
+  // bucket and dangle the pointer. Deque buckets keep it stable.
+  SolutionDatabase db;
+  const auto sig = FlowSignature::from(std::vector<ContendingFlow>{{1, 2}});
+  db.save(0, 7, sig, two_paths(), 6e-6, 0.8);
+  SavedSolution* sol = db.lookup(0, 7, sig, 0.8);
+  ASSERT_NE(sol, nullptr);
+  const SimTime seen = sol->best_latency;
+  // Grow the same (0,7) bucket far past any initial vector capacity.
+  for (NodeId i = 0; i < 64; ++i) {
+    db.save(0, 7,
+            FlowSignature::from(std::vector<ContendingFlow>{{i + 10, i + 90}}),
+            two_paths(), 6e-6, 0.8);
+  }
+  EXPECT_DOUBLE_EQ(sol->best_latency, seen);  // reads through the old ptr
+  EXPECT_EQ(sol->hits, 1u);
+}
+
 TEST(SolutionDatabase, EmptySignatureNeverStored) {
   SolutionDatabase db;
   db.save(0, 7, FlowSignature{}, two_paths(), 6e-6, 0.8);
@@ -191,7 +211,7 @@ Packet congested_ack(NodeId src, NodeId dst, SimTime e2e,
   ack.destination = src;
   ack.msp_index = msp_index;
   ack.reported_e2e = e2e;
-  ack.contending = std::move(flows);
+  ack.contending.assign(flows.begin(), flows.end());
   return ack;
 }
 

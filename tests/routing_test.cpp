@@ -43,12 +43,15 @@ TEST(Metapath, MpLatencyFollowsEq34) {
 
 TEST(Metapath, NoteFlowsDedupsAndBounds) {
   Metapath mp;
-  mp.note_flows({{1, 2}, {3, 4}}, 3);
-  mp.note_flows({{1, 2}, {5, 6}}, 3);
+  const ContendingFlow a[] = {{1, 2}, {3, 4}};
+  const ContendingFlow b[] = {{1, 2}, {5, 6}};
+  const ContendingFlow c[] = {{7, 8}};
+  mp.note_flows(a, 3);
+  mp.note_flows(b, 3);
   EXPECT_EQ(mp.recent_flows.size(), 3u);
   // Most recent first.
   EXPECT_EQ(mp.recent_flows.front(), (ContendingFlow{5, 6}));
-  mp.note_flows({{7, 8}}, 3);
+  mp.note_flows(c, 3);
   EXPECT_EQ(mp.recent_flows.size(), 3u);  // capped
 }
 

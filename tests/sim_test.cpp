@@ -1,3 +1,5 @@
+#include <array>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -99,6 +101,99 @@ TEST(EventQueue, NextTimeReflectsEarliestLiveEvent) {
   EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
   q.cancel(early);
   EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, ConstQueriesAreConstAndConsistent) {
+  // empty()/next_time()/size()/pending_cancellations() are const queries:
+  // calling them through a const ref must compile and must not change any
+  // observable state (regression for the old purge-on-read empty()).
+  EventQueue q;
+  const EventQueue& cq = q;
+  EXPECT_TRUE(cq.empty());
+  EXPECT_EQ(cq.next_time(), kTimeInfinity);
+  q.schedule(2.0, [] {});
+  const EventId mid = q.schedule(3.0, [] {});
+  q.cancel(mid);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cq.empty());
+    EXPECT_DOUBLE_EQ(cq.next_time(), 2.0);
+    EXPECT_EQ(cq.size(), 2u);
+    EXPECT_EQ(cq.live(), 1u);
+    EXPECT_EQ(cq.pending_cancellations(), 1u);
+  }
+}
+
+TEST(EventQueue, TombstonesNeverExceedSize) {
+  // Adversarial churn: interleave schedules, mid-heap cancels, and pops.
+  // The tombstone count must stay bounded by the heap size at every step.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(q.schedule(static_cast<SimTime>((round * 37 + i * 11) % 97),
+                               [] {}));
+    }
+    // Cancel every third outstanding id (some already fired: true no-ops).
+    for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+    ASSERT_LE(q.pending_cancellations(), q.size());
+    for (int i = 0; i < 10 && !q.empty(); ++i) {
+      q.pop();
+      ASSERT_LE(q.pending_cancellations(), q.size());
+    }
+  }
+  while (!q.empty()) q.pop();
+  EXPECT_EQ(q.pending_cancellations(), 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, SlotReuseDoesNotConfuseStaleIds) {
+  // A slot freed by fire/cancel is recycled for later events; a stale id
+  // kept from the earlier occupant must not cancel the new one.
+  EventQueue q;
+  const EventId old_id = q.schedule(1.0, [] {});
+  q.pop();  // fires; slot is recycled
+  int fired = 0;
+  q.schedule(2.0, [&] { ++fired; });  // reuses the slot
+  q.cancel(old_id);                   // stale handle: must be a no-op
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventIdsAreMonotonic) {
+  // Ids order by scheduling time — the property the heap tie-break (and
+  // deterministic replay of simultaneous events) is built on.
+  EventQueue q;
+  EventId prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.schedule(1.0, [] {});
+    EXPECT_GT(id, prev);
+    prev = id;
+    if (i % 2 == 0) q.pop();  // slot recycling must not break monotonicity
+  }
+}
+
+TEST(InlineFunction, LargeCapturesSpillToHeapAndStillRun) {
+  // Captures beyond the inline budget must still work (single allocation,
+  // std::function-equivalent semantics).
+  std::array<std::uint64_t, 32> big{};  // 256 bytes > kActionCapacity
+  big[0] = 7;
+  big[31] = 11;
+  std::uint64_t sum = 0;
+  EventQueue::Action a{[big, &sum] { sum = big[0] + big[31]; }};
+  EventQueue::Action b{std::move(a)};  // relocating a heap-backed action
+  b();
+  EXPECT_EQ(sum, 18u);
+}
+
+TEST(InlineFunction, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(41);
+  int seen = 0;
+  EventQueue::Action a{[p = std::move(p), &seen] { seen = *p + 1; }};
+  EventQueue::Action b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(seen, 42);
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {

@@ -1,8 +1,17 @@
 // Shared helpers for integration tests: bundle a simulator, topology,
-// policy, metrics and network into one harness.
+// policy, metrics and network into one harness, plus a global operator-new
+// interposer so tests can assert allocation-freedom of hot paths.
+//
+// The interposer replaces the global (non-aligned) new/delete, so this
+// header may be included from only ONE translation unit per test binary —
+// which holds, since every add_prdrb_test target has a single source file.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "metrics/collector.hpp"
 #include "net/kary_ntree.hpp"
@@ -10,6 +19,65 @@
 #include "net/network.hpp"
 #include "routing/policy.hpp"
 #include "sim/simulator.hpp"
+
+namespace prdrb::test {
+
+/// Allocations observed process-wide since start (bumped by the replaced
+/// operator new below).
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Counts heap allocations made while the scope is alive.
+class AllocationScope {
+ public:
+  AllocationScope()
+      : start_(g_allocations.load(std::memory_order_relaxed)) {}
+  std::uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace prdrb::test
+
+// Replacement global allocation functions ([replacement.functions]): same
+// semantics as the defaults, plus a relaxed counter bump. Under ASan the
+// malloc call is still intercepted, so poisoning/quarantine keep working.
+// GCC flags free() inside a replaced operator delete as a new/free
+// mismatch; the pairing is consistent (our new uses malloc), so silence it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  prdrb::test::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  prdrb::test::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  return std::malloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
 
 namespace prdrb::test {
 
