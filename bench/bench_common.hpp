@@ -1,12 +1,15 @@
 // Thin adapter over the library's experiment harness (experiment/scenario)
 // for the per-figure bench binaries: aliases, table-formatting helpers, the
 // shared command-line flags (--jobs, --trace-out, --metrics-out,
-// --manifest-out, --no-manifest) and the BenchMain RAII wrapper that writes
+// --manifest-out, --no-manifest, --telemetry-out, --heatmap-out,
+// --watchdog[=S], --watchdog-out) and the BenchMain RAII wrapper that writes
 // the run manifest (EXPERIMENTS.md "Run manifests") on exit.
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <string_view>
 
 #include "experiment/manifest.hpp"
@@ -16,6 +19,9 @@
 #include "net/kary_ntree.hpp"
 #include "net/mesh2d.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
 #include "sim/simulator.hpp"
@@ -59,7 +65,16 @@ struct BenchOptions {
   std::string metrics_out;   // --metrics-out=PATH: counter CSV/JSON export
   std::string manifest_out;  // --manifest-out=PATH (default NAME.manifest.json)
   bool manifest = true;      // --no-manifest suppresses the manifest file
+  std::string telemetry_out; // --telemetry-out=PATH: link/router telemetry
+  std::string heatmap_out;   // --heatmap-out=PATH: ASCII (or .pgm) heatmap
+  double watchdog = 0;       // --watchdog[=SECONDS]: stall watchdog window
+  std::string watchdog_out;  // --watchdog-out=PATH: flight dump JSON if fired
 };
+
+/// Default virtual-time window for `--watchdog` without a value: generous
+/// against the ~4.3 us uncontended packet latency, tight enough to fire
+/// within any evaluated scenario's duration.
+inline constexpr double kDefaultWatchdogWindow = 5e-3;
 
 /// Parse the shared flags. Unknown arguments are ignored (each bench keeps
 /// its own extra flags); both "--flag=value" and "--flag value" work.
@@ -83,6 +98,18 @@ inline BenchOptions parse_bench_flags(int argc, char** argv) {
     if (take("--trace-out", o.trace_out)) continue;
     if (take("--metrics-out", o.metrics_out)) continue;
     if (take("--manifest-out", o.manifest_out)) continue;
+    if (take("--telemetry-out", o.telemetry_out)) continue;
+    if (take("--heatmap-out", o.heatmap_out)) continue;
+    if (take("--watchdog-out", o.watchdog_out)) continue;
+    if (a == "--watchdog") {
+      o.watchdog = kDefaultWatchdogWindow;
+      continue;
+    }
+    if (a.starts_with("--watchdog=")) {
+      o.watchdog = std::atof(std::string(a.substr(11)).c_str());
+      if (!(o.watchdog > 0)) o.watchdog = kDefaultWatchdogWindow;
+      continue;
+    }
     if (a == "--no-manifest") o.manifest = false;
   }
   return o;
@@ -118,25 +145,48 @@ class BenchMain {
     for (const ScenarioResult& r : rs) manifest_.add_result(r);
   }
 
-  /// True when --trace-out or --metrics-out was given (the caller should
+  /// True when any observability output flag was given (the caller should
   /// then run a probe).
   bool wants_probe() const {
-    return !opts_.trace_out.empty() || !opts_.metrics_out.empty();
+    return !opts_.trace_out.empty() || !opts_.metrics_out.empty() ||
+           !opts_.telemetry_out.empty() || !opts_.heatmap_out.empty() ||
+           opts_.watchdog > 0;
   }
 
-  /// Run `policy` over `sc` serially with tracing + counters attached and
-  /// write the requested outputs. No-op (empty result) when no
-  /// observability output was requested.
+  /// Run `policy` over `sc` serially with the requested observers attached
+  /// (tracer + counters always; telemetry for --telemetry-out /
+  /// --heatmap-out; stall watchdog for --watchdog) and write the requested
+  /// outputs. No-op (empty result) when no observability output was
+  /// requested.
   ScenarioResult probe_scenario(const std::string& policy,
                                 SyntheticScenario sc) {
     if (!wants_probe()) return {};
     obs::Tracer tracer;
     obs::CounterRegistry counters(sc.bin_width);
+    obs::NetTelemetry telemetry(sc.bin_width);
+    obs::FlightRecorder recorder(512);
     sc.sinks.tracer = &tracer;
     sc.sinks.counters = &counters;
+    if (!opts_.telemetry_out.empty() || !opts_.heatmap_out.empty()) {
+      sc.sinks.telemetry = &telemetry;
+    }
+    std::string dump;
+    if (opts_.watchdog > 0) {
+      sc.sinks.recorder = &recorder;
+      sc.sinks.watchdog_window = opts_.watchdog;
+      sc.sinks.watchdog_dump = &dump;
+    }
     ScenarioResult r = run_synthetic(policy, sc);
     if (!opts_.trace_out.empty()) tracer.write_file(opts_.trace_out);
     if (!opts_.metrics_out.empty()) counters.write_file(opts_.metrics_out);
+    if (!opts_.telemetry_out.empty()) telemetry.write_file(opts_.telemetry_out);
+    if (!opts_.heatmap_out.empty()) {
+      telemetry.write_heatmap_file(opts_.heatmap_out,
+                                   *make_topology(sc.topology));
+    }
+    if (!opts_.watchdog_out.empty() && !dump.empty()) {
+      obs::write_text_file(opts_.watchdog_out, dump);
+    }
     return r;
   }
 

@@ -9,6 +9,7 @@
 #include "net/mesh2d.hpp"
 #include "net/network.hpp"
 #include "obs/counters.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
 #include "sim/simulator.hpp"
@@ -145,6 +146,43 @@ void BM_SimulatedNetworkHopTraced(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedNetworkHopTraced)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Spatial-telemetry overhead on the same loaded mesh. Arg(0): telemetry
+/// not bound — the transmit/stall hot paths pay one not-taken null-pointer
+/// branch each, and must sit within noise of BM_SimulatedNetworkHop.
+/// Arg(1): telemetry bound — pays the bin-splitting busy-time accounting
+/// per transmit (no allocations in steady state once the bin vectors have
+/// grown; see obs/telemetry).
+void BM_SimulatedNetworkHopTelemetry(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Mesh2D mesh(8, 8);
+    NetConfig cfg;
+    DeterministicPolicy policy;
+    Network net(sim, mesh, cfg, policy);
+    obs::NetTelemetry telemetry(1e-3);
+    if (enabled) net.bind_telemetry(&telemetry);
+    UniformPattern pat(64);
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(64));
+      const NodeId d = pat.destination(s, rng);
+      if (d != s) net.send_message(s, d, 1024);
+    }
+    state.ResumeTiming();
+    sim.run();
+    state.PauseTiming();
+    state.counters["bins"] = static_cast<double>(telemetry.bins());
+    net.bind_telemetry(nullptr);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SimulatedNetworkHopTelemetry)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

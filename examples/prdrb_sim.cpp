@@ -15,6 +15,9 @@
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "util/table.hpp"
 
@@ -59,6 +62,15 @@ observability (DESIGN.md "Observability"):
   --trace-out <path>    write a Chrome trace_event JSON (open in Perfetto)
                         of a serial, base-seed run
   --metrics-out <path>  export the counter registry (.csv -> CSV, else JSON)
+  --telemetry-out <path> export link/router spatial telemetry (.csv -> CSV,
+                        else "prdrb-telemetry-v1" JSON)
+  --heatmap-out <path>  per-router heatmap (.pgm -> time x router image,
+                        else topology-aware ASCII)
+  --watchdog[=<s>]      arm the stall watchdog (default window 5e-3 virtual
+                        seconds): dumps ring + router snapshot to stderr if
+                        no packet is delivered for a window while work is
+                        pending
+  --watchdog-out <path> also write the flight-recorder dump JSON there
   --manifest-out <path> run-manifest path (default prdrb_sim.manifest.json)
   --no-manifest         do not write a manifest
 )";
@@ -88,6 +100,10 @@ int main(int argc, char** argv) {
   int seeds = 1;
   std::string trace_out;
   std::string metrics_out;
+  std::string telemetry_out;
+  std::string heatmap_out;
+  double watchdog = 0;
+  std::string watchdog_out;
   std::string manifest_out = "prdrb_sim.manifest.json";
   bool write_manifest = true;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -151,6 +167,15 @@ int main(int argc, char** argv) {
         trace_out = sval();
       } else if (a == "--metrics-out") {
         metrics_out = sval();
+      } else if (a == "--telemetry-out") {
+        telemetry_out = sval();
+      } else if (a == "--heatmap-out") {
+        heatmap_out = sval();
+      } else if (a == "--watchdog") {
+        watchdog = has_inline ? std::stod(inline_val) : 5e-3;
+        if (!(watchdog > 0)) watchdog = 5e-3;
+      } else if (a == "--watchdog-out") {
+        watchdog_out = sval();
       } else if (a == "--manifest-out") {
         manifest_out = sval();
       } else if (a == "--no-manifest") {
@@ -183,11 +208,29 @@ int main(int argc, char** argv) {
       // run_trace is serial: the sinks can ride the measured run itself.
       obs::Tracer tracer;
       obs::CounterRegistry counters(ts.bin_width);
+      obs::NetTelemetry telemetry(ts.bin_width);
+      obs::FlightRecorder recorder(512);
+      std::string dump;
       if (!trace_out.empty()) ts.sinks.tracer = &tracer;
       if (!metrics_out.empty()) ts.sinks.counters = &counters;
+      if (!telemetry_out.empty() || !heatmap_out.empty()) {
+        ts.sinks.telemetry = &telemetry;
+      }
+      if (watchdog > 0) {
+        ts.sinks.recorder = &recorder;
+        ts.sinks.watchdog_window = watchdog;
+        ts.sinks.watchdog_dump = &dump;
+      }
       const ScenarioResult r = run_trace(policy, ts);
       if (!trace_out.empty()) tracer.write_file(trace_out);
       if (!metrics_out.empty()) counters.write_file(metrics_out);
+      if (!telemetry_out.empty()) telemetry.write_file(telemetry_out);
+      if (!heatmap_out.empty()) {
+        telemetry.write_heatmap_file(heatmap_out, *make_topology(ts.topology));
+      }
+      if (!watchdog_out.empty() && !dump.empty()) {
+        obs::write_text_file(watchdog_out, dump);
+      }
       manifest.add_config("app", app);
       manifest.add_result(r);
       finish(0);
@@ -214,15 +257,34 @@ int main(int argc, char** argv) {
     // The replicated runs go through the parallel executor, so the
     // instrumented run is a separate serial probe at the base seed — its
     // trace bytes are independent of --jobs.
-    if (!trace_out.empty() || !metrics_out.empty()) {
+    if (!trace_out.empty() || !metrics_out.empty() || !telemetry_out.empty() ||
+        !heatmap_out.empty() || watchdog > 0) {
       SyntheticScenario probe = sc;
       obs::Tracer tracer;
       obs::CounterRegistry counters(probe.bin_width);
+      obs::NetTelemetry telemetry(probe.bin_width);
+      obs::FlightRecorder recorder(512);
+      std::string dump;
       if (!trace_out.empty()) probe.sinks.tracer = &tracer;
       if (!metrics_out.empty()) probe.sinks.counters = &counters;
+      if (!telemetry_out.empty() || !heatmap_out.empty()) {
+        probe.sinks.telemetry = &telemetry;
+      }
+      if (watchdog > 0) {
+        probe.sinks.recorder = &recorder;
+        probe.sinks.watchdog_window = watchdog;
+        probe.sinks.watchdog_dump = &dump;
+      }
       run_synthetic(policy, probe);
       if (!trace_out.empty()) tracer.write_file(trace_out);
       if (!metrics_out.empty()) counters.write_file(metrics_out);
+      if (!telemetry_out.empty()) telemetry.write_file(telemetry_out);
+      if (!heatmap_out.empty()) {
+        telemetry.write_heatmap_file(heatmap_out, *make_topology(sc.topology));
+      }
+      if (!watchdog_out.empty() && !dump.empty()) {
+        obs::write_text_file(watchdog_out, dump);
+      }
     }
     finish(0);
     const auto lat = replicate_metric(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -59,6 +60,11 @@ void CongestionDetector::on_transmit(Network& net, RouterId r, int port,
                                  static_cast<int>(flows.size()),
                                  net.simulator().now());
   }
+  if (recorder_) {
+    recorder_->record(obs::FlightRecorder::EventKind::kCongestion,
+                      net.simulator().now(), r, port,
+                      static_cast<std::int32_t>(flows.size()), wait);
+  }
   if (flows.empty()) return;
 
   if (mode_ == NotificationMode::kDestinationBased) {
@@ -102,6 +108,10 @@ void CongestionDetector::on_transmit(Network& net, RouterId r, int port,
     net.inject_at_router(r, std::move(ack));
     ++predictive_acks_;
     if (tracer_) tracer_->predictive_ack(r, f.src, now);
+    if (recorder_) {
+      recorder_->record(obs::FlightRecorder::EventKind::kPredictiveAck, now,
+                        r, f.src);
+    }
   }
 }
 

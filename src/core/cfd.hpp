@@ -20,6 +20,7 @@
 namespace prdrb {
 
 namespace obs {
+class FlightRecorder;
 class Tracer;
 }  // namespace obs
 
@@ -55,6 +56,9 @@ class CongestionDetector final : public RouterMonitor {
   /// (the disabled state costs a single branch per detection).
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
+  /// Attach a flight recorder for the same detection/ACK events.
+  void set_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
+
  private:
   /// Pick the top-contributing flows in the queue (by queued bytes).
   void select_contenders(const Packet& head,
@@ -69,6 +73,7 @@ class CongestionDetector final : public RouterMonitor {
   std::uint64_t predictive_acks_ = 0;
   std::uint64_t truncated_flows_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace prdrb

@@ -1,5 +1,6 @@
 #include "core/pr_drb.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -11,6 +12,10 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
   SavedSolution* sol = db_.lookup(src, dst, sig, cfg_.similarity);
   if (!sol) {
     if (tracer_) tracer_->solution_miss(src, dst, now);
+    if (recorder_) {
+      recorder_->record(obs::FlightRecorder::EventKind::kSdbMiss, now, src,
+                        dst);
+    }
     return false;
   }
   // Re-apply the best known solution wholesale: the saved latency estimates
@@ -25,6 +30,10 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
   mp.installed_since_low = true;
   ++installs_;
   if (tracer_) tracer_->solution_hit(src, dst, mp.paths.size(), now);
+  if (recorder_) {
+    recorder_->record(obs::FlightRecorder::EventKind::kSdbHit, now, src, dst,
+                      static_cast<std::int32_t>(mp.paths.size()));
+  }
   return true;
 }
 
@@ -34,6 +43,10 @@ void PredictiveEngine::calmed(const Metapath& mp, NodeId src, NodeId dst,
   db_.save(src, dst, FlowSignature::from(mp.recent_flows), mp.paths,
            mp.mp_latency, cfg_.similarity);
   if (tracer_) tracer_->solution_save(src, dst, mp.paths.size(), now);
+  if (recorder_) {
+    recorder_->record(obs::FlightRecorder::EventKind::kSdbSave, now, src, dst,
+                      static_cast<std::int32_t>(mp.paths.size()));
+  }
 }
 
 bool PredictiveEngine::predicts_congestion(const Metapath& mp,

@@ -71,12 +71,16 @@ class PredictiveEngine {
   /// detaches (single-branch disabled fast path).
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
+  /// Attach a flight recorder for the same hit/miss/save events.
+  void set_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
+
  private:
   PrDrbConfig cfg_;
   SolutionDatabase db_;
   std::uint64_t installs_ = 0;
   std::uint64_t trend_triggers_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 class PrDrbPolicy : public DrbPolicy {

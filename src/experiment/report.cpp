@@ -1,0 +1,349 @@
+#include "experiment/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace prdrb {
+
+namespace {
+
+using obs::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Fraction change of `now` relative to `base`; 0 for degenerate baselines.
+double rel(double base, double now) {
+  if (!(base > 0) || !std::isfinite(base) || !std::isfinite(now)) return 0;
+  return (now - base) / base;
+}
+
+std::string pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+// The two accepted schemas flatten to the same summary for checking.
+struct CheckDoc {
+  std::string schema;
+  double events = 0;
+  double events_per_sec = 0;
+  bool has_rate = false;
+  struct Policy {
+    std::string name;
+    double mean_latency_us = 0;
+    double delivery_ratio = 0;
+  };
+  std::vector<Policy> policies;
+};
+
+bool flatten(const JsonValue& doc, CheckDoc& out) {
+  out.schema = doc.string_at("schema");
+  if (out.schema == "prdrb-manifest-v1") {
+    out.events = doc.number_at("events");
+    out.events_per_sec = doc.number_at("events_per_sec");
+    out.has_rate = out.events_per_sec > 0;
+    if (const JsonValue* pols = doc.find("policies"); pols && pols->is_array()) {
+      for (const JsonValue& p : pols->items()) {
+        out.policies.push_back({p.string_at("policy"),
+                                p.number_at("mean_latency_us"),
+                                p.number_at("delivery_ratio")});
+      }
+    }
+    return true;
+  }
+  if (out.schema == "prdrb-bench-baseline-v1") {
+    out.events = doc.number_at("end_to_end.events");
+    out.events_per_sec = doc.number_at("end_to_end.after.events_per_sec");
+    out.has_rate = out.events_per_sec > 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_manifest(const std::string& text, ManifestInfo& out) {
+  std::optional<JsonValue> doc = obs::json_parse(text);
+  if (!doc || doc->string_at("schema") != "prdrb-manifest-v1") return false;
+  out.tool = doc->string_at("tool");
+  out.seed = static_cast<std::uint64_t>(doc->number_at("seed"));
+  out.jobs = static_cast<int>(doc->number_at("jobs", 1));
+  out.wall_s = doc->number_at("wall_s");
+  out.events = doc->number_at("events");
+  out.events_per_sec = doc->number_at("events_per_sec");
+  out.policies.clear();
+  if (const JsonValue* pols = doc->find("policies"); pols && pols->is_array()) {
+    for (const JsonValue& p : pols->items()) {
+      ManifestInfo::Policy pol;
+      pol.name = p.string_at("policy");
+      pol.runs = static_cast<int>(p.number_at("runs"));
+      pol.global_latency_us = p.number_at("global_latency_us");
+      pol.mean_latency_us = p.number_at("mean_latency_us");
+      pol.delivery_ratio = p.number_at("delivery_ratio");
+      pol.packets = p.number_at("packets");
+      pol.events = p.number_at("events");
+      out.policies.push_back(std::move(pol));
+    }
+  }
+  return true;
+}
+
+std::vector<ManifestInfo> collect_reports(const std::string& dir,
+                                          std::vector<std::string>* skipped) {
+  std::vector<ManifestInfo> out;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    paths.push_back(entry.path().string());
+  }
+  // directory_iterator order is unspecified; sort for deterministic reports.
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) {
+    ManifestInfo info;
+    if (parse_manifest(read_file(p), info)) {
+      info.path = p;
+      out.push_back(std::move(info));
+    } else if (skipped) {
+      skipped->push_back(p);
+    }
+  }
+  return out;
+}
+
+void write_markdown_report(std::ostream& os,
+                           const std::vector<ManifestInfo>& manifests) {
+  os << "# PR-DRB sweep report\n\n";
+  os << "Manifests: " << manifests.size() << "\n\n";
+  if (manifests.empty()) return;
+
+  os << "## Runs\n\n";
+  os << "| manifest | tool | seed | jobs | wall s | events | events/s |\n";
+  os << "|---|---|---:|---:|---:|---:|---:|\n";
+  for (const ManifestInfo& m : manifests) {
+    os << "| " << std::filesystem::path(m.path).filename().string() << " | "
+       << m.tool << " | " << m.seed << " | " << m.jobs << " | "
+       << obs::json_number(m.wall_s) << " | "
+       << static_cast<std::uint64_t>(m.events) << " | "
+       << static_cast<std::uint64_t>(m.events_per_sec) << " |\n";
+  }
+
+  os << "\n## Policies\n\n";
+  os << "| manifest | policy | runs | global lat (us) | mean lat (us) | "
+        "delivery | packets |\n";
+  os << "|---|---|---:|---:|---:|---:|---:|\n";
+  for (const ManifestInfo& m : manifests) {
+    const std::string file =
+        std::filesystem::path(m.path).filename().string();
+    for (const ManifestInfo::Policy& p : m.policies) {
+      os << "| " << file << " | " << p.name << " | " << p.runs << " | "
+         << obs::json_number(p.global_latency_us) << " | "
+         << obs::json_number(p.mean_latency_us) << " | "
+         << obs::json_number(p.delivery_ratio) << " | "
+         << static_cast<std::uint64_t>(p.packets) << " |\n";
+    }
+  }
+
+  // Cross-manifest best/worst latency per policy name: the headline a sweep
+  // is usually after.
+  struct Agg {
+    std::string name;
+    double best = 0, worst = 0, sum = 0;
+    int n = 0;
+  };
+  std::vector<Agg> aggs;
+  for (const ManifestInfo& m : manifests) {
+    for (const ManifestInfo::Policy& p : m.policies) {
+      Agg* a = nullptr;
+      for (Agg& cand : aggs) {
+        if (cand.name == p.name) {
+          a = &cand;
+          break;
+        }
+      }
+      if (!a) {
+        aggs.push_back(Agg{p.name, p.mean_latency_us, p.mean_latency_us, 0, 0});
+        a = &aggs.back();
+      }
+      a->best = std::min(a->best, p.mean_latency_us);
+      a->worst = std::max(a->worst, p.mean_latency_us);
+      a->sum += p.mean_latency_us;
+      ++a->n;
+    }
+  }
+  if (!aggs.empty()) {
+    os << "\n## Mean latency by policy (us, across manifests)\n\n";
+    os << "| policy | entries | best | mean | worst |\n";
+    os << "|---|---:|---:|---:|---:|\n";
+    for (const Agg& a : aggs) {
+      os << "| " << a.name << " | " << a.n << " | "
+         << obs::json_number(a.best) << " | "
+         << obs::json_number(a.n ? a.sum / a.n : 0) << " | "
+         << obs::json_number(a.worst) << " |\n";
+    }
+  }
+}
+
+void write_json_report(std::ostream& os,
+                       const std::vector<ManifestInfo>& manifests) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "prdrb-sweep-report-v1");
+  w.field("manifests", static_cast<std::uint64_t>(manifests.size()));
+  w.key("runs").begin_array();
+  for (const ManifestInfo& m : manifests) {
+    w.begin_object();
+    w.field("file", std::filesystem::path(m.path).filename().string());
+    w.field("tool", m.tool);
+    w.field("seed", m.seed);
+    w.field("jobs", m.jobs);
+    w.field("wall_s", m.wall_s);
+    w.field("events", m.events);
+    w.field("events_per_sec", m.events_per_sec);
+    w.key("policies").begin_array();
+    for (const ManifestInfo::Policy& p : m.policies) {
+      w.begin_object();
+      w.field("policy", p.name);
+      w.field("runs", p.runs);
+      w.field("global_latency_us", p.global_latency_us);
+      w.field("mean_latency_us", p.mean_latency_us);
+      w.field("delivery_ratio", p.delivery_ratio);
+      w.field("packets", p.packets);
+      w.field("events", p.events);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str() << '\n';
+}
+
+CheckResult check_documents(const JsonValue& older, const JsonValue& newer,
+                            const CheckThresholds& t) {
+  CheckResult result;
+  auto add = [&](Finding::Level level, std::string msg) {
+    result.findings.push_back(Finding{level, std::move(msg)});
+  };
+  const auto perf_level =
+      t.perf_warn_only ? Finding::Level::kWarning : Finding::Level::kRegression;
+
+  CheckDoc a, b;
+  if (!flatten(older, a)) {
+    add(Finding::Level::kRegression,
+        "old document has unknown schema \"" + older.string_at("schema") +
+            "\"");
+    return result;
+  }
+  if (!flatten(newer, b)) {
+    add(Finding::Level::kRegression,
+        "new document has unknown schema \"" + newer.string_at("schema") +
+            "\"");
+    return result;
+  }
+
+  // Determinism contract: seeded runs execute a bit-exact event count, so
+  // any drift is a behaviour change — never downgraded to a warning.
+  if (a.events > 0 && b.events > 0) {
+    if (a.events != b.events) {
+      add(Finding::Level::kRegression,
+          "event count drift: " +
+              std::to_string(static_cast<std::uint64_t>(a.events)) + " -> " +
+              std::to_string(static_cast<std::uint64_t>(b.events)) +
+              " (determinism contract: seeded runs are bit-exact)");
+    } else {
+      add(Finding::Level::kInfo,
+          "event count unchanged (" +
+              std::to_string(static_cast<std::uint64_t>(a.events)) + ")");
+    }
+  }
+
+  if (a.has_rate && b.has_rate) {
+    const double drop = -rel(a.events_per_sec, b.events_per_sec);
+    const std::string msg =
+        "events/sec " + std::to_string(static_cast<std::uint64_t>(
+                            a.events_per_sec)) +
+        " -> " + std::to_string(static_cast<std::uint64_t>(b.events_per_sec)) +
+        " (" + pct(-drop) + ")";
+    if (drop > t.max_rate_drop) {
+      add(perf_level, "throughput drop beyond " + pct(t.max_rate_drop) + ": " +
+                          msg);
+    } else {
+      add(Finding::Level::kInfo, msg);
+    }
+  }
+
+  // Per-policy metrics only exist for manifest-shaped documents.
+  for (const CheckDoc::Policy& pa : a.policies) {
+    const CheckDoc::Policy* pb = nullptr;
+    for (const CheckDoc::Policy& cand : b.policies) {
+      if (cand.name == pa.name) {
+        pb = &cand;
+        break;
+      }
+    }
+    if (!pb) {
+      add(Finding::Level::kWarning,
+          "policy \"" + pa.name + "\" missing from new document");
+      continue;
+    }
+    const double rise = rel(pa.mean_latency_us, pb->mean_latency_us);
+    if (rise > t.max_latency_rise) {
+      add(perf_level, "policy \"" + pa.name + "\" mean latency rose " +
+                          pct(rise) + " (" +
+                          obs::json_number(pa.mean_latency_us) + " -> " +
+                          obs::json_number(pb->mean_latency_us) + " us)");
+    }
+    const double ddrop = pa.delivery_ratio - pb->delivery_ratio;
+    if (ddrop > t.max_delivery_drop) {
+      add(perf_level, "policy \"" + pa.name + "\" delivery ratio dropped " +
+                          obs::json_number(pa.delivery_ratio) + " -> " +
+                          obs::json_number(pb->delivery_ratio));
+    }
+  }
+  for (const CheckDoc::Policy& pb : b.policies) {
+    bool known = false;
+    for (const CheckDoc::Policy& pa : a.policies) {
+      if (pa.name == pb.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      add(Finding::Level::kInfo, "policy \"" + pb.name + "\" is new");
+    }
+  }
+  return result;
+}
+
+void write_findings(std::ostream& os, const CheckResult& result) {
+  for (const Finding& f : result.findings) {
+    switch (f.level) {
+      case Finding::Level::kRegression:
+        os << "REGRESSION: ";
+        break;
+      case Finding::Level::kWarning:
+        os << "warning: ";
+        break;
+      case Finding::Level::kInfo:
+        os << "ok: ";
+        break;
+    }
+    os << f.message << '\n';
+  }
+}
+
+}  // namespace prdrb

@@ -1,0 +1,103 @@
+// Sweep reports and regression checks over run manifests.
+//
+// Every bench/simulator run writes a "prdrb-manifest-v1" manifest; a results
+// directory is therefore self-describing but scattered. This module turns
+// it into two artefacts:
+//
+//   * collect_reports(dir) + write_markdown/write_json — one sweep report
+//     ("prdrb-sweep-report-v1") aggregating every manifest in a directory,
+//     deterministic (lexicographic file order) so reports diff cleanly.
+//   * check_documents(old, new) — threshold-based regression verdicts
+//     between two runs, consumed by `prdrb_report --check OLD.json
+//     NEW.json`. Replaces the ad-hoc warn-only CI python diff: event-count
+//     drift (the determinism contract) always fails; throughput/latency/
+//     delivery moves beyond their thresholds fail unless downgraded to
+//     warnings. Accepts both "prdrb-manifest-v1" documents and the
+//     committed "prdrb-bench-baseline-v1" shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace prdrb {
+
+/// One manifest, parsed and summarized for reporting.
+struct ManifestInfo {
+  std::string path;  // file it came from
+  std::string tool;
+  std::uint64_t seed = 0;
+  int jobs = 1;
+  double wall_s = 0;
+  double events = 0;
+  double events_per_sec = 0;
+  struct Policy {
+    std::string name;
+    int runs = 0;
+    double global_latency_us = 0;
+    double mean_latency_us = 0;
+    double delivery_ratio = 0;
+    double packets = 0;
+    double events = 0;
+  };
+  std::vector<Policy> policies;
+};
+
+/// Parse one manifest document ("prdrb-manifest-v1"); false when the JSON
+/// is invalid or the schema does not match.
+bool parse_manifest(const std::string& text, ManifestInfo& out);
+
+/// Load every *.json manifest under `dir` (non-recursive, lexicographic
+/// order; non-manifest JSON files are skipped). `skipped` (optional)
+/// collects the names of skipped files.
+std::vector<ManifestInfo> collect_reports(const std::string& dir,
+                                          std::vector<std::string>* skipped =
+                                              nullptr);
+
+/// Markdown sweep report over collected manifests.
+void write_markdown_report(std::ostream& os,
+                           const std::vector<ManifestInfo>& manifests);
+
+/// JSON sweep report ("prdrb-sweep-report-v1").
+void write_json_report(std::ostream& os,
+                       const std::vector<ManifestInfo>& manifests);
+
+// --- regression checking ---
+
+struct CheckThresholds {
+  double max_rate_drop = 0.30;     // events/sec drop fraction that fails
+  double max_latency_rise = 0.10;  // per-policy latency rise fraction
+  double max_delivery_drop = 0.01; // per-policy delivery-ratio drop (abs)
+  bool perf_warn_only = false;     // downgrade perf findings to warnings
+};
+
+struct Finding {
+  enum class Level { kInfo, kWarning, kRegression };
+  Level level = Level::kInfo;
+  std::string message;
+};
+
+struct CheckResult {
+  std::vector<Finding> findings;
+  bool has_regression() const {
+    for (const Finding& f : findings) {
+      if (f.level == Finding::Level::kRegression) return true;
+    }
+    return false;
+  }
+};
+
+/// Compare two parsed JSON documents (manifest or bench-baseline shape).
+/// Event-count drift is always a regression — seeded runs are bit-exact, so
+/// a drift means behaviour changed; performance moves beyond thresholds are
+/// regressions unless `perf_warn_only` downgrades them.
+CheckResult check_documents(const obs::JsonValue& older,
+                            const obs::JsonValue& newer,
+                            const CheckThresholds& t);
+
+/// Render findings one per line ("REGRESSION: ...", "warning: ...").
+void write_findings(std::ostream& os, const CheckResult& result);
+
+}  // namespace prdrb

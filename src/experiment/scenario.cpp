@@ -9,6 +9,8 @@
 #include "net/mesh2d.hpp"
 #include "net/mesh_nd.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/oblivious.hpp"
@@ -235,21 +237,53 @@ PolicyBundle build_policy(const std::string& name, const DrbConfig& drb,
   return make_policy(name, drb, seed);
 }
 
+/// Run-local observability state created by attach_sinks. Declaration order
+/// is destruction order in reverse: the sampler (whose destructor freezes
+/// the registry's gauges) goes before the fallback registry it may use.
+struct RunProbes {
+  std::unique_ptr<obs::CounterRegistry> own_registry;  // sampler-chain driver
+  std::unique_ptr<obs::CounterSampler> sampler;
+  std::unique_ptr<obs::StallWatchdog> watchdog;
+
+  /// End-of-run teardown: watchdog finalize (catches true deadlock — no
+  /// events means the poll chain drained before the window elapsed), dump
+  /// hand-off, telemetry unbind. Must run after Simulator::run() and before
+  /// the network is destroyed.
+  void finalize(const ObsSinks& sinks) {
+    if (watchdog) {
+      watchdog->finalize();
+      if (sinks.watchdog_dump) *sinks.watchdog_dump = watchdog->dump_json();
+    }
+    if (sinks.telemetry) sinks.telemetry->unbind();
+  }
+};
+
 /// Wires the optional observability sinks into a freshly built run: the
 /// tracer onto the observer list and every control-plane hook, the counter
-/// registry onto the network/routing/sim gauges plus a periodic sampler.
-/// Returns the sampler keeping the snapshots ticking (nullptr when no
-/// registry was supplied).
-std::unique_ptr<obs::CounterSampler> attach_sinks(Simulator& sim, Network& net,
-                                                  PolicyBundle& b,
-                                                  const ObsSinks& sinks) {
+/// registry onto the network/routing/sim gauges, telemetry/flight-recorder
+/// onto the network and control plane, and one periodic sampler chain that
+/// multiplexes counter sampling, telemetry sampling and the watchdog poll.
+RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
+                       const ObsSinks& sinks) {
+  RunProbes probes;
   if (sinks.tracer) {
     net.add_observer(sinks.tracer);
     if (b.drb) b.drb->set_tracer(sinks.tracer);
     if (b.engine) b.engine->set_tracer(sinks.tracer);
     if (b.monitor) b.monitor->set_tracer(sinks.tracer);
   }
-  std::unique_ptr<obs::CounterSampler> sampler;
+  if (sinks.recorder) {
+    net.bind_flight_recorder(sinks.recorder);
+    if (b.drb) b.drb->set_recorder(sinks.recorder);
+    if (b.engine) b.engine->set_recorder(sinks.recorder);
+    if (b.monitor) b.monitor->set_recorder(sinks.recorder);
+  }
+  if (sinks.telemetry) net.bind_telemetry(sinks.telemetry);
+
+  const bool wants_chain = sinks.counters || sinks.telemetry ||
+                           sinks.watchdog_window > 0;
+  if (!wants_chain) return probes;
+
   if (sinks.counters) {
     obs::CounterRegistry& reg = *sinks.counters;
     net.bind_counters(reg);
@@ -280,10 +314,38 @@ std::unique_ptr<obs::CounterSampler> attach_sinks(Simulator& sim, Network& net,
         return static_cast<double>(mon->detections());
       });
     }
-    sampler = std::make_unique<obs::CounterSampler>(sim, reg);
-    sampler->start(sinks.sample_interval);
+    // Out-of-domain timestamp clamps across every series in this run
+    // (registry metrics + spatial telemetry). Registered here — not in the
+    // registry constructor — so a bare registry contains exactly what its
+    // owner created.
+    obs::CounterRegistry* regp = &reg;
+    obs::NetTelemetry* tel = sinks.telemetry;
+    reg.gauge("metrics.timeseries.clamped", [regp, tel] {
+      return static_cast<double>(regp->timeseries_clamped() +
+                                 (tel ? tel->clamped() : 0));
+    });
+  } else {
+    // Telemetry/watchdog without a caller registry: the sampler chain still
+    // needs a registry to drive, so own an empty one.
+    probes.own_registry = std::make_unique<obs::CounterRegistry>();
   }
-  return sampler;
+
+  obs::CounterRegistry& chain_reg =
+      sinks.counters ? *sinks.counters : *probes.own_registry;
+  probes.sampler = std::make_unique<obs::CounterSampler>(sim, chain_reg);
+  if (sinks.telemetry) probes.sampler->attach_telemetry(sinks.telemetry);
+  if (sinks.watchdog_window > 0) {
+    probes.watchdog = std::make_unique<obs::StallWatchdog>(
+        net, sim, sinks.recorder, sinks.watchdog_window);
+    if (sinks.watchdog_stream) {
+      probes.watchdog->set_stream(sinks.watchdog_stream);
+    }
+    obs::StallWatchdog* wd = probes.watchdog.get();
+    probes.sampler->add_probe(sinks.sample_interval,
+                              [wd](SimTime now) { wd->poll(now); });
+  }
+  probes.sampler->start(sinks.sample_interval);
+  return probes;
 }
 
 }  // namespace
@@ -299,7 +361,7 @@ ScenarioResult run_synthetic(const std::string& policy_name,
   for (RouterId r : sc.watch) metrics.watch_router(r);
   net.set_observer(&metrics);
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
-  auto sampler = attach_sinks(sim, net, bundle, sc.sinks);
+  RunProbes probes = attach_sinks(sim, net, bundle, sc.sinks);
 
   std::unique_ptr<DestinationPattern> pattern;
   std::vector<NodeId> nodes;
@@ -343,6 +405,7 @@ ScenarioResult run_synthetic(const std::string& policy_name,
   }
 
   sim.run();  // drains: generation stops at sc.duration
+  probes.finalize(sc.sinks);
   ScenarioResult r;
   r.policy = policy_name;
   r.events = sim.events_executed();
@@ -361,13 +424,14 @@ ScenarioResult run_trace(const std::string& policy_name,
   for (RouterId r : sc.watch) metrics.watch_router(r);
   net.set_observer(&metrics);
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
-  auto sampler = attach_sinks(sim, net, bundle, sc.sinks);
+  RunProbes probes = attach_sinks(sim, net, bundle, sc.sinks);
 
   const TraceProgram prog =
       make_app_trace(sc.app, topo->num_nodes(), sc.scale);
   TracePlayer player(sim, net, prog);
   player.start();
   sim.run();
+  probes.finalize(sc.sinks);
 
   ScenarioResult r;
   r.policy = policy_name;

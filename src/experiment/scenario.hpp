@@ -7,6 +7,7 @@
 // application trace), run it, and read back the thesis metrics (§4.2).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,10 +37,28 @@ DrbConfig default_drb_config();
 /// of virtual time. Gauges registered by a run probe run-local state; when
 /// the run finishes they are frozen (final value captured, probe dropped),
 /// so the registry stays safe to query and export afterwards.
+///
+/// Spatial telemetry and post-mortem sinks (same borrowed-pointer rules):
+/// a non-null `telemetry` is bound to the network (link busy/stall series,
+/// per-router queue depth) and pull-sampled on the counter cadence; the run
+/// unbinds it on exit so it stays safe to export afterwards. A non-null
+/// `recorder` ring receives every control-plane event (CFD, metapath,
+/// SDB, stalls). `watchdog_window > 0` arms a run-local stall watchdog: if
+/// no packet is delivered for that many virtual seconds while work is
+/// pending (or the run ends starved), it dumps ring + router snapshot +
+/// event-queue stats exactly once to `watchdog_stream` (stderr when null),
+/// and the JSON dump is copied into `*watchdog_dump` when provided (empty
+/// string = never fired). All periodic observers share ONE sampler chain,
+/// preserving the chain-termination protocol.
 struct ObsSinks {
   obs::Tracer* tracer = nullptr;
   obs::CounterRegistry* counters = nullptr;
   SimTime sample_interval = 1e-3;
+  obs::NetTelemetry* telemetry = nullptr;
+  obs::FlightRecorder* recorder = nullptr;
+  SimTime watchdog_window = 0;  // 0 = watchdog disabled
+  std::ostream* watchdog_stream = nullptr;  // nullptr = stderr
+  std::string* watchdog_dump = nullptr;     // out: "prdrb-flightdump-v1"
 };
 
 /// A policy plus its router-side monitor (PR variants) and typed views.

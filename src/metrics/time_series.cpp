@@ -10,8 +10,23 @@ TimeSeries::TimeSeries(SimTime bin_width) : bin_width_(bin_width) {
 }
 
 void TimeSeries::add(SimTime t, double value) {
-  if (t < 0) t = 0;
-  const auto idx = static_cast<std::size_t>(t / bin_width_);
+  // Clamp before the size_t cast: a negative, NaN or huge `t` would either
+  // index bin "underflow" or cast out of size_t's range (UB) and resize
+  // bins_ unboundedly. !(t >= 0) also catches NaN.
+  std::size_t idx;
+  if (!(t >= 0)) {
+    idx = 0;
+    ++clamped_;
+  } else if (!(t < static_cast<double>(kMaxBins) * bin_width_)) {
+    idx = kMaxBins - 1;  // saturating overflow bin (also catches +inf)
+    ++clamped_;
+  } else {
+    idx = static_cast<std::size_t>(t / bin_width_);
+    if (idx >= kMaxBins) {  // t/bin_width_ rounding at the boundary
+      idx = kMaxBins - 1;
+      ++clamped_;
+    }
+  }
   if (idx >= bins_.size()) bins_.resize(idx + 1);
   bins_[idx].sum += value;
   ++bins_[idx].count;

@@ -11,8 +11,18 @@ namespace prdrb {
 
 class TimeSeries {
  public:
+  /// Hard cap on the number of bins one series may grow to. A sample whose
+  /// time maps past the cap lands in the final (saturating overflow) bin
+  /// instead of resizing `bins_` unboundedly; see add().
+  static constexpr std::size_t kMaxBins = 1u << 16;
+
   explicit TimeSeries(SimTime bin_width = 1e-3);
 
+  /// Record `value` at time `t`. Out-of-domain times are clamped rather
+  /// than trusted: negative or non-finite `t` goes to bin 0, and a `t`
+  /// mapping at or beyond kMaxBins saturates into the last bin (so a
+  /// corrupt timestamp cannot OOM the process or invoke the UB of casting
+  /// a huge double to size_t). Every clamp is counted in clamped().
   void add(SimTime t, double value);
 
   SimTime bin_width() const { return bin_width_; }
@@ -32,7 +42,14 @@ class TimeSeries {
   /// Largest bin mean over the whole series (figure "peaks").
   double peak_mean() const;
 
-  void reset() { bins_.clear(); }
+  /// Samples whose time was clamped into bin 0 or the overflow bin
+  /// (surfaced as the "metrics.timeseries.clamped" registry gauge).
+  std::uint64_t clamped() const { return clamped_; }
+
+  void reset() {
+    bins_.clear();
+    clamped_ = 0;
+  }
 
  private:
   struct Bin {
@@ -41,6 +58,7 @@ class TimeSeries {
   };
   SimTime bin_width_;
   std::vector<Bin> bins_;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace prdrb

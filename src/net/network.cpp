@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 
 namespace prdrb {
 
@@ -117,6 +119,11 @@ void Network::nic_try_inject(NodeId n) {
       nic.waiting = true;
       ++nic.inject_stalls;
       if (counters_) counters_->credit_stalls->increment();
+      if (telemetry_) telemetry_->on_inject_stall(n, sim_.now());
+      if (recorder_) {
+        recorder_->record(obs::FlightRecorder::EventKind::kInjectStall,
+                          sim_.now(), n);
+      }
       Waiter w;
       w.kind = Waiter::Kind::kNic;
       w.nic = n;
@@ -208,6 +215,11 @@ void Network::try_transmit(RouterId r, int port) {
       out.waiting = true;
       ++out.credit_stalls;
       if (counters_) counters_->credit_stalls->increment();
+      if (telemetry_) telemetry_->on_credit_stall(r, port, sim_.now());
+      if (recorder_) {
+        recorder_->record(obs::FlightRecorder::EventKind::kCreditStall,
+                          sim_.now(), r, port);
+      }
       Waiter w;
       w.kind = Waiter::Kind::kRouterPort;
       w.router = r;
@@ -247,6 +259,8 @@ void Network::try_transmit(RouterId r, int port) {
 
   out.busy = true;
   const SimTime ser = cfg_.serialization_time(p->size_bytes);
+  out.busy_time += ser;
+  if (telemetry_) telemetry_->on_transmit(r, port, now, ser);
   const std::int64_t bytes = p->size_bytes;
   sim_.schedule_in(ser, [this, r, port, vn, bytes] {
     routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(port)].busy = false;
@@ -305,6 +319,7 @@ void Network::deliver(RouterId r, Packet* p) {
 
 void Network::complete_message(Nic& nic, const Packet& last, RxMessage&& msg) {
   const SimTime now = sim_.now();
+  ++nic.messages_completed;
   for (NetworkObserver* obs : observers_) {
     obs->on_message_delivered(last.source, last.destination, msg.bytes,
                               msg.inject_time, now);
@@ -426,6 +441,11 @@ void Network::bind_counters(obs::CounterRegistry& reg) {
       return static_cast<double>(sum);
     });
   }
+}
+
+void Network::bind_telemetry(obs::NetTelemetry* t) {
+  telemetry_ = t;
+  if (t) t->bind(*this);
 }
 
 void Network::wake_waiters(RouterId r, int vn) {

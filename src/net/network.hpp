@@ -31,6 +31,8 @@ namespace prdrb {
 namespace obs {
 class Counter;
 class CounterRegistry;
+class FlightRecorder;
+class NetTelemetry;
 }  // namespace obs
 
 /// Observer of network events; metrics collectors implement this. Several
@@ -97,6 +99,15 @@ class Network {
   /// "Observability") with `reg`. Until called, the hot-path accounting is
   /// a single not-taken branch — the zero-overhead disabled state.
   void bind_counters(obs::CounterRegistry& reg);
+
+  /// Attach spatial telemetry (sizes it for this network's shape). Same
+  /// zero-overhead-when-absent contract as bind_counters; `t` must outlive
+  /// the network's traffic or be detached via bind_telemetry(nullptr).
+  void bind_telemetry(obs::NetTelemetry* t);
+
+  /// Attach a control-plane flight recorder to the stall sites (injection
+  /// and credit stalls); the routing/predictive modules hook it separately.
+  void bind_flight_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
 
   // ----- send path -----
 
@@ -183,6 +194,8 @@ class Network {
   RouterMonitor* monitor_ = nullptr;
   MessageHandler on_message_;
   std::unique_ptr<NetCounters> counters_;
+  obs::NetTelemetry* telemetry_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 
   PacketPool pool_;
   std::vector<Router> routers_;

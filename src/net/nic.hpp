@@ -52,6 +52,9 @@ struct Nic {
   // Times injection blocked on the local router's buffer space (credit
   // stall); surfaced through the observability counter registry (src/obs).
   std::uint64_t inject_stalls = 0;
+
+  // Whole messages fully reassembled at this NIC (watchdog progress signal).
+  std::uint64_t messages_completed = 0;
 };
 
 }  // namespace prdrb

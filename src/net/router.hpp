@@ -39,6 +39,7 @@ struct OutputPort {
   std::uint64_t packets_sent = 0;
   SimTime total_wait = 0;     // accumulated contention latency
   SimTime last_wait = 0;      // wait of the most recent departure
+  SimTime busy_time = 0;      // total serialization time on this link
 
   // Times this port blocked on downstream buffer space (credit stall);
   // surfaced through the observability counter registry (src/obs).

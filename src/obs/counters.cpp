@@ -1,9 +1,11 @@
 #include "obs/counters.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace prdrb::obs {
@@ -68,6 +70,12 @@ void CounterRegistry::freeze_gauges() {
     m->last = m->probe();
     m->probe = nullptr;
   }
+}
+
+std::uint64_t CounterRegistry::timeseries_clamped() const {
+  std::uint64_t total = 0;
+  for (const auto& m : metrics_) total += m->series.clamped();
+  return total;
 }
 
 std::vector<std::string> CounterRegistry::names() const {
@@ -144,17 +152,43 @@ CounterSampler::CounterSampler(Simulator& sim, CounterRegistry& registry)
 
 CounterSampler::~CounterSampler() { registry_.freeze_gauges(); }
 
-void CounterSampler::start(SimTime interval) {
-  sim_.schedule_in(0, [this, interval] { tick(interval); });
+void CounterSampler::add_probe(SimTime interval,
+                               std::function<void(SimTime)> fn) {
+  probes_.push_back(Probe{interval, sim_.now() + interval, std::move(fn)});
 }
 
-void CounterSampler::tick(SimTime interval) {
-  registry_.sample(sim_.now());
+void CounterSampler::start(SimTime interval) {
+  interval_ = interval;
+  next_sample_ = sim_.now();
+  sim_.schedule_in(0, [this] { tick(); });
+}
+
+void CounterSampler::tick() {
+  const SimTime now = sim_.now();
+  // schedule_at stores the exact double we computed as the next due time,
+  // so these equality-style comparisons are exact, not epsilon games.
+  if (now >= next_sample_) {
+    registry_.sample(now);
+    if (telemetry_) telemetry_->sample(now);
+    next_sample_ = now + interval_;
+  }
+  for (Probe& p : probes_) {
+    if (now >= p.next_due) {
+      p.fn(now);
+      p.next_due = now + p.interval;
+    }
+  }
+  reschedule();
+}
+
+void CounterSampler::reschedule() {
   // Reschedule only while the simulation itself is still generating work;
   // once it drains, the chain stops so Simulator::run() terminates.
-  if (!sim_.idle() && interval > 0) {
-    sim_.schedule_in(interval, [this, interval] { tick(interval); });
-  }
+  if (sim_.idle()) return;
+  SimTime due = interval_ > 0 ? next_sample_ : kTimeInfinity;
+  for (const Probe& p : probes_) due = std::min(due, p.next_due);
+  if (due == kTimeInfinity) return;
+  sim_.schedule_at(due, [this] { tick(); });
 }
 
 }  // namespace prdrb::obs

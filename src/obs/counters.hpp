@@ -72,6 +72,12 @@ class CounterRegistry {
   std::size_t size() const { return metrics_.size(); }
   std::uint64_t samples_taken() const { return samples_taken_; }
 
+  /// Total out-of-domain timestamps clamped across every metric's series
+  /// (surfaced by attach_sinks as the "metrics.timeseries.clamped" gauge —
+  /// deliberately not self-registered here, so a bare registry contains
+  /// exactly the metrics its owner created).
+  std::uint64_t timeseries_clamped() const;
+
   /// CSV: one row per (metric, bin): name,bin_time_s,mean,count.
   void write_csv(std::ostream& os) const;
   /// JSON: {"schema":...,"counters":[{name,value,series:[[t,mean],...]}]}.
@@ -100,24 +106,52 @@ class CounterRegistry {
   std::uint64_t samples_taken_ = 0;
 };
 
+class NetTelemetry;
+
 /// Periodic sampling driven by the simulation clock. start() samples at
 /// t = now and then every `interval` for as long as other events keep the
 /// queue alive; when the simulation drains the chain stops rescheduling, so
 /// Simulator::run() still terminates. The sampler's lifetime IS the run:
 /// its destructor freezes the registry's gauges so their run-local probes
 /// are never called after the run's state is destroyed.
+///
+/// Every periodic observer in a run multiplexes onto this ONE event chain:
+/// attached telemetry samples on the registry cadence, and add_probe()
+/// callbacks fire on their own cadence from the same chain. Two independent
+/// self-rescheduling chains would each see the other's pending event in
+/// !sim.idle() and keep each other alive forever after the simulation
+/// drains; a single chain observes only real work and terminates.
 class CounterSampler {
  public:
   CounterSampler(Simulator& sim, CounterRegistry& registry);
   ~CounterSampler();
 
+  /// Also snapshot `t` (NetTelemetry::sample) on the registry cadence.
+  /// Call before start(); pass nullptr to detach.
+  void attach_telemetry(NetTelemetry* t) { telemetry_ = t; }
+
+  /// Register a periodic callback (watchdog poll, ...) multiplexed onto the
+  /// sampling chain. Call before start(); interval must be > 0.
+  void add_probe(SimTime interval, std::function<void(SimTime)> fn);
+
   void start(SimTime interval);
 
  private:
-  void tick(SimTime interval);
+  struct Probe {
+    SimTime interval;
+    SimTime next_due;
+    std::function<void(SimTime)> fn;
+  };
+
+  void tick();
+  void reschedule();
 
   Simulator& sim_;
   CounterRegistry& registry_;
+  NetTelemetry* telemetry_ = nullptr;
+  SimTime interval_ = 0;
+  SimTime next_sample_ = 0;
+  std::vector<Probe> probes_;
 };
 
 }  // namespace prdrb::obs

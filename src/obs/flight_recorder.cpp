@@ -1,0 +1,211 @@
+#include "obs/flight_recorder.hpp"
+
+#include <iostream>
+#include <ostream>
+
+#include "net/network.hpp"
+#include "obs/json.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdrb::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::record(EventKind kind, SimTime t, std::int32_t a,
+                            std::int32_t b, std::int32_t c, double v) {
+  ControlEvent& e = ring_[head_];
+  e.t = t;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.v = v;
+  head_ = (head_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::vector<FlightRecorder::ControlEvent> FlightRecorder::snapshot() const {
+  std::vector<ControlEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest first: when the ring has wrapped, head_ points at the oldest.
+  const std::size_t start = recorded_ >= ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+const char* FlightRecorder::kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kCongestion: return "congestion";
+    case EventKind::kPredictiveAck: return "predictive-ack";
+    case EventKind::kMetapathOpen: return "mp-open";
+    case EventKind::kMetapathClose: return "mp-close";
+    case EventKind::kSdbHit: return "sdb-hit";
+    case EventKind::kSdbMiss: return "sdb-miss";
+    case EventKind::kSdbSave: return "sdb-save";
+    case EventKind::kInjectStall: return "inject-stall";
+    case EventKind::kCreditStall: return "credit-stall";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+
+StallWatchdog::StallWatchdog(const Network& net, const Simulator& sim,
+                             const FlightRecorder* recorder, SimTime window)
+    : net_(net),
+      sim_(sim),
+      recorder_(recorder),
+      window_(window),
+      stream_(&std::cerr) {}
+
+void StallWatchdog::poll(SimTime now) {
+  if (fired_) return;
+  const std::uint64_t delivered = net_.packets_delivered();
+  if (delivered != last_delivered_) {
+    last_delivered_ = delivered;
+    last_progress_ = now;
+    return;
+  }
+  if (now - last_progress_ >= window_ && has_pending_work()) {
+    dump(now, "no delivery progress within watchdog window");
+  }
+}
+
+void StallWatchdog::finalize() {
+  if (fired_) return;
+  if (has_pending_work()) {
+    dump(sim_.now(), "run ended with undelivered work (deadlock/starvation)");
+  }
+}
+
+bool StallWatchdog::has_pending_work() const {
+  for (int n = 0; n < net_.num_nodes(); ++n) {
+    const Nic& nic = net_.nic(static_cast<NodeId>(n));
+    if (!nic.inject_queue.empty() || !nic.rx.empty()) return true;
+  }
+  for (int r = 0; r < net_.num_routers(); ++r) {
+    const Router& router = net_.router(static_cast<RouterId>(r));
+    for (const OutputPort& p : router.ports) {
+      if (p.queue_bytes > 0 || p.busy) return true;
+    }
+  }
+  return false;
+}
+
+void StallWatchdog::dump(SimTime now, const char* reason) {
+  fired_ = true;
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "prdrb-flightdump-v1");
+  w.field("reason", reason);
+  w.field("now_s", now);
+  w.field("window_s", window_);
+  w.field("packets_delivered", last_delivered_);
+  w.field("last_progress_s", last_progress_);
+
+  w.key("event_queue").begin_object();
+  const EventQueue& q = sim_.queue();
+  w.field("size", static_cast<std::uint64_t>(q.size()));
+  w.field("live", static_cast<std::uint64_t>(q.live()));
+  w.field("pending_cancellations",
+          static_cast<std::uint64_t>(q.pending_cancellations()));
+  w.field("next_time_s", q.next_time());
+  w.field("events_executed", sim_.events_executed());
+  w.end_object();
+
+  // Ring, oldest first — the control plane's last moves before the stall.
+  w.key("ring").begin_array();
+  if (recorder_) {
+    for (const auto& e : recorder_->snapshot()) {
+      w.begin_object();
+      w.field("t_s", e.t);
+      w.field("kind", FlightRecorder::kind_name(e.kind));
+      w.field("a", static_cast<std::int64_t>(e.a));
+      w.field("b", static_cast<std::int64_t>(e.b));
+      w.field("c", static_cast<std::int64_t>(e.c));
+      w.field("v", e.v);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  // Per-router snapshot: only routers still holding traffic (a healthy
+  // port is silent, so big fabrics stay readable).
+  w.key("routers").begin_array();
+  for (int r = 0; r < net_.num_routers(); ++r) {
+    const Router& router = net_.router(static_cast<RouterId>(r));
+    bool loaded = false;
+    for (const OutputPort& p : router.ports) {
+      if (p.queue_bytes > 0 || p.busy || p.waiting) loaded = true;
+    }
+    for (const std::int64_t used : router.vn_used) {
+      if (used > 0) loaded = true;
+    }
+    if (!loaded) continue;
+    w.begin_object();
+    w.field("router", static_cast<std::int64_t>(r));
+    w.key("ports").begin_array();
+    for (std::size_t p = 0; p < router.ports.size(); ++p) {
+      const OutputPort& port = router.ports[p];
+      if (port.queue_bytes == 0 && !port.busy && !port.waiting) continue;
+      w.begin_object();
+      w.field("port", static_cast<std::int64_t>(p));
+      w.field("queue_bytes", static_cast<std::int64_t>(port.queue_bytes));
+      w.field("queued_packets", static_cast<std::uint64_t>(port.queue.size()));
+      w.field("busy", port.busy);
+      w.field("waiting", port.waiting);
+      w.field("credit_stalls", port.credit_stalls);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("vn_used").begin_array();
+    for (const std::int64_t used : router.vn_used) {
+      w.value(static_cast<std::int64_t>(used));
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Blocked/loaded NICs.
+  w.key("nics").begin_array();
+  for (int n = 0; n < net_.num_nodes(); ++n) {
+    const Nic& nic = net_.nic(static_cast<NodeId>(n));
+    if (nic.inject_queue.empty() && nic.rx.empty() && !nic.waiting) continue;
+    w.begin_object();
+    w.field("node", static_cast<std::int64_t>(n));
+    w.field("inject_queued",
+            static_cast<std::uint64_t>(nic.inject_queue.size()));
+    w.field("rx_in_flight", static_cast<std::uint64_t>(nic.rx.size()));
+    w.field("waiting", nic.waiting);
+    w.field("inject_stalls", nic.inject_stalls);
+    w.field("messages_completed", nic.messages_completed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  dump_ = w.take();
+  dump_ += '\n';
+  if (stream_) {
+    *stream_ << "[prdrb watchdog] " << reason << " at t="
+             << json_number(now) << "s\n"
+             << dump_;
+  }
+}
+
+bool StallWatchdog::write_dump_file(const std::string& path) const {
+  if (!fired_) return false;
+  return write_text_file(path, dump_);
+}
+
+}  // namespace prdrb::obs

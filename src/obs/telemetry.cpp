@@ -1,0 +1,295 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "metrics/map_render.hpp"
+#include "net/network.hpp"
+#include "obs/json.hpp"
+
+namespace prdrb::obs {
+
+NetTelemetry::NetTelemetry(SimTime bin_width) : bin_width_(bin_width) {}
+
+void NetTelemetry::bind(const Network& net) {
+  net_ = &net;
+  const std::size_t routers = static_cast<std::size_t>(net.num_routers());
+  link_offset_.assign(routers + 1, 0);
+  for (std::size_t r = 0; r < routers; ++r) {
+    link_offset_[r + 1] =
+        link_offset_[r] + net.router(static_cast<RouterId>(r)).ports.size();
+  }
+  links_.assign(link_offset_[routers], LinkSeries{});
+  router_queue_.assign(routers, TimeSeries(bin_width_));
+  inject_stalls_.assign(static_cast<std::size_t>(net.num_nodes()), 0);
+}
+
+std::size_t NetTelemetry::bin_of_clamped(SimTime t) {
+  // Same domain rules as TimeSeries::add: negative/NaN -> bin 0, huge/inf
+  // -> the saturating overflow bin; every clamp is counted.
+  if (!(t >= 0)) {
+    ++clamped_;
+    return 0;
+  }
+  if (!(t < static_cast<double>(TimeSeries::kMaxBins) * bin_width_)) {
+    ++clamped_;
+    return TimeSeries::kMaxBins - 1;
+  }
+  std::size_t idx = static_cast<std::size_t>(t / bin_width_);
+  if (idx >= TimeSeries::kMaxBins) {
+    ++clamped_;
+    idx = TimeSeries::kMaxBins - 1;
+  }
+  return idx;
+}
+
+void NetTelemetry::note_bins(std::size_t idx) {
+  bins_seen_ = std::max(bins_seen_, idx + 1);
+}
+
+void NetTelemetry::on_transmit(RouterId r, int port, SimTime start,
+                               SimTime ser) {
+  if (links_.empty() || !(ser > 0)) return;
+  LinkSeries& link = links_[link_index(r, port)];
+  link.busy_total += ser;
+  // Split the serialization interval across bin boundaries so each bin
+  // carries exactly the busy seconds that fell inside it. The index walk is
+  // monotone and capped, so floating-point edge cases (start exactly on a
+  // boundary rounding down) cannot loop.
+  const SimTime end = start + ser;
+  std::size_t i = bin_of_clamped(start);
+  for (;;) {
+    const SimTime bin_hi = static_cast<double>(i + 1) * bin_width_;
+    const SimTime lo = std::max(start, static_cast<double>(i) * bin_width_);
+    const SimTime hi = std::min(end, bin_hi);
+    if (i >= link.busy.size()) link.busy.resize(i + 1, 0.0);
+    if (hi > lo) link.busy[i] += hi - lo;
+    if (end <= bin_hi || i + 1 >= TimeSeries::kMaxBins) {
+      if (end > bin_hi) {
+        link.busy[i] += end - bin_hi;  // overflow bin absorbs the tail
+        ++clamped_;
+      }
+      note_bins(i);
+      return;
+    }
+    ++i;
+  }
+}
+
+void NetTelemetry::on_credit_stall(RouterId r, int port, SimTime now) {
+  if (links_.empty()) return;
+  LinkSeries& link = links_[link_index(r, port)];
+  ++link.stalls_total;
+  const std::size_t i = bin_of_clamped(now);
+  if (i >= link.stalls.size()) link.stalls.resize(i + 1, 0);
+  ++link.stalls[i];
+  note_bins(i);
+}
+
+void NetTelemetry::on_inject_stall(NodeId n, SimTime /*now*/) {
+  const auto i = static_cast<std::size_t>(n);
+  if (i < inject_stalls_.size()) ++inject_stalls_[i];
+}
+
+void NetTelemetry::sample(SimTime now) {
+  if (!net_) return;
+  ++samples_taken_;
+  for (std::size_t r = 0; r < router_queue_.size(); ++r) {
+    const Router& router = net_->router(static_cast<RouterId>(r));
+    std::int64_t queued = 0;
+    for (const OutputPort& p : router.ports) queued += p.queue_bytes;
+    router_queue_[r].add(now, static_cast<double>(queued));
+    note_bins(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(0.0, now) / bin_width_),
+        TimeSeries::kMaxBins - 1));
+  }
+}
+
+double NetTelemetry::link_busy_seconds(RouterId r, int port) const {
+  return links_[link_index(r, port)].busy_total;
+}
+
+std::uint64_t NetTelemetry::link_stalls(RouterId r, int port) const {
+  return links_[link_index(r, port)].stalls_total;
+}
+
+std::uint64_t NetTelemetry::inject_stalls(NodeId n) const {
+  const auto i = static_cast<std::size_t>(n);
+  return i < inject_stalls_.size() ? inject_stalls_[i] : 0;
+}
+
+const TimeSeries* NetTelemetry::router_queue_series(RouterId r) const {
+  const auto i = static_cast<std::size_t>(r);
+  return i < router_queue_.size() ? &router_queue_[i] : nullptr;
+}
+
+double NetTelemetry::router_utilization(RouterId r, std::size_t bin) const {
+  const auto ri = static_cast<std::size_t>(r);
+  if (ri + 1 >= link_offset_.size()) return 0.0;
+  const std::size_t first = link_offset_[ri];
+  const std::size_t last = link_offset_[ri + 1];
+  if (first == last) return 0.0;
+  double busy = 0;
+  for (std::size_t l = first; l < last; ++l) {
+    if (bin < links_[l].busy.size()) busy += links_[l].busy[bin];
+  }
+  const double capacity = static_cast<double>(last - first) * bin_width_;
+  return std::min(1.0, busy / capacity);
+}
+
+std::uint64_t NetTelemetry::clamped() const {
+  std::uint64_t total = clamped_;
+  for (const TimeSeries& ts : router_queue_) total += ts.clamped();
+  return total;
+}
+
+void NetTelemetry::write_json(std::ostream& os) const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "prdrb-telemetry-v1");
+  w.field("bin_width_s", bin_width_);
+  w.field("bins", static_cast<std::uint64_t>(bins_seen_));
+  w.field("samples", samples_taken_);
+  w.field("clamped", clamped());
+  w.key("links").begin_array();
+  for (std::size_t r = 0; r + 1 < link_offset_.size(); ++r) {
+    for (std::size_t l = link_offset_[r]; l < link_offset_[r + 1]; ++l) {
+      const LinkSeries& link = links_[l];
+      if (link.busy_total == 0 && link.stalls_total == 0) continue;
+      w.begin_object();
+      w.field("router", static_cast<std::int64_t>(r));
+      w.field("port", static_cast<std::int64_t>(l - link_offset_[r]));
+      w.field("busy_s", link.busy_total);
+      w.field("stalls", link.stalls_total);
+      w.key("utilization").begin_array();
+      for (std::size_t i = 0; i < link.busy.size(); ++i) {
+        w.value(std::min(1.0, link.busy[i] / bin_width_));
+      }
+      w.end_array();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("routers").begin_array();
+  for (std::size_t r = 0; r < router_queue_.size(); ++r) {
+    const TimeSeries& ts = router_queue_[r];
+    w.begin_object();
+    w.field("router", static_cast<std::int64_t>(r));
+    w.key("queue_bytes").begin_array();
+    for (std::size_t i = 0; i < ts.bins(); ++i) {
+      if (ts.bin_count(i) == 0) continue;
+      w.begin_array();
+      w.value(ts.bin_time(i));
+      w.value(ts.bin_mean(i));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("nodes").begin_array();
+  for (std::size_t n = 0; n < inject_stalls_.size(); ++n) {
+    if (inject_stalls_[n] == 0) continue;
+    w.begin_object();
+    w.field("node", static_cast<std::int64_t>(n));
+    w.field("inject_stalls", inject_stalls_[n]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str() << '\n';
+}
+
+void NetTelemetry::write_csv(std::ostream& os) const {
+  os << "kind,id,port,bin_time_s,value\n";
+  for (std::size_t r = 0; r + 1 < link_offset_.size(); ++r) {
+    for (std::size_t l = link_offset_[r]; l < link_offset_[r + 1]; ++l) {
+      const LinkSeries& link = links_[l];
+      const std::size_t port = l - link_offset_[r];
+      for (std::size_t i = 0; i < link.busy.size(); ++i) {
+        if (link.busy[i] == 0) continue;
+        os << "link_util," << r << ',' << port << ','
+           << json_number((static_cast<double>(i) + 0.5) * bin_width_) << ','
+           << json_number(std::min(1.0, link.busy[i] / bin_width_)) << '\n';
+      }
+      for (std::size_t i = 0; i < link.stalls.size(); ++i) {
+        if (link.stalls[i] == 0) continue;
+        os << "link_stalls," << r << ',' << port << ','
+           << json_number((static_cast<double>(i) + 0.5) * bin_width_) << ','
+           << link.stalls[i] << '\n';
+      }
+    }
+  }
+  for (std::size_t r = 0; r < router_queue_.size(); ++r) {
+    const TimeSeries& ts = router_queue_[r];
+    for (std::size_t i = 0; i < ts.bins(); ++i) {
+      if (ts.bin_count(i) == 0) continue;
+      os << "router_queue_bytes," << r << ",-1,"
+         << json_number(ts.bin_time(i)) << ','
+         << json_number(ts.bin_mean(i)) << '\n';
+    }
+  }
+  for (std::size_t n = 0; n < inject_stalls_.size(); ++n) {
+    if (inject_stalls_[n] == 0) continue;
+    os << "node_inject_stalls," << n << ",-1,0," << inject_stalls_[n] << '\n';
+  }
+}
+
+std::string NetTelemetry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool NetTelemetry::write_file(const std::string& path) const {
+  std::ostringstream os;
+  if (path.ends_with(".csv")) {
+    write_csv(os);
+  } else {
+    write_json(os);
+  }
+  return write_text_file(path, os.str());
+}
+
+void NetTelemetry::write_heatmap_ascii(std::ostream& os,
+                                       const Topology& topo) const {
+  std::vector<double> per_router(router_queue_.size(), 0.0);
+  for (std::size_t r = 0; r + 1 < link_offset_.size(); ++r) {
+    for (std::size_t l = link_offset_[r]; l < link_offset_[r + 1]; ++l) {
+      per_router[r] += links_[l].busy_total;
+    }
+  }
+  os << "link-busy heatmap: per-router total link-busy time\n";
+  render_map(os, topo, per_router);
+}
+
+void NetTelemetry::write_heatmap_pgm(std::ostream& os) const {
+  const std::size_t rows = std::max<std::size_t>(bins_seen_, 1);
+  const std::size_t cols = std::max<std::size_t>(router_queue_.size(), 1);
+  os << "P2\n# prdrb link-utilization heatmap: row=time bin, col=router\n"
+     << cols << ' ' << rows << "\n255\n";
+  for (std::size_t bin = 0; bin < rows; ++bin) {
+    for (std::size_t r = 0; r < cols; ++r) {
+      const double u = r < router_queue_.size()
+                           ? router_utilization(static_cast<RouterId>(r), bin)
+                           : 0.0;
+      os << static_cast<int>(std::lround(255.0 * u));
+      os << (r + 1 == cols ? '\n' : ' ');
+    }
+  }
+}
+
+bool NetTelemetry::write_heatmap_file(const std::string& path,
+                                      const Topology& topo) const {
+  std::ostringstream os;
+  if (path.ends_with(".pgm")) {
+    write_heatmap_pgm(os);
+  } else {
+    write_heatmap_ascii(os, topo);
+  }
+  return write_text_file(path, os.str());
+}
+
+}  // namespace prdrb::obs

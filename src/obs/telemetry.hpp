@@ -1,0 +1,129 @@
+// Spatial network-state telemetry: where and when congestion lives.
+//
+// The counter registry (obs/counters) answers "how much, globally"; the
+// tracer answers "what happened to this packet". NetTelemetry fills the gap
+// the paper's evaluation actually plots — link/router state over space and
+// time (latency maps Figs. 4.10/4.11, path trajectories Fig. 4.8):
+//
+//   per link   (router output port): busy-time per time bin (push: the
+//              transmit path splits each serialization interval across bin
+//              boundaries) and credit-stall events per bin.
+//   per router: queue depth (total queued bytes across ports) sampled on
+//              the CounterSampler cadence into a TimeSeries.
+//   per node  : injection-stall counts.
+//
+// Hooks in Network sit behind the same single-branch `if (telemetry_)`
+// guard as the tracer: detached costs one predicted-not-taken branch and
+// zero allocations (proven by the interposer tests). Exports are
+// deterministic (registration = index order, obs/json number formatting):
+// byte-identical at any --jobs for a seeded run.
+//
+// Outputs: JSON ("prdrb-telemetry-v1") / CSV, an ASCII heatmap through the
+// metrics/map_render topology renderers, and a PGM (P2) heatmap with one
+// row per time bin and one column per router — load it in any image viewer
+// to watch hot-spots evolve.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/time_series.hpp"
+#include "util/types.hpp"
+
+namespace prdrb {
+class Network;
+class Topology;
+}  // namespace prdrb
+
+namespace prdrb::obs {
+
+class NetTelemetry {
+ public:
+  explicit NetTelemetry(SimTime bin_width = 1e-3);
+
+  /// Size the per-link/per-router structures for `net`'s shape and start
+  /// observing it. Keeps a pointer for pull-sampling: call unbind() (or let
+  /// the owning ScenarioProbes finalize) before the network is destroyed.
+  void bind(const Network& net);
+  /// Stop pull-sampling; recorded history stays exportable.
+  void unbind() { net_ = nullptr; }
+  bool bound() const { return net_ != nullptr; }
+
+  SimTime bin_width() const { return bin_width_; }
+  /// Number of time bins any link/router series has reached.
+  std::size_t bins() const { return bins_seen_; }
+  std::size_t num_links() const { return links_.size(); }
+  std::size_t num_routers() const { return router_queue_.size(); }
+
+  // --- push hooks (Network, behind single-branch null guards) ---
+  /// A packet committed to router `r` port `port`, occupying the link for
+  /// `ser` seconds starting at `start`.
+  void on_transmit(RouterId r, int port, SimTime start, SimTime ser);
+  /// Port blocked on downstream buffer space.
+  void on_credit_stall(RouterId r, int port, SimTime now);
+  /// NIC injection blocked on the local router's buffer space.
+  void on_inject_stall(NodeId n, SimTime now);
+
+  // --- pull (multiplexed onto the CounterSampler chain) ---
+  void sample(SimTime now);
+  std::uint64_t samples_taken() const { return samples_taken_; }
+
+  // --- introspection (tests, watchdog dumps) ---
+  double link_busy_seconds(RouterId r, int port) const;
+  std::uint64_t link_stalls(RouterId r, int port) const;
+  std::uint64_t inject_stalls(NodeId n) const;
+  const TimeSeries* router_queue_series(RouterId r) const;
+  /// Mean link utilization of router `r` in time bin `bin` (0..1): busy
+  /// seconds across its ports / (ports * bin_width).
+  double router_utilization(RouterId r, std::size_t bin) const;
+  /// Out-of-domain timestamps clamped into the first/overflow bin.
+  std::uint64_t clamped() const;
+
+  // --- export ---
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  std::string to_json() const;
+  /// Write to `path`, picking CSV or JSON by extension (".csv" -> CSV).
+  bool write_file(const std::string& path) const;
+
+  /// Per-router total busy time rendered through the topology-aware map
+  /// renderer (values print as microseconds of link-busy time). `topo` is
+  /// passed by the caller because the telemetry outlives the run's network.
+  void write_heatmap_ascii(std::ostream& os, const Topology& topo) const;
+  /// PGM (P2): rows = time bins, cols = routers, pixel = round(255 *
+  /// router utilization in that bin). Topology-free on purpose.
+  void write_heatmap_pgm(std::ostream& os) const;
+  /// Write to `path`: ".pgm" -> PGM, anything else -> ASCII via `topo`.
+  bool write_heatmap_file(const std::string& path, const Topology& topo) const;
+
+ private:
+  struct LinkSeries {
+    std::vector<double> busy;           // busy seconds per time bin
+    std::vector<std::uint32_t> stalls;  // credit-stall events per time bin
+    double busy_total = 0;
+    std::uint64_t stalls_total = 0;
+  };
+
+  std::size_t link_index(RouterId r, int port) const {
+    return link_offset_[static_cast<std::size_t>(r)] +
+           static_cast<std::size_t>(port);
+  }
+  std::size_t bin_of_clamped(SimTime t);
+  void note_bins(std::size_t idx);
+
+  SimTime bin_width_;
+  const Network* net_ = nullptr;
+
+  std::vector<std::size_t> link_offset_;  // router id -> first link index
+  std::vector<LinkSeries> links_;
+  std::vector<TimeSeries> router_queue_;  // queued bytes per router
+  std::vector<std::uint64_t> inject_stalls_;
+
+  std::size_t bins_seen_ = 0;
+  std::uint64_t samples_taken_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+}  // namespace prdrb::obs

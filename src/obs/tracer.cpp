@@ -24,12 +24,12 @@ bool Tracer::admit() {
   return true;
 }
 
-void Tracer::instant(const char* name, int pid, std::int64_t tid, SimTime ts,
-                     const std::string& args_json) {
+void Tracer::instant(std::string_view name, int pid, std::int64_t tid,
+                     SimTime ts, const std::string& args_json) {
   if (!admit()) return;
   if (!buf_.empty()) buf_ += ",\n";
   buf_ += "{\"name\":\"";
-  buf_ += name;
+  buf_ += json_escape(name);
   buf_ += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":";
   buf_ += std::to_string(pid);
   buf_ += ",\"tid\":";
@@ -44,12 +44,12 @@ void Tracer::instant(const char* name, int pid, std::int64_t tid, SimTime ts,
   buf_ += '}';
 }
 
-void Tracer::span(const char* name, int pid, std::int64_t tid, SimTime ts,
-                  SimTime dur, const std::string& args_json) {
+void Tracer::span(std::string_view name, int pid, std::int64_t tid,
+                  SimTime ts, SimTime dur, const std::string& args_json) {
   if (!admit()) return;
   if (!buf_.empty()) buf_ += ",\n";
   buf_ += "{\"name\":\"";
-  buf_ += name;
+  buf_ += json_escape(name);
   buf_ += "\",\"ph\":\"X\",\"pid\":";
   buf_ += std::to_string(pid);
   buf_ += ",\"tid\":";
@@ -152,6 +152,11 @@ void Tracer::solution_save(NodeId src, NodeId dst, std::size_t paths,
               ",\"paths\":" + std::to_string(paths));
 }
 
+void Tracer::marker(std::string_view name, SimTime now) {
+  if (!enabled_) return;
+  instant(name, kPidRouting, 0, now, "");
+}
+
 // ---------------------------------------------------------------------------
 // Output
 
@@ -166,7 +171,9 @@ void Tracer::write(std::ostream& os) const {
      << ",\"tid\":0,\"args\":{\"name\":\"routing (metapaths)\"}}";
   if (!buf_.empty()) os << ",\n" << buf_;
   os << "\n],\"otherData\":{\"events\":" << events_
-     << ",\"dropped\":" << dropped_ << "}}\n";
+     << ",\"dropped\":" << dropped_;
+  if (!label_.empty()) os << ",\"label\":\"" << json_escape(label_) << '"';
+  os << "}}\n";
 }
 
 std::string Tracer::to_json() const {

@@ -42,6 +42,12 @@ class Tracer final : public NetworkObserver {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Free-form run label (scenario name, policy, ...) emitted in the trace
+  /// document's otherData. Escaped through obs/json like every other
+  /// string, so quotes/backslashes/control characters are safe.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
   /// Hard cap on buffered events; past it new events are counted in
   /// dropped() but not stored (deterministic: the same prefix survives).
   void set_limit(std::size_t max_events) { limit_ = max_events; }
@@ -65,6 +71,10 @@ class Tracer final : public NetworkObserver {
   void solution_miss(NodeId src, NodeId dst, SimTime now);
   void solution_save(NodeId src, NodeId dst, std::size_t paths, SimTime now);
 
+  /// Free-form instant marker on the routing track (watchdog dumps, phase
+  /// boundaries). `name` is arbitrary caller text and is JSON-escaped.
+  void marker(std::string_view name, SimTime now);
+
   // --- output ---
   /// Serialize the complete Chrome trace document.
   void write(std::ostream& os) const;
@@ -83,17 +93,19 @@ class Tracer final : public NetworkObserver {
   /// True when the event should be recorded (advances drop accounting).
   bool admit();
   /// Append one instant event ("ph":"i"); args_json is the inner object
-  /// body ("\"a\":1,\"b\":2") or empty.
-  void instant(const char* name, int pid, std::int64_t tid, SimTime ts,
+  /// body ("\"a\":1,\"b\":2") or empty. `name` goes through obs/json
+  /// escaping — never concatenated raw into the document.
+  void instant(std::string_view name, int pid, std::int64_t tid, SimTime ts,
                const std::string& args_json);
   /// Append one complete-span event ("ph":"X").
-  void span(const char* name, int pid, std::int64_t tid, SimTime ts,
+  void span(std::string_view name, int pid, std::int64_t tid, SimTime ts,
             SimTime dur, const std::string& args_json);
 
   bool enabled_;
   std::size_t limit_ = 4'000'000;
   std::size_t events_ = 0;
   std::size_t dropped_ = 0;
+  std::string label_;
   std::string buf_;  // comma-separated event objects
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -184,6 +185,11 @@ bool DrbPolicy::expand(Metapath& mp, NodeId src, NodeId dst) {
       tracer_->metapath_open(src, dst, static_cast<int>(mp.paths.size()),
                              net_->simulator().now());
     }
+    if (recorder_) {
+      recorder_->record(obs::FlightRecorder::EventKind::kMetapathOpen,
+                        net_->simulator().now(), src, dst,
+                        static_cast<std::int32_t>(mp.paths.size()));
+    }
     return true;
   }
   return false;
@@ -203,6 +209,11 @@ bool DrbPolicy::shrink(Metapath& mp, NodeId src, NodeId dst) {
   if (tracer_) {
     tracer_->metapath_close(src, dst, static_cast<int>(mp.paths.size()),
                             net_->simulator().now());
+  }
+  if (recorder_) {
+    recorder_->record(obs::FlightRecorder::EventKind::kMetapathClose,
+                      net_->simulator().now(), src, dst,
+                      static_cast<std::int32_t>(mp.paths.size()));
   }
   if (mp.paths.size() == 1) {
     // Fully contracted: rewind the candidate cursor so the next congestion

@@ -24,6 +24,7 @@
 namespace prdrb {
 
 namespace obs {
+class FlightRecorder;
 class Tracer;
 }  // namespace obs
 
@@ -79,6 +80,10 @@ class DrbPolicy : public RoutingPolicy {
   /// — the disabled state costs one branch per reaction).
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
+  /// Attach a flight recorder; metapath open/close reactions land in its
+  /// ring. nullptr detaches (single-branch disabled fast path).
+  void set_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
+
  protected:
   /// Zone reaction (Fig. 3.12). The base DRB expands on High and shrinks on
   /// Low; PR-DRB overrides this to add the predictive procedures.
@@ -113,6 +118,7 @@ class DrbPolicy : public RoutingPolicy {
   std::uint64_t expansions_ = 0;
   std::uint64_t contractions_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace prdrb

@@ -1,0 +1,138 @@
+// prdrb_report: sweep reports and regression checks over run manifests.
+//
+//   prdrb_report RESULTS_DIR [--json] [-o FILE]
+//       Aggregate every prdrb-manifest-v1 manifest in RESULTS_DIR into a
+//       markdown (default) or JSON ("prdrb-sweep-report-v1") sweep report.
+//
+//   prdrb_report --check OLD.json NEW.json [options]
+//       Compare two runs (manifest or prdrb-bench-baseline-v1 documents)
+//       and exit nonzero on regression. Event-count drift always fails
+//       (deterministic kernel); performance moves beyond thresholds fail
+//       unless --perf-warn-only downgrades them.
+//       Options: --max-rate-drop=F (default 0.30), --max-latency-rise=F
+//       (default 0.10), --max-delivery-drop=F (default 0.01),
+//       --perf-warn-only.
+//
+// Exit codes: 0 clean/warnings-only, 1 regression, 2 usage or parse error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/report.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: prdrb_report RESULTS_DIR [--json] [-o FILE]\n"
+        "       prdrb_report --check OLD.json NEW.json\n"
+        "           [--max-rate-drop=F] [--max-latency-rise=F]\n"
+        "           [--max-delivery-drop=F] [--perf-warn-only]\n";
+  return code;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool parse_fraction(const char* arg, const char* name, double& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = std::atof(arg + len + 1);
+  return true;
+}
+
+int run_check(const std::vector<std::string>& files,
+              const prdrb::CheckThresholds& thresholds) {
+  if (files.size() != 2) return usage(std::cerr, 2);
+  prdrb::obs::JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::optional<std::string> text = read_file(files[i]);
+    if (!text) {
+      std::cerr << "prdrb_report: cannot read " << files[i] << "\n";
+      return 2;
+    }
+    std::optional<prdrb::obs::JsonValue> doc = prdrb::obs::json_parse(*text);
+    if (!doc) {
+      std::cerr << "prdrb_report: " << files[i] << " is not valid JSON\n";
+      return 2;
+    }
+    docs[i] = std::move(*doc);
+  }
+  const prdrb::CheckResult result =
+      prdrb::check_documents(docs[0], docs[1], thresholds);
+  prdrb::write_findings(std::cout, result);
+  if (result.has_regression()) {
+    std::cout << "verdict: REGRESSION\n";
+    return 1;
+  }
+  std::cout << "verdict: ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool json = false;
+  std::string out_path;
+  prdrb::CheckThresholds thresholds;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--perf-warn-only") {
+      thresholds.perf_warn_only = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (parse_fraction(argv[i], "--max-rate-drop",
+                              thresholds.max_rate_drop) ||
+               parse_fraction(argv[i], "--max-latency-rise",
+                              thresholds.max_latency_rise) ||
+               parse_fraction(argv[i], "--max-delivery-drop",
+                              thresholds.max_delivery_drop)) {
+      // parsed in the condition
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "prdrb_report: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (check) return run_check(positional, thresholds);
+
+  if (positional.size() != 1) return usage(std::cerr, 2);
+  std::vector<std::string> skipped;
+  const std::vector<prdrb::ManifestInfo> manifests =
+      prdrb::collect_reports(positional[0], &skipped);
+  for (const std::string& s : skipped) {
+    std::cerr << "prdrb_report: skipping non-manifest " << s << "\n";
+  }
+
+  std::ostringstream body;
+  if (json) {
+    prdrb::write_json_report(body, manifests);
+  } else {
+    prdrb::write_markdown_report(body, manifests);
+  }
+  if (out_path.empty()) {
+    std::cout << body.str();
+  } else if (!prdrb::obs::write_text_file(out_path, body.str())) {
+    return 2;
+  }
+  return 0;
+}

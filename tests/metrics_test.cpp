@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "metrics/collector.hpp"
 #include "metrics/latency_map.hpp"
 #include "metrics/latency_stats.hpp"
@@ -63,6 +65,36 @@ TEST(TimeSeries, BinTimeIsCentre) {
   TimeSeries ts(2e-3);
   EXPECT_DOUBLE_EQ(ts.bin_time(0), 1e-3);
   EXPECT_DOUBLE_EQ(ts.bin_time(3), 7e-3);
+}
+
+TEST(TimeSeries, OutOfDomainTimesAreClampedNotTrusted) {
+  // Regression test: a negative, NaN or astronomically large timestamp
+  // must not index before the vector, OOM the process via resize, or hit
+  // the UB of casting a huge double to size_t. Each clamp is counted.
+  TimeSeries ts(1e-3);
+  ts.add(-4e-3, 1.0);  // negative -> bin 0
+  EXPECT_EQ(ts.bins(), 1u);
+  EXPECT_EQ(ts.bin_count(0), 1u);
+  EXPECT_EQ(ts.clamped(), 1u);
+
+  ts.add(std::numeric_limits<double>::quiet_NaN(), 2.0);  // NaN -> bin 0
+  EXPECT_EQ(ts.bin_count(0), 2u);
+  EXPECT_EQ(ts.clamped(), 2u);
+
+  ts.add(std::numeric_limits<double>::infinity(), 3.0);  // inf -> last bin
+  ts.add(1e30, 4.0);                                     // huge -> last bin
+  EXPECT_EQ(ts.bins(), TimeSeries::kMaxBins);
+  EXPECT_EQ(ts.bin_count(TimeSeries::kMaxBins - 1), 2u);
+  EXPECT_DOUBLE_EQ(ts.bin_mean(TimeSeries::kMaxBins - 1), 3.5);
+  EXPECT_EQ(ts.clamped(), 4u);
+
+  // In-domain samples stay unaffected and uncounted.
+  ts.add(0.5e-3, 9.0);
+  EXPECT_EQ(ts.clamped(), 4u);
+  // reset() clears the clamp count with the bins.
+  ts.reset();
+  EXPECT_EQ(ts.clamped(), 0u);
+  EXPECT_EQ(ts.bins(), 0u);
 }
 
 TEST(LatencyMap, TracksPerRouterAverages) {

@@ -11,11 +11,14 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "experiment/manifest.hpp"
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
@@ -91,6 +94,42 @@ TEST(ObsJson, ValidatorRejectsMalformedDocuments) {
   EXPECT_FALSE(obs::json_valid("{\"a\":1} trailing"));
 }
 
+TEST(ObsJson, ParserBuildsNavigableDocuments) {
+  const auto doc = obs::json_parse(
+      "{\"schema\":\"t\",\"n\":-1.5e3,\"flag\":true,\"nil\":null,"
+      "\"nested\":{\"deep\":{\"x\":7}},\"list\":[1,\"two\",false]}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->string_at("schema"), "t");
+  EXPECT_DOUBLE_EQ(doc->number_at("n"), -1500.0);
+  ASSERT_NE(doc->find("flag"), nullptr);
+  EXPECT_TRUE(doc->find("flag")->as_bool());
+  EXPECT_TRUE(doc->find("nil")->is_null());
+  // Dotted-path navigation with fallbacks instead of throws.
+  EXPECT_DOUBLE_EQ(doc->number_at("nested.deep.x"), 7.0);
+  EXPECT_DOUBLE_EQ(doc->number_at("nested.deep.missing", -1.0), -1.0);
+  EXPECT_EQ(doc->find_path("nested.nope"), nullptr);
+  const obs::JsonValue* list = doc->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_EQ(list->items()[1].as_string(), "two");
+  // Member order is preserved for deterministic re-emission.
+  EXPECT_EQ(doc->members().front().first, "schema");
+}
+
+TEST(ObsJson, ParserDecodesEscapesIncludingSurrogatePairs) {
+  const auto doc = obs::json_parse(
+      "{\"s\":\"a\\\"b\\\\c\\n\",\"u\":\"\\u00e9\",\"sp\":\"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_at("s"), "a\"b\\c\n");
+  EXPECT_EQ(doc->string_at("u"), "\xC3\xA9");          // é in UTF-8
+  EXPECT_EQ(doc->string_at("sp"), "\xF0\x9F\x98\x80"); // 😀 in UTF-8
+  // Lone surrogates are malformed, not silently emitted.
+  EXPECT_FALSE(obs::json_parse("\"\\ud83d\"").has_value());
+  EXPECT_FALSE(obs::json_parse("\"\\ude00\"").has_value());
+  EXPECT_FALSE(obs::json_parse("{\"a\":1,}").has_value());
+}
+
 // --- obs/tracer ---
 
 TEST(Tracer, EmitsChromeTraceDocument) {
@@ -139,6 +178,26 @@ TEST(Tracer, DisabledRecordsNothing) {
   t.set_enabled(true);
   t.on_message_injected(0, 1, 64, 0);
   EXPECT_EQ(t.events(), 1u);
+}
+
+TEST(Tracer, MarkerAndLabelAreEscapedIntoValidJson) {
+  // Regression test: marker/label text is caller-controlled; quotes,
+  // backslashes and control characters must be escaped, not concatenated
+  // raw into the document.
+  Tracer t;
+  t.set_label("run \"A\\B\"\nphase");
+  EXPECT_EQ(t.label(), "run \"A\\B\"\nphase");
+  t.marker("watchdog \"fired\"\t<>", 1e-6);
+  EXPECT_EQ(t.events(), 1u);
+  const std::string doc = t.to_json();
+  EXPECT_TRUE(obs::json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"label\""), std::string::npos);
+  EXPECT_NE(doc.find("watchdog \\\"fired\\\""), std::string::npos);
+
+  // Disabled tracers record no markers.
+  Tracer off(/*enabled=*/false);
+  off.marker("x", 0);
+  EXPECT_EQ(off.events(), 0u);
 }
 
 TEST(Tracer, LimitDropsDeterministically) {
@@ -233,6 +292,49 @@ TEST(Counters, SamplerFollowsSimClockAndLetsTheRunDrain) {
   sim.run();  // must terminate: the sampler stops when the queue drains
   EXPECT_GE(reg.samples_taken(), 5u);
   EXPECT_DOUBLE_EQ(reg.current("test.events"), 5.0);
+}
+
+/// End-of-run freeze contract: when the run finishes, gauges are evaluated
+/// one final time and frozen, so the registry reports end-of-run values
+/// (not the last periodic sample) and stays safe to query after the
+/// run-local probes are gone — and the whole export is deterministic, at
+/// any sweep worker count.
+TEST(Counters, EndOfRunFreezeCapturesFinalValuesDeterministically) {
+  const auto probe = [] {
+    SyntheticScenario sc;
+    sc.topology = "mesh-8x8";
+    sc.pattern = "hotspot-cross";
+    sc.rate_bps = 1200e6;
+    sc.duration = 3e-3;
+    sc.bursts = 1;
+    sc.burst_len = 2e-3;
+    sc.seed = 11;
+    auto reg = std::make_unique<CounterRegistry>(sc.bin_width);
+    sc.sinks.counters = reg.get();
+    sc.sinks.sample_interval = 0.7e-3;
+    const ScenarioResult r = run_synthetic("pr-drb", sc);
+    return std::pair<ScenarioResult, std::unique_ptr<CounterRegistry>>(
+        r, std::move(reg));
+  };
+  const auto [r1, reg1] = probe();
+  // The frozen sim.events gauge equals the run's final event count — the
+  // freeze sampled it once more after the queue drained, not at the last
+  // periodic tick.
+  EXPECT_DOUBLE_EQ(reg1->current("sim.events"),
+                   static_cast<double>(r1.events));
+  EXPECT_GT(reg1->samples_taken(), 0u);
+
+  const auto [r2, reg2] = probe();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(reg1->samples_taken(), reg2->samples_taken());
+  EXPECT_EQ(reg1->to_json(), reg2->to_json());  // byte-identical
+
+  // The sweep executor's worker count is irrelevant to a serial probe.
+  const int saved = default_jobs();
+  set_default_jobs(8);
+  const auto [r3, reg3] = probe();
+  set_default_jobs(saved);
+  EXPECT_EQ(reg1->to_json(), reg3->to_json());
 }
 
 /// End-to-end: a scenario run with a counter sink registers the documented

@@ -1,0 +1,202 @@
+// Sweep-report / regression-check tests (experiment/report, the library
+// behind the prdrb_report CLI):
+//   - manifest parsing round-trips what experiment/manifest writes
+//   - directory collection is deterministic and skips non-manifest JSON
+//   - markdown / JSON report rendering
+//   - check_documents verdicts: event drift always fails, perf moves obey
+//     thresholds and --perf-warn-only, both accepted schemas work
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiment/manifest.hpp"
+#include "experiment/report.hpp"
+#include "obs/json.hpp"
+
+namespace prdrb {
+namespace {
+
+using obs::JsonValue;
+
+/// A manifest document with controllable headline numbers.
+std::string manifest_json(std::uint64_t events, double wall_s,
+                          double drb_latency_us, double delivery = 1.0) {
+  RunManifest m("report_test");
+  m.set_seed(11);
+  m.set_wall_seconds(wall_s);
+  m.add_config("topology", "mesh-8x8");
+  ScenarioResult r;
+  r.policy = "drb";
+  r.global_latency = drb_latency_us * 1e-6;
+  r.mean_latency = drb_latency_us * 1e-6;
+  r.delivery_ratio = delivery;
+  r.packets = 100;
+  r.events = events;
+  m.add_result(r);
+  ScenarioResult p = r;
+  p.policy = "pr-drb";
+  p.mean_latency = drb_latency_us * 0.8e-6;
+  m.add_result(p);
+  return m.to_json();
+}
+
+JsonValue parsed(const std::string& text) {
+  auto doc = obs::json_parse(text);
+  EXPECT_TRUE(doc.has_value());
+  return doc ? *doc : JsonValue();
+}
+
+TEST(Report, ParseManifestRoundTripsTheWriterFields) {
+  ManifestInfo info;
+  ASSERT_TRUE(parse_manifest(manifest_json(5000, 2.0, 10.0), info));
+  EXPECT_EQ(info.tool, "report_test");
+  EXPECT_EQ(info.seed, 11u);
+  EXPECT_DOUBLE_EQ(info.wall_s, 2.0);
+  EXPECT_DOUBLE_EQ(info.events, 10000);  // two results x 5000
+  ASSERT_EQ(info.policies.size(), 2u);
+  EXPECT_EQ(info.policies[0].name, "drb");
+  EXPECT_DOUBLE_EQ(info.policies[0].mean_latency_us, 10.0);
+  EXPECT_DOUBLE_EQ(info.policies[0].delivery_ratio, 1.0);
+  EXPECT_EQ(info.policies[1].name, "pr-drb");
+
+  EXPECT_FALSE(parse_manifest("not json", info));
+  EXPECT_FALSE(parse_manifest("{\"schema\":\"something-else\"}", info));
+}
+
+TEST(Report, CollectReportsIsSortedAndSkipsForeignFiles) {
+  const std::string dir =
+      ::testing::TempDir() + "prdrb_report_collect";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const std::string& name, const std::string& body) {
+    std::ofstream(dir + "/" + name) << body;
+  };
+  write("b_run.json", manifest_json(2000, 1.0, 12.0));
+  write("a_run.json", manifest_json(1000, 1.0, 10.0));
+  write("notes.json", "{\"schema\":\"other\"}");
+  write("readme.txt", "not json at all");
+
+  std::vector<std::string> skipped;
+  const auto manifests = collect_reports(dir, &skipped);
+  ASSERT_EQ(manifests.size(), 2u);
+  // Lexicographic path order, not directory order.
+  EXPECT_NE(manifests[0].path.find("a_run.json"), std::string::npos);
+  EXPECT_NE(manifests[1].path.find("b_run.json"), std::string::npos);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find("notes.json"), std::string::npos);
+
+  std::ostringstream md;
+  write_markdown_report(md, manifests);
+  EXPECT_NE(md.str().find("# PR-DRB sweep report"), std::string::npos);
+  EXPECT_NE(md.str().find("a_run.json"), std::string::npos);
+  EXPECT_NE(md.str().find("| drb |"), std::string::npos);
+  EXPECT_NE(md.str().find("Mean latency by policy"), std::string::npos);
+
+  std::ostringstream js;
+  write_json_report(js, manifests);
+  EXPECT_TRUE(obs::json_valid(js.str())) << js.str().substr(0, 400);
+  EXPECT_NE(js.str().find("prdrb-sweep-report-v1"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Report, CheckPassesOnIdenticalDocuments) {
+  const JsonValue doc = parsed(manifest_json(5000, 2.0, 10.0));
+  const CheckResult r = check_documents(doc, doc, CheckThresholds{});
+  EXPECT_FALSE(r.has_regression());
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].message.find("event count unchanged"),
+            std::string::npos);
+}
+
+TEST(Report, EventCountDriftAlwaysFailsEvenWarnOnly) {
+  const JsonValue a = parsed(manifest_json(5000, 2.0, 10.0));
+  const JsonValue b = parsed(manifest_json(5001, 2.0, 10.0));
+  CheckThresholds t;
+  t.perf_warn_only = true;  // must NOT downgrade determinism drift
+  const CheckResult r = check_documents(a, b, t);
+  EXPECT_TRUE(r.has_regression());
+  bool drift = false;
+  for (const Finding& f : r.findings) {
+    drift |= f.message.find("event count drift") != std::string::npos &&
+             f.level == Finding::Level::kRegression;
+  }
+  EXPECT_TRUE(drift);
+}
+
+TEST(Report, ThroughputDropObeysThresholdAndWarnOnly) {
+  // Same events, halved rate (doubled wall time): 50% drop.
+  const JsonValue fast = parsed(manifest_json(5000, 1.0, 10.0));
+  const JsonValue slow = parsed(manifest_json(5000, 2.0, 10.0));
+  CheckThresholds t;  // default max_rate_drop = 0.30
+  EXPECT_TRUE(check_documents(fast, slow, t).has_regression());
+  // Within threshold the other way (rate rose): fine.
+  EXPECT_FALSE(check_documents(slow, fast, t).has_regression());
+  // Warn-only downgrades the perf finding.
+  t.perf_warn_only = true;
+  const CheckResult r = check_documents(fast, slow, t);
+  EXPECT_FALSE(r.has_regression());
+  bool warned = false;
+  for (const Finding& f : r.findings) {
+    warned |= f.level == Finding::Level::kWarning &&
+              f.message.find("throughput drop") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Report, LatencyRiseAndDeliveryDropAreCaught) {
+  const JsonValue base = parsed(manifest_json(5000, 2.0, 10.0));
+  const JsonValue slower = parsed(manifest_json(5000, 2.0, 12.0));  // +20%
+  CheckThresholds t;  // default max_latency_rise = 0.10
+  EXPECT_TRUE(check_documents(base, slower, t).has_regression());
+  EXPECT_FALSE(check_documents(slower, base, t).has_regression());
+
+  const JsonValue lossy = parsed(manifest_json(5000, 2.0, 10.0, 0.9));
+  EXPECT_TRUE(check_documents(base, lossy, t).has_regression());
+}
+
+TEST(Report, BenchBaselineSchemaIsAccepted) {
+  const char* kBaseline = R"({
+    "schema": "prdrb-bench-baseline-v1",
+    "end_to_end": {
+      "events": 7056382,
+      "before": {"wall_s": 2.0, "events_per_sec": 3500000},
+      "after": {"wall_s": 1.0, "events_per_sec": 7000000}
+    }
+  })";
+  const JsonValue doc = parsed(kBaseline);
+  const CheckResult self = check_documents(doc, doc, CheckThresholds{});
+  EXPECT_FALSE(self.has_regression());
+
+  const char* kDrifted = R"({
+    "schema": "prdrb-bench-baseline-v1",
+    "end_to_end": {
+      "events": 7056000,
+      "after": {"wall_s": 1.0, "events_per_sec": 7000000}
+    }
+  })";
+  EXPECT_TRUE(
+      check_documents(doc, parsed(kDrifted), CheckThresholds{})
+          .has_regression());
+
+  // Unknown schema is a hard failure (never silently "ok").
+  EXPECT_TRUE(check_documents(doc, parsed("{\"schema\":\"nope\"}"),
+                              CheckThresholds{})
+                  .has_regression());
+}
+
+TEST(Report, FindingsRenderOnePerLineWithVerdictPrefixes) {
+  CheckResult r;
+  r.findings.push_back({Finding::Level::kRegression, "bad"});
+  r.findings.push_back({Finding::Level::kWarning, "meh"});
+  r.findings.push_back({Finding::Level::kInfo, "fine"});
+  std::ostringstream os;
+  write_findings(os, r);
+  EXPECT_EQ(os.str(), "REGRESSION: bad\nwarning: meh\nok: fine\n");
+}
+
+}  // namespace
+}  // namespace prdrb

@@ -1,0 +1,373 @@
+// Spatial telemetry + flight recorder + stall watchdog tests
+// (DESIGN.md "Observability"):
+//   - obs/telemetry: bin-splitting busy-time accounting, out-of-domain
+//     clamping, deterministic JSON/CSV/heatmap exports, scenario
+//     integration on the shared sampler chain
+//   - obs/flight_recorder: ring semantics, control-plane capture,
+//     allocation-free recording
+//   - StallWatchdog: fires exactly once on a starved run (with a
+//     byte-stable dump), stays silent on a healthy one
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "net/mesh2d.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "routing/oblivious.hpp"
+#include "test_util.hpp"
+
+namespace prdrb {
+namespace {
+
+using obs::FlightRecorder;
+using obs::NetTelemetry;
+using obs::StallWatchdog;
+using test::Harness;
+
+// --- NetTelemetry unit behaviour ---
+
+TEST(Telemetry, TransmitBusyTimeIsSplitAcrossBins) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 2, 2);
+  NetTelemetry tel(/*bin_width=*/1.0);
+  tel.bind(*h.net);
+  ASSERT_TRUE(tel.bound());
+  EXPECT_EQ(tel.num_routers(), 4u);
+  ASSERT_GT(tel.num_links(), 0u);
+
+  // 1.0 s of serialization starting mid-bin: half lands in bin 0, half in
+  // bin 1; totals are exact.
+  tel.on_transmit(0, 0, /*start=*/0.5, /*ser=*/1.0);
+  EXPECT_DOUBLE_EQ(tel.link_busy_seconds(0, 0), 1.0);
+  EXPECT_EQ(tel.bins(), 2u);
+  // Utilization of router 0 in bin 0: 0.5 busy seconds over `ports` 1 s
+  // links — positive, below 1.
+  const double u = tel.router_utilization(0, 0);
+  EXPECT_GT(u, 0.0);
+  EXPECT_LT(u, 1.0);
+  EXPECT_EQ(tel.clamped(), 0u);
+
+  tel.on_credit_stall(0, 0, 1.5);
+  EXPECT_EQ(tel.link_stalls(0, 0), 1u);
+  tel.on_inject_stall(2, 0.25);
+  EXPECT_EQ(tel.inject_stalls(2), 1u);
+  tel.unbind();
+  EXPECT_FALSE(tel.bound());
+}
+
+TEST(Telemetry, OutOfDomainTimestampsAreClampedNotTrusted) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 2, 2);
+  NetTelemetry tel(1.0);
+  tel.bind(*h.net);
+
+  tel.on_transmit(0, 0, -5.0, 0.5);  // negative start -> bin 0
+  EXPECT_GE(tel.clamped(), 1u);
+  const auto before = tel.clamped();
+  tel.on_credit_stall(0, 0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_GT(tel.clamped(), before);
+  // A huge start saturates into the overflow bin instead of resizing the
+  // series to 2^52 bins.
+  tel.on_transmit(0, 1, 1e18, 1.0);
+  EXPECT_LE(tel.bins(), TimeSeries::kMaxBins);
+  // Totals still account every second of busy time.
+  EXPECT_DOUBLE_EQ(tel.link_busy_seconds(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(tel.link_busy_seconds(0, 1), 1.0);
+}
+
+TEST(Telemetry, SamplingRecordsRouterQueueDepth) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 2, 2);
+  NetTelemetry tel(1e-3);
+  tel.bind(*h.net);
+  tel.sample(0.5e-3);
+  EXPECT_EQ(tel.samples_taken(), 1u);
+  const TimeSeries* s = tel.router_queue_series(0);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->bin_count(0), 1u);  // idle network: a zero sample, recorded
+  EXPECT_EQ(tel.router_queue_series(99), nullptr);
+}
+
+// --- exports ---
+
+/// Shared scenario: hot-spot mesh load that exercises stalls and the
+/// control plane.
+SyntheticScenario hotspot_scenario() {
+  SyntheticScenario sc;
+  sc.topology = "mesh-8x8";
+  sc.pattern = "hotspot-cross";
+  sc.rate_bps = 1200e6;
+  sc.duration = 3e-3;
+  sc.bursts = 1;
+  sc.burst_len = 2e-3;
+  sc.seed = 11;
+  return sc;
+}
+
+TEST(Telemetry, ScenarioExportsAreValidAndByteIdenticalAcrossRuns) {
+  const auto probe = [] {
+    SyntheticScenario sc = hotspot_scenario();
+    NetTelemetry tel(sc.bin_width);
+    sc.sinks.telemetry = &tel;
+    run_synthetic("pr-drb", sc);
+    EXPECT_FALSE(tel.bound()) << "run must unbind the telemetry on exit";
+    std::ostringstream csv, pgm, ascii;
+    tel.write_csv(csv);
+    tel.write_heatmap_pgm(pgm);
+    tel.write_heatmap_ascii(ascii, *make_topology("mesh-8x8"));
+    return std::array<std::string, 4>{tel.to_json(), csv.str(), pgm.str(),
+                                      ascii.str()};
+  };
+  const auto a = probe();
+  const auto b = probe();
+  EXPECT_EQ(a, b);  // byte-identical across identical seeded runs
+
+  EXPECT_TRUE(obs::json_valid(a[0])) << a[0].substr(0, 400);
+  EXPECT_NE(a[0].find("prdrb-telemetry-v1"), std::string::npos);
+  EXPECT_NE(a[0].find("\"links\""), std::string::npos);
+  EXPECT_NE(a[0].find("\"routers\""), std::string::npos);
+
+  EXPECT_NE(a[1].find("kind,id,port,bin_time_s,value"), std::string::npos);
+  EXPECT_NE(a[1].find("link_util,"), std::string::npos);
+  EXPECT_NE(a[1].find("router_queue_bytes,"), std::string::npos);
+
+  EXPECT_EQ(a[2].rfind("P2\n", 0), 0u) << "PGM magic";
+  EXPECT_FALSE(a[3].empty());
+}
+
+TEST(Telemetry, WriteFilePicksFormatByExtension) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 2, 2);
+  NetTelemetry tel(1e-3);
+  tel.bind(*h.net);
+  tel.on_transmit(0, 0, 0.1e-3, 0.2e-3);
+  tel.sample(0.5e-3);
+
+  const std::string csv_path = ::testing::TempDir() + "telemetry.csv";
+  const std::string json_path = ::testing::TempDir() + "telemetry.json";
+  const std::string pgm_path = ::testing::TempDir() + "telemetry.pgm";
+  ASSERT_TRUE(tel.write_file(csv_path));
+  ASSERT_TRUE(tel.write_file(json_path));
+  ASSERT_TRUE(tel.write_heatmap_file(pgm_path, *h.topo));
+
+  std::ifstream csv(csv_path);
+  std::string first;
+  std::getline(csv, first);
+  EXPECT_EQ(first, "kind,id,port,bin_time_s,value");
+  std::ifstream json(json_path);
+  std::stringstream body;
+  body << json.rdbuf();
+  EXPECT_TRUE(obs::json_valid(body.str()));
+  std::ifstream pgm(pgm_path);
+  std::getline(pgm, first);
+  EXPECT_EQ(first, "P2");
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+  std::remove(pgm_path.c_str());
+}
+
+/// The sweep executor's worker count must not leak into probe output: the
+/// serial probe bytes are a function of scenario + seed only.
+TEST(Telemetry, ProbeBytesAreIndependentOfDefaultJobs) {
+  const auto probe = [] {
+    SyntheticScenario sc = hotspot_scenario();
+    NetTelemetry tel(sc.bin_width);
+    sc.sinks.telemetry = &tel;
+    run_synthetic("pr-drb", sc);
+    return tel.to_json();
+  };
+  const int saved = default_jobs();
+  set_default_jobs(1);
+  const std::string at_one = probe();
+  set_default_jobs(8);
+  const std::string at_eight = probe();
+  set_default_jobs(saved);
+  EXPECT_EQ(at_one, at_eight);
+}
+
+// --- FlightRecorder ---
+
+TEST(FlightRecorderTest, RingKeepsTheNewestEventsOldestFirst) {
+  FlightRecorder rec(4);
+  EXPECT_EQ(rec.capacity(), 4u);
+  for (int i = 0; i < 7; ++i) {
+    rec.record(FlightRecorder::EventKind::kInjectStall,
+               static_cast<SimTime>(i), i);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 7u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Events 3..6 survive, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].a, i + 3);
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].t,
+                     static_cast<double>(i + 3));
+  }
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, RecordingIsAllocationFree) {
+  FlightRecorder rec(256);
+  test::AllocationScope scope;
+  for (int i = 0; i < 10000; ++i) {
+    rec.record(FlightRecorder::EventKind::kCongestion, i * 1e-6, 1, 2, 3,
+               4.5);
+  }
+  EXPECT_EQ(scope.count(), 0u) << "ring recording must not allocate";
+  EXPECT_EQ(rec.size(), 256u);
+}
+
+TEST(FlightRecorderTest, ScenarioRunCapturesControlPlaneEvents) {
+  SyntheticScenario sc = hotspot_scenario();
+  FlightRecorder rec(512);
+  sc.sinks.recorder = &rec;
+  run_synthetic("pr-drb", sc);
+  EXPECT_GT(rec.recorded(), 0u);
+  bool saw_congestion = false, saw_open = false;
+  for (const auto& e : rec.snapshot()) {
+    saw_congestion |= e.kind == FlightRecorder::EventKind::kCongestion;
+    saw_open |= e.kind == FlightRecorder::EventKind::kMetapathOpen;
+  }
+  EXPECT_TRUE(saw_congestion);
+  EXPECT_TRUE(saw_open);
+  EXPECT_STREQ(FlightRecorder::kind_name(
+                   FlightRecorder::EventKind::kMetapathOpen),
+               "mp-open");
+}
+
+// --- StallWatchdog ---
+
+/// A scenario that wedges by construction: the router buffer pool is
+/// smaller than one packet, so no NIC can ever inject and every queued
+/// message is undelivered work.
+SyntheticScenario starved_scenario() {
+  SyntheticScenario sc;
+  sc.topology = "mesh-4x4";
+  sc.pattern = "uniform";
+  sc.rate_bps = 400e6;
+  sc.duration = 2e-3;
+  sc.bursts = 0;
+  sc.seed = 11;
+  sc.net.buffer_bytes = 512;  // < packet_bytes: injection can never proceed
+  return sc;
+}
+
+TEST(Watchdog, StarvedRunDumpsExactlyOnce) {
+  SyntheticScenario sc = starved_scenario();
+  FlightRecorder rec(128);
+  std::ostringstream err;
+  std::string dump;
+  sc.sinks.recorder = &rec;
+  sc.sinks.watchdog_window = 0.5e-3;
+  sc.sinks.watchdog_stream = &err;
+  sc.sinks.watchdog_dump = &dump;
+  const ScenarioResult r = run_synthetic("deterministic", sc);
+  EXPECT_EQ(r.packets, 0u);
+
+  ASSERT_FALSE(dump.empty());
+  EXPECT_TRUE(obs::json_valid(dump)) << dump.substr(0, 400);
+  EXPECT_NE(dump.find("prdrb-flightdump-v1"), std::string::npos);
+  EXPECT_NE(dump.find("\"event_queue\""), std::string::npos);
+  EXPECT_NE(dump.find("\"routers\""), std::string::npos);
+  EXPECT_NE(dump.find("\"nics\""), std::string::npos);
+  EXPECT_NE(dump.find("inject-stall"), std::string::npos);
+  // Exactly one dump on the stream, however long the starvation lasted.
+  const std::string text = err.str();
+  const auto first = text.find("[prdrb watchdog]");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("[prdrb watchdog]", first + 1), std::string::npos);
+}
+
+TEST(Watchdog, StarvedDumpIsByteIdenticalAcrossRuns) {
+  const auto probe = [] {
+    SyntheticScenario sc = starved_scenario();
+    std::string dump;
+    sc.sinks.watchdog_window = 0.5e-3;
+    sc.sinks.watchdog_stream = nullptr;  // default stderr
+    std::ostringstream sink;
+    sc.sinks.watchdog_stream = &sink;
+    sc.sinks.watchdog_dump = &dump;
+    run_synthetic("deterministic", sc);
+    return dump;
+  };
+  const std::string a = probe();
+  const std::string b = probe();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Watchdog, HealthyRunStaysSilent) {
+  SyntheticScenario sc = hotspot_scenario();
+  std::ostringstream err;
+  std::string dump;
+  sc.sinks.watchdog_window = 1e-3;
+  sc.sinks.watchdog_stream = &err;
+  sc.sinks.watchdog_dump = &dump;
+  const ScenarioResult r = run_synthetic("pr-drb", sc);
+  EXPECT_GT(r.packets, 0u);
+  EXPECT_TRUE(dump.empty()) << dump.substr(0, 200);
+  EXPECT_TRUE(err.str().empty()) << err.str();
+}
+
+TEST(Watchdog, WriteDumpFileOnlyAfterFiring) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 2, 2);
+  StallWatchdog wd(*h.net, h.sim, nullptr, 1e-3);
+  EXPECT_FALSE(wd.fired());
+  EXPECT_TRUE(wd.dump_json().empty());
+  EXPECT_FALSE(wd.write_dump_file(::testing::TempDir() + "no_dump.json"));
+  // An idle network holds no pending work: finalize must not fire.
+  wd.finalize();
+  EXPECT_FALSE(wd.fired());
+}
+
+// --- zero-cost-when-disabled ---
+
+TEST(Telemetry, DetachedHooksStayAllocationFreeInSteadyState) {
+  // Same steady-state contract as Allocations.NetworkSteadyStateHops...:
+  // with no telemetry or recorder bound, the new hook sites are single
+  // not-taken branches and must not add allocations.
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 4, 4);
+  const int kMessages = 400;
+  auto run_pass = [&] {
+    for (int i = 0; i < kMessages; ++i) {
+      const NodeId src = static_cast<NodeId>(i % 16);
+      const NodeId dst = static_cast<NodeId>((i * 7 + 5) % 16);
+      h.net->send_message(src, dst, 1024);
+    }
+    h.sim.run();
+  };
+  run_pass();  // warm-up
+
+  test::AllocationScope scope;
+  run_pass();
+  EXPECT_LT(scope.count(), static_cast<std::uint64_t>(4 * kMessages));
+}
+
+TEST(Telemetry, BoundTransmitPathIsAllocationFreeOnceBinsAreWarm) {
+  auto h = Harness::make<Mesh2D>(NetConfig{}, new DeterministicPolicy, 2, 2);
+  NetTelemetry tel(1e-3);
+  tel.bind(*h.net);
+  // Warm both per-link bin vectors (busy and stalls) across the domain.
+  for (std::size_t r = 0; r < tel.num_routers(); ++r) {
+    tel.on_transmit(static_cast<RouterId>(r), 0, 5e-3, 1e-4);
+    tel.on_credit_stall(static_cast<RouterId>(r), 0, 5e-3);
+  }
+  test::AllocationScope scope;
+  for (int i = 0; i < 10000; ++i) {
+    tel.on_transmit(0, 0, (i % 5) * 1e-3, 0.5e-3);
+    tel.on_credit_stall(0, 0, (i % 5) * 1e-3);
+    tel.on_inject_stall(1, (i % 5) * 1e-3);
+  }
+  EXPECT_EQ(scope.count(), 0u) << "warmed telemetry hooks allocated";
+}
+
+}  // namespace
+}  // namespace prdrb
