@@ -11,16 +11,16 @@
 
 namespace prdrb::bench {
 
-inline TraceScenario app_scenario(const std::string& app,
-                                  const std::string& topology,
-                                  TraceScale scale) {
-  TraceScenario sc;
-  sc.app = app;
+inline ScenarioSpec app_scenario(const std::string& app,
+                                 const std::string& topology,
+                                 TraceScale scale) {
+  ScenarioSpec sc;
+  sc.trace().app = app;
   sc.topology = topology;
-  sc.scale = scale;
+  sc.trace().scale = scale;
   sc.bin_width = 0.5e-3;
   // Watch every router; figures pick the hottest ones afterwards.
-  auto topo = make_topology(topology);
+  auto topo = make_topology(topology).value_or_throw();
   for (RouterId r = 0; r < topo->num_routers(); ++r) sc.watch.push_back(r);
   return sc;
 }

@@ -13,16 +13,16 @@ using namespace prdrb::bench;
 
 namespace {
 
-SyntheticScenario base_scenario() {
-  SyntheticScenario sc;
+ScenarioSpec base_scenario() {
+  ScenarioSpec sc;
   sc.topology = "mesh-8x8";
-  sc.pattern = "hotspot-cross";
-  sc.rate_bps = 1000e6;
-  sc.bursts = 5;
-  sc.burst_len = 2e-3;
-  sc.gap_len = 2e-3;
-  sc.duration = 25e-3;
-  sc.noise_rate_bps = 50e6;
+  sc.synthetic().pattern = "hotspot-cross";
+  sc.synthetic().rate_bps = 1000e6;
+  sc.synthetic().bursts = 5;
+  sc.synthetic().burst_len = 2e-3;
+  sc.synthetic().gap_len = 2e-3;
+  sc.synthetic().duration = 25e-3;
+  sc.synthetic().noise_rate_bps = 50e6;
   sc.bin_width = 0.5e-3;
   return sc;
 }
@@ -37,7 +37,7 @@ std::string stat(const Replication& r, double scale = 1e6) {
 }
 
 Replication latency_of(const std::string& policy,
-                       const SyntheticScenario& sc) {
+                       const ScenarioSpec& sc) {
   const auto runs = run_synthetic_replicated(policy, sc, kSeeds);
   if (g_bench) g_bench->record(runs);
   return replicate_metric(
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   };
   for (const Band band : {Band{5e-6, 9e-6}, Band{8e-6, 15e-6},
                           Band{12e-6, 30e-6}, Band{20e-6, 60e-6}}) {
-    SyntheticScenario sc = base_scenario();
+    ScenarioSpec sc = base_scenario();
     sc.drb.threshold_low = band.low;
     sc.drb.threshold_high = band.high;
     th.add_row({Table::num(band.low * 1e6, 3), Table::num(band.high * 1e6, 3),
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   std::cout << "\n--- maximum alternative paths (§4.6.3 uses 4) ---\n";
   Table mp({"max_paths", "drb_global_us", "pr-drb_global_us"});
   for (const int paths : {1, 2, 4, 8}) {
-    SyntheticScenario sc = base_scenario();
+    ScenarioSpec sc = base_scenario();
     sc.drb.max_paths = paths;
     mp.add_row({std::to_string(paths), stat(latency_of("drb", sc)),
                 stat(latency_of("pr-drb", sc))});
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
                "segments) ---\n";
   Table seg({"segments", "drb_global_us", "pr-drb_global_us"});
   for (const bool adaptive : {true, false}) {
-    SyntheticScenario sc = base_scenario();
+    ScenarioSpec sc = base_scenario();
     sc.drb.adaptive_segments = adaptive;
     seg.add_row({adaptive ? "adaptive" : "deterministic",
                  stat(latency_of("drb", sc)),

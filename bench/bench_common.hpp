@@ -1,6 +1,6 @@
 // Thin adapter over the library's experiment harness (experiment/scenario)
 // for the per-figure bench binaries: aliases, table-formatting helpers, the
-// shared command-line flags (--jobs, --trace-out, --metrics-out,
+// shared command-line flags (--jobs, --sched, --trace-out, --metrics-out,
 // --manifest-out, --no-manifest, --telemetry-out, --heatmap-out,
 // --watchdog[=S], --watchdog-out) and the BenchMain RAII wrapper that writes
 // the run manifest (EXPERIMENTS.md "Run manifests") on exit.
@@ -35,18 +35,52 @@ using prdrb::default_drb_config;
 using prdrb::improvement_pct;
 using prdrb::make_policy;
 using prdrb::make_topology;
+using prdrb::Parsed;
+using prdrb::ParseError;
 using prdrb::PolicyBundle;
 using prdrb::run_policies;
+using prdrb::run_scenario;
 using prdrb::run_sweep;
 using prdrb::run_synthetic;
 using prdrb::run_trace;
 using prdrb::ScenarioResult;
+using prdrb::ScenarioSpec;
+using prdrb::SchedulerKind;
 using prdrb::SweepJob;
-using prdrb::SyntheticScenario;
-using prdrb::TraceScenario;
+using prdrb::SyntheticWorkload;
+using prdrb::TraceWorkload;
 
 /// Older bench sources refer to trace results by this name.
 using TraceResult = ScenarioResult;
+
+/// Unwrap a factory parse result or exit 2 with the typed diagnostic (and
+/// its nearest-name suggestion) — the uniform bad-name behaviour of every
+/// bench binary and prdrb_sim.
+template <typename T>
+T require_parsed(Parsed<T> parsed) {
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error().what() << '\n';
+    std::exit(2);
+  }
+  return std::move(parsed.value());
+}
+
+/// Apply a --sched/PRDRB_SCHED-style scheduler name process-wide; empty is
+/// a no-op, unknown names exit 2 with a suggestion.
+inline void apply_scheduler_flag(const std::string& name) {
+  if (name.empty()) return;
+  if (const auto kind = prdrb::parse_scheduler_name(name)) {
+    prdrb::set_default_scheduler(*kind);
+    return;
+  }
+  ParseError e;
+  e.input = name;
+  e.kind = "scheduler";
+  e.message = "unknown scheduler";
+  e.suggestion = prdrb::nearest_name(name, {"heap", "calendar"});
+  std::cerr << "error: " << e.what() << '\n';
+  std::exit(2);
+}
 
 /// Common entry-point setup for every bench binary: honours `--jobs N` /
 /// `--jobs=N` / `-jN` (falling back to the PRDRB_JOBS environment variable,
@@ -69,6 +103,7 @@ struct BenchOptions {
   std::string heatmap_out;   // --heatmap-out=PATH: ASCII (or .pgm) heatmap
   double watchdog = 0;       // --watchdog[=SECONDS]: stall watchdog window
   std::string watchdog_out;  // --watchdog-out=PATH: flight dump JSON if fired
+  std::string sched;         // --sched NAME: scheduler backend (heap|calendar)
 };
 
 /// Default virtual-time window for `--watchdog` without a value: generous
@@ -101,6 +136,7 @@ inline BenchOptions parse_bench_flags(int argc, char** argv) {
     if (take("--telemetry-out", o.telemetry_out)) continue;
     if (take("--heatmap-out", o.heatmap_out)) continue;
     if (take("--watchdog-out", o.watchdog_out)) continue;
+    if (take("--sched", o.sched)) continue;
     if (a == "--watchdog") {
       o.watchdog = kDefaultWatchdogWindow;
       continue;
@@ -132,6 +168,10 @@ class BenchMain {
         manifest_(name_),
         start_(std::chrono::steady_clock::now()) {
     if (opts_.jobs) prdrb::set_default_jobs(opts_.jobs);
+    apply_scheduler_flag(opts_.sched);
+    manifest_.add_config("sched",
+                         std::string(prdrb::scheduler_name(
+                             prdrb::default_scheduler())));
   }
 
   BenchMain(const BenchMain&) = delete;
@@ -159,7 +199,7 @@ class BenchMain {
   /// outputs. No-op (empty result) when no observability output was
   /// requested.
   ScenarioResult probe_scenario(const std::string& policy,
-                                SyntheticScenario sc) {
+                                ScenarioSpec sc) {
     if (!wants_probe()) return {};
     obs::Tracer tracer;
     obs::CounterRegistry counters(sc.bin_width);
@@ -176,13 +216,13 @@ class BenchMain {
       sc.sinks.watchdog_window = opts_.watchdog;
       sc.sinks.watchdog_dump = &dump;
     }
-    ScenarioResult r = run_synthetic(policy, sc);
+    ScenarioResult r = run_scenario(policy, sc);
     if (!opts_.trace_out.empty()) tracer.write_file(opts_.trace_out);
     if (!opts_.metrics_out.empty()) counters.write_file(opts_.metrics_out);
     if (!opts_.telemetry_out.empty()) telemetry.write_file(opts_.telemetry_out);
     if (!opts_.heatmap_out.empty()) {
-      telemetry.write_heatmap_file(opts_.heatmap_out,
-                                   *make_topology(sc.topology));
+      telemetry.write_heatmap_file(
+          opts_.heatmap_out, *make_topology(sc.topology).value_or_throw());
     }
     if (!opts_.watchdog_out.empty() && !dump.empty()) {
       obs::write_text_file(opts_.watchdog_out, dump);
@@ -213,7 +253,7 @@ class BenchMain {
 /// Per-router latency maps of a synthetic scenario under several policies
 /// (Figs. 4.10/4.11), one sweep job per policy.
 inline std::vector<std::vector<double>> run_policy_maps(
-    const std::vector<std::string>& policies, const SyntheticScenario& sc) {
+    const std::vector<std::string>& policies, const ScenarioSpec& sc) {
   std::vector<std::vector<double>> maps;
   for (auto& r : run_policies(policies, sc)) {
     maps.push_back(std::move(r.router_map));

@@ -18,7 +18,7 @@ namespace {
 /// Average latency per burst window (burst i covers
 /// [start + i*period, start + i*period + burst_len] plus its drain gap).
 std::vector<double> per_burst_latency(const ScenarioResult& r,
-                                      const SyntheticScenario& sc) {
+                                      const SyntheticWorkload& sc) {
   std::vector<double> out(static_cast<std::size_t>(sc.bursts), 0.0);
   std::vector<double> weight(static_cast<std::size_t>(sc.bursts), 0.0);
   const double period = sc.burst_len + sc.gap_len;
@@ -37,16 +37,16 @@ std::vector<double> per_burst_latency(const ScenarioResult& r,
   return out;
 }
 
-SyntheticScenario base_scenario() {
-  SyntheticScenario sc;
+ScenarioSpec base_scenario() {
+  ScenarioSpec sc;
   sc.topology = "mesh-8x8";
-  sc.pattern = "hotspot-cross";
-  sc.rate_bps = 1000e6;
-  sc.bursts = 5;
-  sc.burst_len = 2e-3;
-  sc.gap_len = 2e-3;
-  sc.duration = 25e-3;
-  sc.noise_rate_bps = 50e6;
+  sc.synthetic().pattern = "hotspot-cross";
+  sc.synthetic().rate_bps = 1000e6;
+  sc.synthetic().bursts = 5;
+  sc.synthetic().burst_len = 2e-3;
+  sc.synthetic().gap_len = 2e-3;
+  sc.synthetic().duration = 25e-3;
+  sc.synthetic().noise_rate_bps = 50e6;
   sc.bin_width = 0.5e-3;
   return sc;
 }
@@ -63,14 +63,14 @@ int main(int argc, char** argv) {
   bench.record(results);
   bench.manifest().set_seed(sc.seed);
   bench.manifest().add_config("topology", sc.topology);
-  bench.manifest().add_config("pattern", sc.pattern);
+  bench.manifest().add_config("pattern", sc.synthetic().pattern);
   const ScenarioResult& drb = results[0];
   const ScenarioResult& pr_dest = results[1];
   const ScenarioResult& pr_router = results[2];
 
-  const auto b_drb = per_burst_latency(drb, sc);
-  const auto b_dest = per_burst_latency(pr_dest, sc);
-  const auto b_router = per_burst_latency(pr_router, sc);
+  const auto b_drb = per_burst_latency(drb, sc.synthetic());
+  const auto b_dest = per_burst_latency(pr_dest, sc.synthetic());
+  const auto b_router = per_burst_latency(pr_router, sc.synthetic());
 
   Table t({"burst", "drb_us", "pr-drb(dest)_us", "pr-drb(router)_us"});
   for (std::size_t i = 0; i < b_drb.size(); ++i) {
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   Table a({"similarity", "global_us", "installs", "saved"});
   for (double simthr : {0.5, 0.8, 0.95}) {
     Simulator sim;
-    auto topo = make_topology(sc.topology);
+    auto topo = make_topology(sc.topology).value_or_throw();
     NetConfig cfg;
     PrDrbConfig pcfg;
     pcfg.similarity = simthr;
@@ -113,14 +113,15 @@ int main(int argc, char** argv) {
     auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
     HotspotPattern hp = make_mesh_cross_hotspot(*mesh, 8);
     TrafficConfig tc;
-    tc.rate_bps = sc.rate_bps;
-    tc.stop = sc.duration;
-    BurstSchedule bursts(0.5e-3, sc.burst_len, sc.gap_len, sc.bursts);
+    tc.rate_bps = sc.synthetic().rate_bps;
+    tc.stop = sc.synthetic().duration;
+    BurstSchedule bursts(0.5e-3, sc.synthetic().burst_len,
+                         sc.synthetic().gap_len, sc.synthetic().bursts);
     TrafficGenerator gen(sim, net, hp, tc, sc.seed, hp.sources(), &bursts);
     gen.start();
     UniformPattern noise_pat(topo->num_nodes());
     TrafficConfig nc = tc;
-    nc.rate_bps = sc.noise_rate_bps;
+    nc.rate_bps = sc.synthetic().noise_rate_bps;
     TrafficGenerator noise(sim, net, noise_pat, nc, sc.seed + 1);
     noise.start();
     sim.run();
@@ -139,7 +140,7 @@ int main(int argc, char** argv) {
   Table tr({"trend_prediction", "global_us", "trend_triggers", "installs"});
   for (bool trend : {false, true}) {
     Simulator sim;
-    auto topo = make_topology(sc.topology);
+    auto topo = make_topology(sc.topology).value_or_throw();
     NetConfig cfg;
     PrDrbConfig pcfg;
     pcfg.trend_prediction = trend;
@@ -153,14 +154,15 @@ int main(int argc, char** argv) {
     auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
     HotspotPattern hp = make_mesh_cross_hotspot(*mesh, 8);
     TrafficConfig tc;
-    tc.rate_bps = sc.rate_bps;
-    tc.stop = sc.duration;
-    BurstSchedule bursts(0.5e-3, sc.burst_len, sc.gap_len, sc.bursts);
+    tc.rate_bps = sc.synthetic().rate_bps;
+    tc.stop = sc.synthetic().duration;
+    BurstSchedule bursts(0.5e-3, sc.synthetic().burst_len,
+                         sc.synthetic().gap_len, sc.synthetic().bursts);
     TrafficGenerator gen(sim, net, hp, tc, sc.seed, hp.sources(), &bursts);
     gen.start();
     UniformPattern noise_pat(topo->num_nodes());
     TrafficConfig nc = tc;
-    nc.rate_bps = sc.noise_rate_bps;
+    nc.rate_bps = sc.synthetic().noise_rate_bps;
     TrafficGenerator noise(sim, net, noise_pat, nc, sc.seed + 1);
     noise.start();
     sim.run();

@@ -35,21 +35,21 @@ int main(int argc, char** argv) {
   BenchMain bench("bench_fig_4_10_latency_map_mesh", argc, argv);
   std::cout << "=== Figs 4.10/4.11: latency surface maps, 8x8 mesh, "
                "bursty hot-spot (Table 4.2) ===\n";
-  SyntheticScenario sc;
+  ScenarioSpec sc;
   sc.topology = "mesh-8x8";
-  sc.pattern = "hotspot-cross";
-  sc.rate_bps = 1000e6;
-  sc.bursts = 6;
-  sc.burst_len = 2e-3;
-  sc.gap_len = 2e-3;
-  sc.duration = 30e-3;
-  sc.noise_rate_bps = 50e6;
+  sc.synthetic().pattern = "hotspot-cross";
+  sc.synthetic().rate_bps = 1000e6;
+  sc.synthetic().bursts = 6;
+  sc.synthetic().burst_len = 2e-3;
+  sc.synthetic().gap_len = 2e-3;
+  sc.synthetic().duration = 30e-3;
+  sc.synthetic().noise_rate_bps = 50e6;
 
   const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
   bench.record(results);
   bench.manifest().set_seed(sc.seed);
   bench.manifest().add_config("topology", sc.topology);
-  bench.manifest().add_config("pattern", sc.pattern);
+  bench.manifest().add_config("pattern", sc.synthetic().pattern);
   const std::vector<double>& det = results[0].router_map;
   const std::vector<double>& drb = results[1].router_map;
   const std::vector<double>& pr = results[2].router_map;

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   const auto results = run_policies({"deterministic", "drb", "pr-drb"}, sc);
   bench.record(results);
-  bench.manifest().add_config("app", sc.app);
+  bench.manifest().add_config("app", sc.trace().app);
   bench.manifest().add_config("topology", sc.topology);
   print_app_summary("summary (LU class A):", results);
 

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
                     "fr-drb", "pr-fr-drb"},
                    sc);
   bench.record(results);
-  bench.manifest().add_config("app", sc.app);
+  bench.manifest().add_config("app", sc.trace().app);
   bench.manifest().add_config("topology", sc.topology);
   print_app_summary("Fig 4.27 — global latency & execution time:", results);
 

@@ -25,16 +25,16 @@ using namespace prdrb::bench;
 
 namespace {
 
-SyntheticScenario sweep_scenario(double rate) {
-  SyntheticScenario sc;
+ScenarioSpec sweep_scenario(double rate) {
+  ScenarioSpec sc;
   sc.topology = "mesh-8x8";
-  sc.pattern = "hotspot-cross";
-  sc.rate_bps = rate;
-  sc.bursts = 3;
-  sc.burst_len = 2e-3;
-  sc.gap_len = 2e-3;
-  sc.duration = 14e-3;
-  sc.noise_rate_bps = 40e6;
+  sc.synthetic().pattern = "hotspot-cross";
+  sc.synthetic().rate_bps = rate;
+  sc.synthetic().bursts = 3;
+  sc.synthetic().burst_len = 2e-3;
+  sc.synthetic().gap_len = 2e-3;
+  sc.synthetic().duration = 14e-3;
+  sc.synthetic().noise_rate_bps = 40e6;
   return sc;
 }
 
@@ -90,9 +90,9 @@ int main(int argc, char** argv) {
                                              "pr-drb"};
   std::vector<SweepJob> jobs;
   for (double rate : rates) {
-    const SyntheticScenario sc = sweep_scenario(rate);
+    const ScenarioSpec sc = sweep_scenario(rate);
     for (const std::string& policy : policies) {
-      jobs.push_back(SweepJob::make_synthetic(policy, sc));
+      jobs.push_back(SweepJob::make(policy, sc));
     }
   }
   const auto t0 = std::chrono::steady_clock::now();

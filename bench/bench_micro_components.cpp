@@ -33,6 +33,68 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(4096)->Arg(65536);
 
+/// The classic "hold" model at a fixed pending depth: pop the minimum and
+/// reschedule it a jittered increment into the future. This is the regime
+/// where backends differ — the heap pays a log(depth) sift with cache
+/// misses on every operation, the calendar queue touches O(1) entries
+/// regardless of depth. The ≥100k rows are the headline number recorded in
+/// BENCH_kernel_baseline.json (acceptance: calendar ≥1.3x heap events/sec
+/// at depth 262144).
+void hold_model(benchmark::State& state, SchedulerKind kind) {
+  EventQueue q(kind);
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.schedule(rng.next_double(), [] {});
+  }
+  for (auto _ : state) {
+    const SimTime t = q.pop().time;
+    q.schedule(t + 0.5 + rng.next_double(), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventQueueHoldHeap(benchmark::State& state) {
+  hold_model(state, SchedulerKind::kBinaryHeap);
+}
+BENCHMARK(BM_EventQueueHoldHeap)->Arg(4096)->Arg(131072)->Arg(262144);
+
+void BM_EventQueueHoldCalendar(benchmark::State& state) {
+  hold_model(state, SchedulerKind::kCalendar);
+}
+BENCHMARK(BM_EventQueueHoldCalendar)->Arg(4096)->Arg(131072)->Arg(262144);
+
+/// Batched same-time dispatch vs per-event pop on the "many events share
+/// one tick" pattern (NIC injection ticks): range(0) events per timestamp,
+/// drained with begin_batch()/next_batch_action().
+void batch_model(benchmark::State& state, SchedulerKind kind) {
+  EventQueue q(kind);
+  const auto burst = static_cast<int>(state.range(0));
+  double t = 0.0;
+  std::uint64_t fired = 0;
+  EventQueue::Action a;
+  for (auto _ : state) {
+    for (int i = 0; i < burst; ++i) {
+      q.schedule(t, [&fired] { ++fired; });
+    }
+    q.begin_batch();
+    while (q.next_batch_action(a)) a();
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+
+void BM_EventQueueBatchDispatchHeap(benchmark::State& state) {
+  batch_model(state, SchedulerKind::kBinaryHeap);
+}
+BENCHMARK(BM_EventQueueBatchDispatchHeap)->Arg(16)->Arg(64);
+
+void BM_EventQueueBatchDispatchCalendar(benchmark::State& state) {
+  batch_model(state, SchedulerKind::kCalendar);
+}
+BENCHMARK(BM_EventQueueBatchDispatchCalendar)->Arg(16)->Arg(64);
+
 void BM_SignatureSimilarity(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   std::vector<ContendingFlow> a;

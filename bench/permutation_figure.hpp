@@ -21,14 +21,14 @@ inline void run_permutation_figure(const std::string& figure,
                                    BenchMain* bench = nullptr) {
   std::cout << "=== " << figure << ": " << topology << ", " << pattern
             << ", " << rate_bps / 1e6 << " Mbps/node (in-burst) ===\n";
-  SyntheticScenario sc;
+  ScenarioSpec sc;
   sc.topology = topology;
-  sc.pattern = pattern;
-  sc.rate_bps = rate_bps;
-  sc.bursts = 8;
-  sc.burst_len = 2e-3;
-  sc.gap_len = 1.5e-3;
-  sc.duration = 8 * 3.5e-3 + 4e-3;
+  sc.synthetic().pattern = pattern;
+  sc.synthetic().rate_bps = rate_bps;
+  sc.synthetic().bursts = 8;
+  sc.synthetic().burst_len = 2e-3;
+  sc.synthetic().gap_len = 1.5e-3;
+  sc.synthetic().duration = 8 * 3.5e-3 + 4e-3;
   sc.bin_width = 0.5e-3;
 
   const auto results = run_policies({"drb", "pr-drb"}, sc);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "experiment/manifest.hpp"
+#include "sim/event_queue.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "obs/counters.hpp"
@@ -47,6 +48,8 @@ options (synthetic traffic):
   --noise <bps>       uniform background load (default 0)
   --seeds <n>         replicated runs, reported mean ± 95% CI (default 1)
   --seed <v>          base seed (default 11)
+  --sched <name>      event-scheduler backend: heap | calendar (default
+                      PRDRB_SCHED env, else heap; results are identical)
   --jobs <n>          parallel sweep workers for replicated runs (default
                       PRDRB_JOBS env, else hardware concurrency; results
                       are identical at any worker count)
@@ -89,12 +92,13 @@ std::string str_arg(int argc, char** argv, int& i) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  SyntheticScenario sc;
+  ScenarioSpec sc;
   sc.topology = "tree-64";
-  sc.pattern = "uniform";
-  sc.duration = 10e-3;
-  sc.bursts = 0;
+  sc.synthetic().pattern = "uniform";
+  sc.synthetic().duration = 10e-3;
+  sc.synthetic().bursts = 0;
   std::string policy = "pr-drb";
+  std::string sched;
   std::string app;
   TraceScale scale;
   int seeds = 1;
@@ -136,19 +140,21 @@ int main(int argc, char** argv) {
       } else if (a == "--policy") {
         policy = sval();
       } else if (a == "--pattern") {
-        sc.pattern = sval();
+        sc.synthetic().pattern = sval();
       } else if (a == "--rate") {
-        sc.rate_bps = nval();
+        sc.synthetic().rate_bps = nval();
       } else if (a == "--duration") {
-        sc.duration = nval();
+        sc.synthetic().duration = nval();
       } else if (a == "--bursts") {
-        sc.bursts = static_cast<int>(nval());
+        sc.synthetic().bursts = static_cast<int>(nval());
       } else if (a == "--burst-len") {
-        sc.burst_len = nval();
+        sc.synthetic().burst_len = nval();
       } else if (a == "--gap") {
-        sc.gap_len = nval();
+        sc.synthetic().gap_len = nval();
       } else if (a == "--noise") {
-        sc.noise_rate_bps = nval();
+        sc.synthetic().noise_rate_bps = nval();
+      } else if (a == "--sched") {
+        sched = sval();
       } else if (a == "--seeds") {
         seeds = static_cast<int>(nval());
       } else if (a == "--jobs") {
@@ -187,10 +193,36 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Validate the name-shaped flags up front so a typo yields one typed
+    // error (with a nearest-name suggestion) instead of a mid-run throw.
+    if (const auto parsed = make_topology(sc.topology); !parsed.ok()) {
+      std::cerr << "error: " << parsed.error().what() << "\n";
+      return 2;
+    }
+    if (const auto parsed = make_policy(policy); !parsed.ok()) {
+      std::cerr << "error: " << parsed.error().what() << "\n";
+      return 2;
+    }
+    if (!sched.empty()) {
+      if (const auto kind = parse_scheduler_name(sched)) {
+        set_default_scheduler(*kind);
+      } else {
+        ParseError err;
+        err.input = sched;
+        err.kind = "scheduler";
+        err.message = "unknown scheduler";
+        err.suggestion = nearest_name(sched, {"heap", "calendar"});
+        std::cerr << "error: " << err.what() << "\n";
+        return 2;
+      }
+    }
+
     RunManifest manifest("prdrb_sim");
     manifest.set_seed(sc.seed);
     manifest.add_config("topology", sc.topology);
     manifest.add_config("policy", policy);
+    manifest.add_config("sched",
+                        std::string(scheduler_name(default_scheduler())));
     const auto finish = [&](double) {
       const auto elapsed = std::chrono::steady_clock::now() - wall_start;
       manifest.set_wall_seconds(
@@ -200,33 +232,34 @@ int main(int argc, char** argv) {
     };
 
     if (!app.empty()) {
-      TraceScenario ts;
-      ts.topology = sc.topology;
-      ts.app = app;
-      ts.scale = scale;
-      ts.seed = sc.seed;
-      // run_trace is serial: the sinks can ride the measured run itself.
+      // Switching the workload alternative discards the synthetic knobs;
+      // topology/seed/sinks live on the spec and carry over.
+      sc.trace().app = app;
+      sc.trace().scale = scale;
+      // run_scenario on a trace workload is serial: the sinks can ride the
+      // measured run itself.
       obs::Tracer tracer;
-      obs::CounterRegistry counters(ts.bin_width);
-      obs::NetTelemetry telemetry(ts.bin_width);
+      obs::CounterRegistry counters(sc.bin_width);
+      obs::NetTelemetry telemetry(sc.bin_width);
       obs::FlightRecorder recorder(512);
       std::string dump;
-      if (!trace_out.empty()) ts.sinks.tracer = &tracer;
-      if (!metrics_out.empty()) ts.sinks.counters = &counters;
+      if (!trace_out.empty()) sc.sinks.tracer = &tracer;
+      if (!metrics_out.empty()) sc.sinks.counters = &counters;
       if (!telemetry_out.empty() || !heatmap_out.empty()) {
-        ts.sinks.telemetry = &telemetry;
+        sc.sinks.telemetry = &telemetry;
       }
       if (watchdog > 0) {
-        ts.sinks.recorder = &recorder;
-        ts.sinks.watchdog_window = watchdog;
-        ts.sinks.watchdog_dump = &dump;
+        sc.sinks.recorder = &recorder;
+        sc.sinks.watchdog_window = watchdog;
+        sc.sinks.watchdog_dump = &dump;
       }
-      const ScenarioResult r = run_trace(policy, ts);
+      const ScenarioResult r = run_scenario(policy, sc);
       if (!trace_out.empty()) tracer.write_file(trace_out);
       if (!metrics_out.empty()) counters.write_file(metrics_out);
       if (!telemetry_out.empty()) telemetry.write_file(telemetry_out);
       if (!heatmap_out.empty()) {
-        telemetry.write_heatmap_file(heatmap_out, *make_topology(ts.topology));
+        telemetry.write_heatmap_file(
+            heatmap_out, *make_topology(sc.topology).value_or_throw());
       }
       if (!watchdog_out.empty() && !dump.empty()) {
         obs::write_text_file(watchdog_out, dump);
@@ -250,8 +283,8 @@ int main(int argc, char** argv) {
     }
 
     const auto runs = run_synthetic_replicated(policy, sc, seeds);
-    manifest.add_config("pattern", sc.pattern);
-    manifest.add_config("rate_bps", sc.rate_bps);
+    manifest.add_config("pattern", sc.synthetic().pattern);
+    manifest.add_config("rate_bps", sc.synthetic().rate_bps);
     manifest.add_config("seeds", static_cast<std::int64_t>(seeds));
     for (const ScenarioResult& r : runs) manifest.add_result(r);
     // The replicated runs go through the parallel executor, so the
@@ -259,7 +292,7 @@ int main(int argc, char** argv) {
     // trace bytes are independent of --jobs.
     if (!trace_out.empty() || !metrics_out.empty() || !telemetry_out.empty() ||
         !heatmap_out.empty() || watchdog > 0) {
-      SyntheticScenario probe = sc;
+      ScenarioSpec probe = sc;
       obs::Tracer tracer;
       obs::CounterRegistry counters(probe.bin_width);
       obs::NetTelemetry telemetry(probe.bin_width);
@@ -275,12 +308,13 @@ int main(int argc, char** argv) {
         probe.sinks.watchdog_window = watchdog;
         probe.sinks.watchdog_dump = &dump;
       }
-      run_synthetic(policy, probe);
+      run_scenario(policy, probe);
       if (!trace_out.empty()) tracer.write_file(trace_out);
       if (!metrics_out.empty()) counters.write_file(metrics_out);
       if (!telemetry_out.empty()) telemetry.write_file(telemetry_out);
       if (!heatmap_out.empty()) {
-        telemetry.write_heatmap_file(heatmap_out, *make_topology(sc.topology));
+        telemetry.write_heatmap_file(
+            heatmap_out, *make_topology(sc.topology).value_or_throw());
       }
       if (!watchdog_out.empty() && !dump.empty()) {
         obs::write_text_file(watchdog_out, dump);
@@ -293,7 +327,7 @@ int main(int argc, char** argv) {
         runs, [](const ScenarioResult& r) { return r.map_peak; });
     Table t({"metric", "value"});
     t.add_row({"policy", runs.front().policy});
-    t.add_row({"pattern", sc.pattern});
+    t.add_row({"pattern", sc.synthetic().pattern});
     t.add_row({"seeds", std::to_string(seeds)});
     t.add_row({"global avg latency (us)",
                Table::num(lat.mean * 1e6, 5) + " ± " +

@@ -11,26 +11,8 @@
 
 namespace prdrb {
 
-SweepJob SweepJob::make_synthetic(std::string policy, SyntheticScenario sc) {
-  SweepJob j;
-  j.kind = Kind::kSynthetic;
-  j.policy = std::move(policy);
-  j.synthetic = std::move(sc);
-  return j;
-}
-
-SweepJob SweepJob::make_trace(std::string policy, TraceScenario sc) {
-  SweepJob j;
-  j.kind = Kind::kTrace;
-  j.policy = std::move(policy);
-  j.trace = std::move(sc);
-  return j;
-}
-
 ScenarioResult run_job(const SweepJob& job) {
-  return job.kind == SweepJob::Kind::kSynthetic
-             ? run_synthetic(job.policy, job.synthetic)
-             : run_trace(job.policy, job.trace);
+  return run_scenario(job.policy, job.spec);
 }
 
 namespace {
@@ -122,36 +104,13 @@ std::vector<ScenarioResult> run_sweep(const std::vector<SweepJob>& jobs,
   return results;
 }
 
-namespace {
-
-template <typename Scenario>
-std::vector<ScenarioResult> run_policy_set(
-    const std::vector<std::string>& policies, const Scenario& sc,
+std::vector<ScenarioResult> run_policies(
+    const std::vector<std::string>& policies, const ScenarioSpec& sc,
     int n_threads) {
   std::vector<SweepJob> jobs;
   jobs.reserve(policies.size());
-  for (const std::string& p : policies) {
-    if constexpr (std::is_same_v<Scenario, SyntheticScenario>) {
-      jobs.push_back(SweepJob::make_synthetic(p, sc));
-    } else {
-      jobs.push_back(SweepJob::make_trace(p, sc));
-    }
-  }
+  for (const std::string& p : policies) jobs.push_back(SweepJob::make(p, sc));
   return run_sweep(jobs, n_threads);
-}
-
-}  // namespace
-
-std::vector<ScenarioResult> run_policies(
-    const std::vector<std::string>& policies, const SyntheticScenario& sc,
-    int n_threads) {
-  return run_policy_set(policies, sc, n_threads);
-}
-
-std::vector<ScenarioResult> run_policies(
-    const std::vector<std::string>& policies, const TraceScenario& sc,
-    int n_threads) {
-  return run_policy_set(policies, sc, n_threads);
 }
 
 // Defined here (declared in scenario.hpp) so multi-seed replication fans
@@ -159,13 +118,13 @@ std::vector<ScenarioResult> run_policies(
 // submission time and results come back in seed order, identical to the
 // old serial loop.
 std::vector<ScenarioResult> run_synthetic_replicated(
-    const std::string& policy_name, SyntheticScenario sc, int runs) {
+    const std::string& policy_name, ScenarioSpec spec, int runs) {
   std::vector<SweepJob> jobs;
   jobs.reserve(static_cast<std::size_t>(std::max(runs, 0)));
-  const std::uint64_t base_seed = sc.seed;
+  const std::uint64_t base_seed = spec.seed;
   for (int i = 0; i < runs; ++i) {
-    sc.seed = base_seed + static_cast<std::uint64_t>(i);
-    jobs.push_back(SweepJob::make_synthetic(policy_name, sc));
+    spec.seed = base_seed + static_cast<std::uint64_t>(i);
+    jobs.push_back(SweepJob::make(policy_name, spec));
   }
   return run_sweep(jobs);
 }

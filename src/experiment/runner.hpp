@@ -5,9 +5,9 @@
 // is independent, so the sweep is embarrassingly parallel. run_sweep fans a
 // vector of jobs across a pool of std::jthread workers. Every job owns an
 // isolated Simulator / Rng / MetricsCollector (constructed inside
-// run_synthetic / run_trace — there is no shared mutable state between
-// simulations), and each worker writes its result into a pre-sized slot
-// array at the job's submission index.
+// run_scenario — there is no shared mutable state between simulations), and
+// each worker writes its result into a pre-sized slot array at the job's
+// submission index.
 //
 // Determinism contract: the result vector is indexed by submission order,
 // never by completion order, so aggregation — and therefore every averaged
@@ -23,21 +23,18 @@
 
 namespace prdrb {
 
-/// One unit of sweep work: a policy applied to either a synthetic or a
-/// trace scenario. Build with SweepJob::make_synthetic / make_trace.
+/// One unit of sweep work: a policy applied to a scenario (the spec's
+/// workload variant decides synthetic vs trace).
 struct SweepJob {
-  enum class Kind { kSynthetic, kTrace };
-
-  Kind kind = Kind::kSynthetic;
   std::string policy;
-  SyntheticScenario synthetic;
-  TraceScenario trace;
+  ScenarioSpec spec;
 
-  static SweepJob make_synthetic(std::string policy, SyntheticScenario sc);
-  static SweepJob make_trace(std::string policy, TraceScenario sc);
+  static SweepJob make(std::string policy, ScenarioSpec spec) {
+    return SweepJob{std::move(policy), std::move(spec)};
+  }
 };
 
-/// Run one job in the calling thread (dispatches on job.kind).
+/// Run one job in the calling thread.
 ScenarioResult run_job(const SweepJob& job);
 
 /// Worker count used when run_sweep is called with n_threads == 0:
@@ -60,13 +57,10 @@ int parse_jobs_flag(int argc, char** argv);
 std::vector<ScenarioResult> run_sweep(const std::vector<SweepJob>& jobs,
                                       int n_threads = 0);
 
-/// Convenience fan-outs: one job per policy over a fixed scenario, results
+/// Convenience fan-out: one job per policy over a fixed scenario, results
 /// in the order the policies were given.
 std::vector<ScenarioResult> run_policies(
-    const std::vector<std::string>& policies, const SyntheticScenario& sc,
-    int n_threads = 0);
-std::vector<ScenarioResult> run_policies(
-    const std::vector<std::string>& policies, const TraceScenario& sc,
+    const std::vector<std::string>& policies, const ScenarioSpec& sc,
     int n_threads = 0);
 
 }  // namespace prdrb

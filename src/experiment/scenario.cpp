@@ -1,8 +1,9 @@
 #include "experiment/scenario.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <iostream>
-#include <stdexcept>
+#include <optional>
 
 #include "metrics/collector.hpp"
 #include "net/kary_ntree.hpp"
@@ -29,8 +30,54 @@ DrbConfig default_drb_config() {
   return cfg;
 }
 
-PolicyBundle make_policy(const std::string& name, DrbConfig drb,
-                         std::uint64_t seed) {
+namespace {
+
+const std::vector<std::string_view> kPolicyNames{
+    "deterministic", "random", "cyclic",  "adaptive",
+    "drb",           "fr-drb", "pr-drb",  "pr-fr-drb"};
+
+/// Concrete exemplars of every topology family, for typo suggestions.
+const std::vector<std::string_view> kTopologyNames{
+    "mesh-8x8", "torus-8x8", "cube-4",   "tree-16",
+    "tree-32",  "tree-64",   "tree-256", "kary-4-3"};
+
+/// Strict non-negative integer parse for topology extents (std::stoi would
+/// throw, which is exactly what the Parsed contract removes).
+std::optional<int> parse_extent(std::string_view s) {
+  if (s.empty() || s.size() > 6) return std::nullopt;
+  int v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+ParseError policy_error(const std::string& name, bool router_based) {
+  ParseError e;
+  e.input = name;
+  e.kind = "policy";
+  e.message = "unknown policy";
+  const std::string base =
+      router_based ? name.substr(0, name.size() - 7) : name;
+  e.suggestion = nearest_name(base, kPolicyNames);
+  if (!e.suggestion.empty() && router_based) e.suggestion += "@router";
+  return e;
+}
+
+ParseError topology_error(const std::string& name, std::string message) {
+  ParseError e;
+  e.input = name;
+  e.kind = "topology";
+  e.message = std::move(message);
+  e.suggestion = nearest_name(name, kTopologyNames);
+  return e;
+}
+
+}  // namespace
+
+Parsed<PolicyBundle> make_policy(const std::string& name, DrbConfig drb,
+                                 std::uint64_t seed) {
   PolicyBundle b;
   const bool router_based = name.ends_with("@router");
   const std::string base =
@@ -69,60 +116,76 @@ PolicyBundle make_policy(const std::string& name, DrbConfig drb,
     b.policy = std::move(p);
     b.monitor = std::make_unique<CongestionDetector>(mode);
   } else {
-    throw std::invalid_argument("unknown policy: " + name);
+    return policy_error(name, router_based);
   }
   return b;
 }
 
-std::unique_ptr<Topology> make_topology(const std::string& name) {
+Parsed<std::unique_ptr<Topology>> make_topology(const std::string& name) {
+  using Result = Parsed<std::unique_ptr<Topology>>;
   // "mesh-AxB" / "torus-AxB" build the 2D model; three or more extents
   // ("mesh-4x4x4") build the N-dimensional variant.
-  auto parse_extents = [&](std::size_t prefix) {
+  auto parse_extents =
+      [&](std::size_t prefix) -> std::optional<std::vector<int>> {
     std::vector<int> dims;
     std::size_t pos = prefix;
     while (pos < name.size()) {
       const auto x = name.find('x', pos);
-      const std::string tok =
-          x == std::string::npos ? name.substr(pos)
-                                 : name.substr(pos, x - pos);
-      if (tok.empty()) throw std::invalid_argument("bad topology: " + name);
-      dims.push_back(std::stoi(tok));
+      const std::string_view tok =
+          x == std::string::npos
+              ? std::string_view(name).substr(pos)
+              : std::string_view(name).substr(pos, x - pos);
+      const auto extent = parse_extent(tok);
+      if (!extent || *extent < 1) return std::nullopt;
+      dims.push_back(*extent);
       if (x == std::string::npos) break;
       pos = x + 1;
     }
-    if (dims.size() < 2) throw std::invalid_argument("bad topology: " + name);
+    if (dims.size() < 2) return std::nullopt;
     return dims;
   };
-  auto build_grid = [&](std::size_t prefix, bool wrap)
-      -> std::unique_ptr<Topology> {
+  auto build_grid = [&](std::size_t prefix, bool wrap) -> Result {
     const auto dims = parse_extents(prefix);
-    if (dims.size() == 2) {
-      return std::make_unique<Mesh2D>(dims[0], dims[1], wrap);
+    if (!dims) return topology_error(name, "bad topology extents");
+    if (dims->size() == 2) {
+      return std::unique_ptr<Topology>(
+          std::make_unique<Mesh2D>((*dims)[0], (*dims)[1], wrap));
     }
-    return std::make_unique<MeshND>(dims, wrap);
+    return std::unique_ptr<Topology>(
+        std::make_unique<MeshND>(*dims, wrap));
+  };
+  auto tree = [](int k, int n) -> Result {
+    return std::unique_ptr<Topology>(std::make_unique<KAryNTree>(k, n));
   };
   if (name.starts_with("mesh-")) return build_grid(5, false);
   if (name.starts_with("torus-")) return build_grid(6, true);
   if (name.starts_with("cube-")) {
     // "cube-n": the n-dimensional hypercube (2-ary n-cube).
-    const int n = std::stoi(name.substr(5));
-    return std::make_unique<MeshND>(std::vector<int>(static_cast<std::size_t>(n), 2),
-                                    /*wraparound=*/false);
+    const auto n = parse_extent(std::string_view(name).substr(5));
+    if (!n || *n < 1 || *n > 20) {
+      return topology_error(name, "bad hypercube dimension");
+    }
+    return std::unique_ptr<Topology>(std::make_unique<MeshND>(
+        std::vector<int>(static_cast<std::size_t>(*n), 2),
+        /*wraparound=*/false));
   }
-  if (name == "tree-16") return std::make_unique<KAryNTree>(2, 4);
-  if (name == "tree-32") return std::make_unique<KAryNTree>(2, 5);
-  if (name == "tree-64") return std::make_unique<KAryNTree>(4, 3);
-  if (name == "tree-256") return std::make_unique<KAryNTree>(4, 4);
+  if (name == "tree-16") return tree(2, 4);
+  if (name == "tree-32") return tree(2, 5);
+  if (name == "tree-64") return tree(4, 3);
+  if (name == "tree-256") return tree(4, 4);
   if (name.starts_with("kary-")) {
     const auto dash = name.find('-', 5);
     if (dash == std::string::npos) {
-      throw std::invalid_argument("bad topology: " + name);
+      return topology_error(name, "bad k-ary n-tree spec");
     }
-    const int k = std::stoi(name.substr(5, dash - 5));
-    const int n = std::stoi(name.substr(dash + 1));
-    return std::make_unique<KAryNTree>(k, n);
+    const auto k = parse_extent(std::string_view(name).substr(5, dash - 5));
+    const auto n = parse_extent(std::string_view(name).substr(dash + 1));
+    if (!k || !n || *k < 2 || *n < 1) {
+      return topology_error(name, "bad k-ary n-tree spec");
+    }
+    return tree(*k, *n);
   }
-  throw std::invalid_argument("unknown topology: " + name);
+  return topology_error(name, "unknown topology");
 }
 
 double improvement_pct(double baseline, double value) {
@@ -234,7 +297,7 @@ PolicyBundle build_policy(const std::string& name, const DrbConfig& drb,
     b.monitor = std::make_unique<CongestionDetector>(cfg.notification);
     return b;
   }
-  return make_policy(name, drb, seed);
+  return make_policy(name, drb, seed).value_or_throw();
 }
 
 /// Run-local observability state created by attach_sinks. Declaration order
@@ -350,10 +413,10 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
 
 }  // namespace
 
-ScenarioResult run_synthetic(const std::string& policy_name,
-                             const SyntheticScenario& sc) {
-  Simulator sim;
-  auto topo = make_topology(sc.topology);
+ScenarioResult run_scenario(const std::string& policy_name,
+                            const ScenarioSpec& sc) {
+  Simulator sim(sc.sched.value_or(default_scheduler()));
+  auto topo = make_topology(sc.topology).value_or_throw();
   auto bundle = build_policy(policy_name, sc.drb, sc.prdrb, 7);
   Network net(sim, *topo, sc.net, *bundle.policy);
   MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),
@@ -363,82 +426,80 @@ ScenarioResult run_synthetic(const std::string& policy_name,
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
   RunProbes probes = attach_sinks(sim, net, bundle, sc.sinks);
 
-  std::unique_ptr<DestinationPattern> pattern;
-  std::vector<NodeId> nodes;
-  if (sc.pattern == "hotspot-cross" || sc.pattern == "hotspot-double") {
-    auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
-    if (!mesh) {
-      throw std::invalid_argument("hot-spot layouts require a mesh/torus");
-    }
-    auto hp = std::make_unique<HotspotPattern>(
-        sc.pattern == "hotspot-cross" ? make_mesh_cross_hotspot(*mesh, 8)
-                                      : make_mesh_double_hotspot(*mesh));
-    nodes = hp->sources();
-    pattern = std::move(hp);
-  } else {
-    pattern = make_pattern(sc.pattern, topo->num_nodes());
-  }
-
-  TrafficConfig tc;
-  tc.rate_bps = sc.rate_bps;
-  tc.message_bytes = sc.net.packet_bytes;
-  tc.stop = sc.duration;
-
-  std::unique_ptr<BurstSchedule> schedule;
-  if (sc.bursts > 0) {
-    schedule = std::make_unique<BurstSchedule>(0.5e-3, sc.burst_len,
-                                               sc.gap_len, sc.bursts);
-  }
-  TrafficGenerator gen(sim, net, *pattern, tc, sc.seed, nodes,
-                       schedule.get());
-  gen.start();
-
-  std::unique_ptr<UniformPattern> noise_pattern;
-  std::unique_ptr<TrafficGenerator> noise;
-  if (sc.noise_rate_bps > 0) {
-    noise_pattern = std::make_unique<UniformPattern>(topo->num_nodes());
-    TrafficConfig nc = tc;
-    nc.rate_bps = sc.noise_rate_bps;
-    noise = std::make_unique<TrafficGenerator>(sim, net, *noise_pattern, nc,
-                                               sc.seed + 1);
-    noise->start();
-  }
-
-  sim.run();  // drains: generation stops at sc.duration
-  probes.finalize(sc.sinks);
   ScenarioResult r;
   r.policy = policy_name;
+
+  if (sc.is_synthetic()) {
+    const SyntheticWorkload& w = sc.synthetic();
+    std::unique_ptr<DestinationPattern> pattern;
+    std::vector<NodeId> nodes;
+    if (w.pattern == "hotspot-cross" || w.pattern == "hotspot-double") {
+      auto* mesh = dynamic_cast<Mesh2D*>(topo.get());
+      if (!mesh) {
+        throw std::invalid_argument("hot-spot layouts require a mesh/torus");
+      }
+      auto hp = std::make_unique<HotspotPattern>(
+          w.pattern == "hotspot-cross" ? make_mesh_cross_hotspot(*mesh, 8)
+                                       : make_mesh_double_hotspot(*mesh));
+      nodes = hp->sources();
+      pattern = std::move(hp);
+    } else {
+      pattern = make_pattern(w.pattern, topo->num_nodes());
+    }
+
+    TrafficConfig tc;
+    tc.rate_bps = w.rate_bps;
+    tc.message_bytes = sc.net.packet_bytes;
+    tc.stop = w.duration;
+
+    std::unique_ptr<BurstSchedule> schedule;
+    if (w.bursts > 0) {
+      schedule = std::make_unique<BurstSchedule>(0.5e-3, w.burst_len,
+                                                 w.gap_len, w.bursts);
+    }
+    TrafficGenerator gen(sim, net, *pattern, tc, sc.seed, nodes,
+                         schedule.get());
+    gen.start();
+
+    std::unique_ptr<UniformPattern> noise_pattern;
+    std::unique_ptr<TrafficGenerator> noise;
+    if (w.noise_rate_bps > 0) {
+      noise_pattern = std::make_unique<UniformPattern>(topo->num_nodes());
+      TrafficConfig nc = tc;
+      nc.rate_bps = w.noise_rate_bps;
+      noise = std::make_unique<TrafficGenerator>(sim, net, *noise_pattern,
+                                                 nc, sc.seed + 1);
+      noise->start();
+    }
+
+    sim.run();  // drains: generation stops at w.duration
+    probes.finalize(sc.sinks);
+  } else {
+    const TraceWorkload& w = sc.trace();
+    const TraceProgram prog =
+        make_app_trace(w.app, topo->num_nodes(), w.scale);
+    TracePlayer player(sim, net, prog);
+    player.start();
+    sim.run();
+    probes.finalize(sc.sinks);
+    r.exec_time = player.finished() ? player.execution_time() : -1.0;
+  }
+
   r.events = sim.events_executed();
   fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
   return r;
 }
 
+ScenarioResult run_synthetic(const std::string& policy_name,
+                             const ScenarioSpec& sc) {
+  assert(sc.is_synthetic() && "run_synthetic needs a SyntheticWorkload");
+  return run_scenario(policy_name, sc);
+}
+
 ScenarioResult run_trace(const std::string& policy_name,
-                         const TraceScenario& sc) {
-  Simulator sim;
-  auto topo = make_topology(sc.topology);
-  auto bundle = build_policy(policy_name, sc.drb, sc.prdrb, 7);
-  Network net(sim, *topo, sc.net, *bundle.policy);
-  MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),
-                           sc.bin_width);
-  for (RouterId r : sc.watch) metrics.watch_router(r);
-  net.set_observer(&metrics);
-  if (bundle.monitor) net.set_monitor(bundle.monitor.get());
-  RunProbes probes = attach_sinks(sim, net, bundle, sc.sinks);
-
-  const TraceProgram prog =
-      make_app_trace(sc.app, topo->num_nodes(), sc.scale);
-  TracePlayer player(sim, net, prog);
-  player.start();
-  sim.run();
-  probes.finalize(sc.sinks);
-
-  ScenarioResult r;
-  r.policy = policy_name;
-  r.events = sim.events_executed();
-  fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
-  r.exec_time = player.finished() ? player.execution_time() : -1.0;
-  return r;
+                         const ScenarioSpec& sc) {
+  assert(!sc.is_synthetic() && "run_trace needs a TraceWorkload");
+  return run_scenario(policy_name, sc);
 }
 
 }  // namespace prdrb

@@ -5,20 +5,31 @@
 // examples are built on: name a topology ("mesh-8x8", "tree-64", ...), a
 // policy ("drb", "pr-drb@router", ...) and a workload (synthetic pattern or
 // application trace), run it, and read back the thesis metrics (§4.2).
+//
+// One scenario type serves both workload families: ScenarioSpec carries the
+// shared knobs (topology, seed, bin width, network/DRB/PR-DRB configs,
+// watch list, observability sinks, scheduler backend) and a
+// std::variant<SyntheticWorkload, TraceWorkload> for the part that differs.
+// run_scenario() is the single entry point; run_synthetic()/run_trace()
+// remain as thin forwarding wrappers.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/pr_drb.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "sim/event_queue.hpp"
 #include "trace/generators.hpp"
 #include "traffic/bursty.hpp"
 #include "traffic/pattern.hpp"
+#include "util/parsed.hpp"
 
 namespace prdrb {
 
@@ -72,14 +83,16 @@ struct PolicyBundle {
 /// Factory over the evaluated policy set: "deterministic", "random",
 /// "cyclic", "adaptive", "drb", "fr-drb", "pr-drb", "pr-fr-drb". PR
 /// variants accept an "@router" suffix selecting router-based notification
-/// (§3.4.1) instead of the default destination-based scheme.
-PolicyBundle make_policy(const std::string& name,
-                         DrbConfig drb = default_drb_config(),
-                         std::uint64_t seed = 7);
+/// (§3.4.1) instead of the default destination-based scheme. Unknown names
+/// come back as a ParseError with the nearest known policy suggested.
+Parsed<PolicyBundle> make_policy(const std::string& name,
+                                 DrbConfig drb = default_drb_config(),
+                                 std::uint64_t seed = 7);
 
-/// Topology factory: "mesh-WxH", "torus-WxH", "tree-N" (N in {16,32,64,256})
-/// or explicit "kary-K-N".
-std::unique_ptr<Topology> make_topology(const std::string& name);
+/// Topology factory: "mesh-WxH", "torus-WxH", "cube-n", "tree-N" (N in
+/// {16,32,64,256}) or explicit "kary-K-N". Unknown or malformed names come
+/// back as a ParseError with the nearest known shape suggested.
+Parsed<std::unique_ptr<Topology>> make_topology(const std::string& name);
 
 /// Everything a finished scenario reports.
 struct ScenarioResult {
@@ -112,9 +125,8 @@ struct ScenarioResult {
   bool operator==(const ScenarioResult&) const = default;
 };
 
-/// Synthetic-traffic scenario (Tables 4.2/4.3 style).
-struct SyntheticScenario {
-  std::string topology = "tree-64";
+/// Synthetic-traffic workload (Tables 4.2/4.3 style).
+struct SyntheticWorkload {
   /// Pattern name from traffic/pattern.hpp, or "hotspot-cross" /
   /// "hotspot-double" for the §4.5 mesh layouts.
   std::string pattern = "perfect-shuffle";
@@ -126,34 +138,64 @@ struct SyntheticScenario {
   SimTime burst_len = 3e-3;
   SimTime gap_len = 2e-3;
   double noise_rate_bps = 0;  // uniform background load on all nodes
+};
+
+/// Application-trace workload (§4.8 style).
+struct TraceWorkload {
+  std::string app = "pop";
+  TraceScale scale;
+};
+
+/// One complete scenario: the fields every run shares, plus the workload
+/// variant. Default-constructed specs hold a SyntheticWorkload.
+struct ScenarioSpec {
+  std::string topology = "tree-64";
   std::uint64_t seed = 11;
   SimTime bin_width = 1e-3;
   NetConfig net;
   DrbConfig drb = default_drb_config();
   PrDrbConfig prdrb;  // notification mode is overridden by "@router" names
-  std::vector<RouterId> watch;
-  ObsSinks sinks;  // optional tracer / counter-registry attachments
-};
-
-ScenarioResult run_synthetic(const std::string& policy_name,
-                             const SyntheticScenario& sc);
-
-/// Application-trace scenario (§4.8 style).
-struct TraceScenario {
-  std::string topology = "tree-64";
-  std::string app = "pop";
-  TraceScale scale;
-  std::uint64_t seed = 11;
-  SimTime bin_width = 1e-3;
-  NetConfig net;
-  DrbConfig drb = default_drb_config();
-  PrDrbConfig prdrb;
+  /// Scheduler backend; unset = the process default (PRDRB_SCHED / --sched).
+  std::optional<SchedulerKind> sched;
   std::vector<RouterId> watch;  // routers whose series to record
-  ObsSinks sinks;               // optional tracer / counter attachments
+  ObsSinks sinks;  // optional tracer / counter-registry attachments
+  std::variant<SyntheticWorkload, TraceWorkload> workload;
+
+  bool is_synthetic() const {
+    return std::holds_alternative<SyntheticWorkload>(workload);
+  }
+
+  /// Workload accessors. The mutable overloads switch the variant to the
+  /// requested alternative when it holds the other one (starting from the
+  /// defaults), so building a spec is one field assignment per knob; the
+  /// const overloads require the matching alternative.
+  SyntheticWorkload& synthetic() {
+    if (!is_synthetic()) workload.emplace<SyntheticWorkload>();
+    return std::get<SyntheticWorkload>(workload);
+  }
+  const SyntheticWorkload& synthetic() const {
+    return std::get<SyntheticWorkload>(workload);
+  }
+  TraceWorkload& trace() {
+    if (is_synthetic()) workload.emplace<TraceWorkload>();
+    return std::get<TraceWorkload>(workload);
+  }
+  const TraceWorkload& trace() const {
+    return std::get<TraceWorkload>(workload);
+  }
 };
 
+/// Run one scenario under one policy — the single execution entry point;
+/// dispatches on the workload alternative.
+ScenarioResult run_scenario(const std::string& policy_name,
+                            const ScenarioSpec& spec);
+
+/// Thin forwarding wrappers over run_scenario(), kept so call sites read as
+/// before; the spec must hold the matching workload.
+ScenarioResult run_synthetic(const std::string& policy_name,
+                             const ScenarioSpec& spec);
 ScenarioResult run_trace(const std::string& policy_name,
-                         const TraceScenario& sc);
+                         const ScenarioSpec& spec);
 
 /// Percentage improvement of `value` over `baseline` (positive = better).
 /// A zero or non-finite baseline (or non-finite value) is a degenerate
@@ -179,10 +221,10 @@ struct Replication {
 
 Replication summarize(const std::vector<double>& values);
 
-/// Run a synthetic scenario `runs` times with derived seeds and return the
-/// per-run results (seed = sc.seed + i).
+/// Run a scenario `runs` times with derived seeds and return the per-run
+/// results (seed = spec.seed + i).
 std::vector<ScenarioResult> run_synthetic_replicated(
-    const std::string& policy_name, SyntheticScenario sc, int runs);
+    const std::string& policy_name, ScenarioSpec spec, int runs);
 
 /// Replication summary of one metric extracted from replicated runs.
 template <typename Metric>

@@ -1,0 +1,195 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace prdrb {
+
+namespace {
+
+/// Smallest bucket array; also the initial size on first push.
+constexpr std::size_t kMinBuckets = 16;
+
+/// Grow when occupancy exceeds this many entries per bucket on average.
+constexpr std::size_t kMaxOccupancy = 2;
+
+/// Width-calibration sample size (Brown's algorithm samples a handful of
+/// events; the exact count only affects the estimate's variance).
+constexpr std::size_t kSampleSize = 64;
+
+/// Epoch clamp for times so large (or infinite) that floor(t/width) does
+/// not fit the integer range. Clamped epochs never match a year-window scan
+/// and are found by the direct-search fallback instead, so correctness does
+/// not depend on their exact value.
+constexpr std::uint64_t kMaxEpoch = 1ull << 62;
+
+}  // namespace
+
+std::uint64_t CalendarIndex::epoch_of(SimTime t) const {
+  const double q = t * (1.0 / width_);
+  if (!(q > 0.0)) return 0;  // negative or NaN -> day zero
+  if (q >= static_cast<double>(kMaxEpoch)) return kMaxEpoch;
+  return static_cast<std::uint64_t>(q);
+}
+
+std::size_t CalendarIndex::bucket_of(SimTime t) const {
+  return static_cast<std::size_t>(epoch_of(t) % buckets_.size());
+}
+
+void CalendarIndex::push(EventEntry e) {
+  if (buckets_.empty()) buckets_.resize(kMinBuckets);
+  buckets_[bucket_of(e.time)].push_back(e);
+  if (count_ == 0 || event_entry_less(e, min_)) min_ = e;
+  ++count_;
+  if (count_ > kMaxOccupancy * buckets_.size()) rebuild(2 * buckets_.size());
+}
+
+EventEntry CalendarIndex::pop_min() {
+  assert(count_ > 0 && "pop_min() on an empty calendar");
+  const EventEntry popped = min_;
+  std::vector<EventEntry>& b = buckets_[bucket_of(popped.time)];
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i].key == popped.key) {
+      b[i] = b.back();
+      b.pop_back();
+      break;
+    }
+  }
+  --count_;
+  ++ops_since_rebuild_;
+  if (count_ > 0) find_min(popped.time);
+  return popped;
+}
+
+void CalendarIndex::pop_ready(std::vector<EventEntry>& out) {
+  assert(count_ > 0 && "pop_ready() on an empty calendar");
+  const SimTime t = min_.time;
+  std::vector<EventEntry>& b = buckets_[bucket_of(t)];
+  for (std::size_t i = 0; i < b.size();) {
+    if (b[i].time == t) {
+      out.push_back(b[i]);
+      b[i] = b.back();
+      b.pop_back();
+      --count_;
+      ++ops_since_rebuild_;
+    } else {
+      ++i;
+    }
+  }
+  if (count_ > 0) find_min(t);
+}
+
+bool CalendarIndex::remove(SimTime time, std::uint64_t key) {
+  if (count_ == 0) return false;
+  std::vector<EventEntry>& b = buckets_[bucket_of(time)];
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i].key != key) continue;
+    b[i] = b.back();
+    b.pop_back();
+    --count_;
+    ++ops_since_rebuild_;
+    // Only the removal of the cached minimum itself invalidates it; every
+    // other entry is >= min_ and leaves it untouched.
+    if (count_ > 0 && key == min_.key) find_min(time);
+    return true;
+  }
+  return false;
+}
+
+void CalendarIndex::find_min(SimTime from) {
+  assert(count_ > 0);
+  const std::size_t n = buckets_.size();
+  // Year-window scan: every remaining entry is >= `from`, so its epoch is
+  // >= epoch_of(from); the next n days cover each bucket exactly once, and
+  // exact integer epoch equality filters out entries from later years that
+  // happen to share a bucket.
+  const std::uint64_t e0 = epoch_of(from);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t epoch = e0 + k;
+    const std::vector<EventEntry>& b = buckets_[epoch % n];
+    bool found = false;
+    EventEntry best{0, 0};
+    for (const EventEntry& e : b) {
+      if (epoch_of(e.time) != epoch) continue;
+      if (!found || event_entry_less(e, best)) {
+        best = e;
+        found = true;
+      }
+    }
+    if (found) {
+      min_ = best;
+      return;
+    }
+  }
+  // Full wrap without a hit: the next event is more than a year away
+  // (the queue thinned out below the calibrated density). Direct search is
+  // always correct; when the sparseness persists, recalibrate the width so
+  // the year window covers the surviving events again. Rate-limited by
+  // ops_since_rebuild_ so a draining queue cannot thrash on rebuilds.
+  bool found = false;
+  for (const std::vector<EventEntry>& b : buckets_) {
+    for (const EventEntry& e : b) {
+      if (!found || event_entry_less(e, min_)) {
+        min_ = e;
+        found = true;
+      }
+    }
+  }
+  assert(found);
+  if (count_ >= 2 && ops_since_rebuild_ > n) rebuild(n);
+}
+
+double CalendarIndex::calibrated_width() {
+  // Sample up to kSampleSize finite event times from the relocation buffer
+  // (rebuild() has just gathered every entry into scratch_), then estimate
+  // the typical inter-event gap as the mean positive adjacent gap of the
+  // sorted sample. A bucket spans ~3 gaps, the Brown-style sweet spot
+  // between long bucket chains and empty-day scans.
+  std::vector<SimTime>& sample = sample_;
+  sample.clear();
+  const std::size_t stride = std::max<std::size_t>(1, scratch_.size() / kSampleSize);
+  for (std::size_t i = 0; i < scratch_.size(); i += stride) {
+    if (std::isfinite(scratch_[i].time)) sample.push_back(scratch_[i].time);
+  }
+  if (sample.size() < 2) return width_;
+  std::sort(sample.begin(), sample.end());
+  double sum = 0;
+  std::size_t gaps = 0;
+  for (std::size_t i = 1; i < sample.size(); ++i) {
+    const double gap = sample[i] - sample[i - 1];
+    if (gap > 0) {
+      sum += gap;
+      ++gaps;
+    }
+  }
+  if (gaps == 0) return width_;  // all sampled events share one timestamp
+  // The sample's adjacent gaps overestimate the full set's by ~n/m (m order
+  // statistics of n events): rescale by m/n to recover the true density.
+  const double density_scale = static_cast<double>(sample.size()) /
+                               static_cast<double>(scratch_.size());
+  const double width = 3.0 * (sum / static_cast<double>(gaps)) * density_scale;
+  return (std::isfinite(width) && width > 0) ? width : width_;
+}
+
+void CalendarIndex::rebuild(std::size_t nbuckets) {
+  scratch_.clear();
+  for (std::vector<EventEntry>& b : buckets_) {
+    scratch_.insert(scratch_.end(), b.begin(), b.end());
+    b.clear();
+  }
+  if (nbuckets > buckets_.size()) buckets_.resize(nbuckets);
+  width_ = calibrated_width();
+  ++resizes_;
+  ops_since_rebuild_ = 0;
+  bool first = true;
+  for (const EventEntry& e : scratch_) {
+    buckets_[bucket_of(e.time)].push_back(e);
+    if (first || event_entry_less(e, min_)) {
+      min_ = e;
+      first = false;
+    }
+  }
+}
+
+}  // namespace prdrb

@@ -1,0 +1,104 @@
+// Calendar-queue pending-event index (R. Brown, CACM 1988), the second
+// scheduler backend of the DES kernel (DESIGN.md "Pooled event kernel").
+//
+// The structure is a circular array of unsorted buckets, each covering one
+// `width_`-second day; bucket b of the current year holds every event whose
+// epoch (= floor(time / width_)) is congruent to b modulo the bucket count.
+// With the width calibrated to the inter-event gap, every operation touches
+// O(1) entries amortized — in particular dequeue cost does not grow with
+// the pending-event count the way the binary heap's log-depth sift (and its
+// cache misses) does, which is what makes the >100k-pending-event regime
+// (tree-256 / long trace replays) scale.
+//
+// Differences from the textbook structure, driven by this kernel's needs:
+//  * Entries are the same 16-byte (time, key) records the heap backend
+//    uses; the callback lives in EventQueue's shared slot array.
+//  * Cancellation is EAGER: the owner passes the scheduled time, the entry
+//    is found in its (small) home bucket and swap-erased. No tombstones
+//    ever sit in the calendar, so min_time() is exact and const.
+//  * Buckets are unsorted vectors; min extraction scans day-by-day over the
+//    year window by exact integer epoch match. Batched same-time dispatch
+//    (pop_ready) drains one day at once, so per-entry order inside a bucket
+//    never matters to the caller.
+//  * The bucket array only ever grows (lazy resize when occupancy exceeds
+//    2 entries/bucket) and rebuilds recalibrate the width from sampled
+//    inter-event gaps; a steady-state workload therefore reaches a fixed
+//    point with zero allocations (tests/scheduler_test.cpp proves it under
+//    the operator-new interposer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace prdrb {
+
+/// One pending event: absolute time plus the EventId key that locates (and
+/// version-checks) the callback slot. Ties on `time` break on `key`, i.e.
+/// scheduling order — the determinism contract shared by both backends.
+struct EventEntry {
+  SimTime time;
+  std::uint64_t key;
+};
+
+inline bool event_entry_less(const EventEntry& a, const EventEntry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.key < b.key;
+}
+
+class CalendarIndex {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Time of the earliest entry. Precondition: !empty().
+  SimTime min_time() const { return min_.time; }
+
+  /// The earliest entry (exact (time, key) minimum). Precondition: !empty().
+  const EventEntry& min() const { return min_; }
+
+  /// Insert an entry. Amortized O(1); may grow + recalibrate.
+  void push(EventEntry e);
+
+  /// Remove and return the earliest entry. Precondition: !empty().
+  EventEntry pop_min();
+
+  /// Remove every entry whose time equals min_time() and append them to
+  /// `out` in unspecified order (all live by construction; the caller sorts
+  /// by key for deterministic dispatch). Precondition: !empty().
+  void pop_ready(std::vector<EventEntry>& out);
+
+  /// Eagerly remove the entry (time, key); returns false when no such entry
+  /// is present (e.g. it was already drained into a dispatch batch).
+  bool remove(SimTime time, std::uint64_t key);
+
+  /// Bucket-array rebuilds so far (growth or sparse recalibration).
+  std::uint64_t resizes() const { return resizes_; }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  std::uint64_t epoch_of(SimTime t) const;
+  std::size_t bucket_of(SimTime t) const;
+  /// Re-locate the cached minimum by scanning day buckets starting at the
+  /// year containing `from` (every remaining entry is >= `from`).
+  void find_min(SimTime from);
+  /// Redistribute all entries over `nbuckets` buckets with a freshly
+  /// calibrated width. Grow-only: nbuckets >= buckets_.size().
+  void rebuild(std::size_t nbuckets);
+  double calibrated_width();
+
+  std::vector<std::vector<EventEntry>> buckets_;
+  double width_ = 1.0;
+  std::size_t count_ = 0;
+  EventEntry min_{0, 0};  // valid iff count_ > 0
+  std::uint64_t resizes_ = 0;
+  // Pops since the last rebuild: rate-limits sparse recalibration so a
+  // draining queue cannot trigger a rebuild storm.
+  std::size_t ops_since_rebuild_ = 0;
+  std::vector<EventEntry> scratch_;  // rebuild relocation buffer (reused)
+  std::vector<SimTime> sample_;      // width-calibration sample (reused)
+};
+
+}  // namespace prdrb

@@ -1,14 +1,59 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <functional>
-#include <utility>
+#include <cstdio>
+#include <cstdlib>
 
 namespace prdrb {
 
+std::string_view scheduler_name(SchedulerKind kind) {
+  return kind == SchedulerKind::kBinaryHeap ? "heap" : "calendar";
+}
+
+std::optional<SchedulerKind> parse_scheduler_name(std::string_view name) {
+  if (name == "heap" || name == "binary-heap") {
+    return SchedulerKind::kBinaryHeap;
+  }
+  if (name == "calendar") return SchedulerKind::kCalendar;
+  return std::nullopt;
+}
+
+namespace {
+
+std::atomic<int> g_default_scheduler_override{-1};
+
+SchedulerKind env_scheduler() {
+  // Parsed once: the warning for a bad value should print once, and the
+  // env cannot change mid-process in any supported workflow.
+  static const SchedulerKind kind = [] {
+    const char* env = std::getenv("PRDRB_SCHED");
+    if (!env || !*env) return SchedulerKind::kBinaryHeap;
+    if (const auto parsed = parse_scheduler_name(env)) return *parsed;
+    std::fprintf(stderr,
+                 "[prdrb] unknown PRDRB_SCHED value '%s' "
+                 "(expected heap|calendar); using heap\n",
+                 env);
+    return SchedulerKind::kBinaryHeap;
+  }();
+  return kind;
+}
+
+}  // namespace
+
+SchedulerKind default_scheduler() {
+  const int override_kind = g_default_scheduler_override.load();
+  if (override_kind >= 0) return static_cast<SchedulerKind>(override_kind);
+  return env_scheduler();
+}
+
+void set_default_scheduler(SchedulerKind kind) {
+  g_default_scheduler_override.store(static_cast<int>(kind));
+}
+
 void EventQueue::heap_remove_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
   heap_.pop_back();
 }
 
@@ -27,8 +72,13 @@ EventId EventQueue::schedule(SimTime when, Action action) {
   Slot& cell = slots_[slot];
   cell.action = std::move(action);
   cell.key = id;
-  heap_.push_back(Entry{when, id});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  cell.when = when;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_.push_back(EventEntry{when, id});
+    std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  } else {
+    calendar_.push(EventEntry{when, id});
+  }
   return id;
 }
 
@@ -43,33 +93,108 @@ void EventQueue::cancel(EventId id) {
   if (id == 0) return;  // the "no event" sentinel (a vacant slot's key is 0)
   const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
   // A stale, already-fired, already-cancelled or never-issued id fails the
-  // key compare and is a true no-op; only ids still pending in the heap can
-  // add a tombstone, so tombstones_ stays bounded by heap_.size().
+  // key compare and is a true no-op; only ids still pending can add a
+  // tombstone, so tombstones_ stays bounded by size().
   if (slot >= slots_.size() || slots_[slot].key != id) return;
+  const SimTime when = slots_[slot].when;
   retire(slot);
+  if (kind_ == SchedulerKind::kCalendar) {
+    // Eager removal from the home bucket; when the entry is not there it
+    // has been drained into the current dispatch batch, whose execution
+    // loop consumes the tombstone.
+    if (!calendar_.remove(when, id)) ++tombstones_;
+    return;
+  }
   ++tombstones_;
   purge_top();  // keep the "non-empty heap has a live top" invariant
 }
 
 void EventQueue::purge_top() {
   while (!heap_.empty()) {
-    const Entry& top = heap_.front();
+    const EventEntry& top = heap_.front();
     if (slots_[top.key & kSlotMask].key == top.key) break;  // live
     heap_remove_top();
     --tombstones_;
   }
 }
 
+SimTime EventQueue::next_time() const {
+  if (batch_pos_ < batch_.size()) return batch_time_;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  }
+  return calendar_.empty() ? kTimeInfinity : calendar_.min_time();
+}
+
 EventQueue::Fired EventQueue::pop() {
-  assert(!heap_.empty() && "pop() requires a live event");
-  const Entry e = heap_.front();
+  assert(batch_pos_ == batch_.size() && "pop() during batch dispatch");
+  assert(!empty() && "pop() requires a live event");
+  EventEntry e;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    e = heap_.front();
+    heap_remove_top();
+  } else {
+    e = calendar_.pop_min();
+  }
   const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
-  assert(slots_[slot].key == e.key && "heap top must be live");
-  heap_remove_top();
+  assert(slots_[slot].key == e.key && "backend minimum must be live");
   Fired fired{e.time, std::move(slots_[slot].action)};
   retire(slot);
-  purge_top();
+  if (kind_ == SchedulerKind::kBinaryHeap) purge_top();
   return fired;
+}
+
+SimTime EventQueue::begin_batch() {
+  assert(batch_pos_ == batch_.size() && "previous batch not fully consumed");
+  assert(!empty() && "begin_batch() requires a live event");
+  batch_.clear();
+  batch_pos_ = 0;
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    // Successive top-pops come out in (time, key) order, so the drained
+    // same-time run is already key-sorted; stale entries surfacing inside
+    // the run are dropped here instead of via purge_top.
+    const SimTime t = heap_.front().time;
+    batch_time_ = t;
+    while (!heap_.empty() && heap_.front().time == t) {
+      const EventEntry top = heap_.front();
+      heap_remove_top();
+      if (slots_[top.key & kSlotMask].key == top.key) {
+        batch_.push_back(top);
+      } else {
+        --tombstones_;
+      }
+    }
+    purge_top();
+  } else {
+    // All calendar entries are live (eager cancel); the single home bucket
+    // yields them in arbitrary order, so sort by key for determinism.
+    batch_time_ = calendar_.min_time();
+    calendar_.pop_ready(batch_);
+    std::sort(batch_.begin(), batch_.end(),
+              [](const EventEntry& a, const EventEntry& b) {
+                return a.key < b.key;
+              });
+  }
+  return batch_time_;
+}
+
+bool EventQueue::next_batch_action(Action& out) {
+  while (batch_pos_ < batch_.size()) {
+    const EventEntry e = batch_[batch_pos_++];
+    const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+    if (slots_[slot].key != e.key) {
+      // Cancelled by an earlier action of this same batch: honour it, and
+      // consume the tombstone cancel() charged for the drained entry.
+      --tombstones_;
+      continue;
+    }
+    out = std::move(slots_[slot].action);
+    retire(slot);
+    return true;
+  }
+  batch_.clear();
+  batch_pos_ = 0;
+  return false;
 }
 
 }  // namespace prdrb

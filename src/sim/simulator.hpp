@@ -2,7 +2,12 @@
 //
 // This replaces the OPNET Modeler engine used in the thesis: components
 // schedule callbacks (state-machine transitions) on a shared queue, and the
-// kernel advances virtual time from event to event.
+// kernel advances virtual time from event to event. The run loop dispatches
+// in same-timestamp batches (see EventQueue's batch API): all events at the
+// earliest time are drained once and executed in scheduling order, which is
+// provably the same order the per-event loop produced — events a batch
+// action schedules at the current time carry strictly larger sequence
+// numbers and simply form the next batch at the same timestamp.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,14 @@ namespace prdrb {
 
 class Simulator {
  public:
+  /// Default-constructed simulators use the process default backend
+  /// (set_default_scheduler() / PRDRB_SCHED / binary heap).
+  Simulator() : Simulator(default_scheduler()) {}
+  explicit Simulator(SchedulerKind kind) : queue_(kind) {}
+
+  /// The scheduler backend this simulator was built with.
+  SchedulerKind scheduler() const { return queue_.kind(); }
+
   SimTime now() const { return now_; }
 
   /// Schedule an action `delay` seconds from now (delay >= 0).

@@ -25,10 +25,10 @@ class ChaosProperty : public ::testing::TestWithParam<ChaosCase> {};
 TEST_P(ChaosProperty, ConservationHolds) {
   const ChaosCase c = GetParam();
   Simulator sim;
-  auto topo = make_topology(c.topology);
+  auto topo = make_topology(c.topology).value_or_throw();
   NetConfig cfg;
   cfg.buffer_bytes = 64 * 1024;  // small buffers: exercise backpressure
-  auto bundle = make_policy(c.policy);
+  auto bundle = make_policy(c.policy).value_or_throw();
   Network net(sim, *topo, cfg, *bundle.policy);
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
   MetricsCollector metrics(topo->num_nodes(), topo->num_routers());

@@ -323,33 +323,53 @@ TEST(MapRender, DispatchOnTopologyType) {
 // Experiment harness
 
 TEST(ExperimentHarness, TopologyFactory) {
-  EXPECT_EQ(make_topology("mesh-4x4")->num_nodes(), 16);
-  EXPECT_EQ(make_topology("torus-4x4")->name(), "torus-4x4");
-  EXPECT_EQ(make_topology("tree-64")->num_nodes(), 64);
-  EXPECT_EQ(make_topology("kary-2-3")->num_nodes(), 8);
-  EXPECT_THROW(make_topology("ring-9"), std::invalid_argument);
+  EXPECT_EQ(make_topology("mesh-4x4").value()->num_nodes(), 16);
+  EXPECT_EQ(make_topology("torus-4x4").value()->name(), "torus-4x4");
+  EXPECT_EQ(make_topology("tree-64").value()->num_nodes(), 64);
+  EXPECT_EQ(make_topology("kary-2-3").value()->num_nodes(), 8);
+  const auto bad = make_topology("ring-9");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind, "topology");
+  EXPECT_EQ(bad.error().input, "ring-9");
+  // The throwing escape hatch still honours the old contract.
+  EXPECT_THROW(make_topology("ring-9").value_or_throw(),
+               std::invalid_argument);
+  // A near-miss of a known name carries a suggestion.
+  const auto typo = make_topology("tree-63");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.error().suggestion, "tree-64");
 }
 
 TEST(ExperimentHarness, PolicyFactoryCoversEvaluatedSet) {
   for (const char* name :
        {"deterministic", "random", "cyclic", "adaptive", "drb", "fr-drb",
         "pr-drb", "pr-fr-drb", "pr-drb@router"}) {
-    const PolicyBundle b = make_policy(name);
+    const PolicyBundle b = make_policy(name).value_or_throw();
     EXPECT_NE(b.policy, nullptr) << name;
   }
-  EXPECT_NE(make_policy("pr-drb@router").monitor, nullptr);
-  EXPECT_EQ(make_policy("pr-drb@router").monitor->mode(),
+  EXPECT_NE(make_policy("pr-drb@router").value().monitor, nullptr);
+  EXPECT_EQ(make_policy("pr-drb@router").value().monitor->mode(),
             NotificationMode::kRouterBased);
-  EXPECT_THROW(make_policy("ospf"), std::invalid_argument);
+  const auto bad = make_policy("ospf");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind, "policy");
+  EXPECT_THROW(make_policy("ospf").value_or_throw(), std::invalid_argument);
+  // Near-miss suggestions, including through the "@router" suffix.
+  const auto typo = make_policy("pr-dbr");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.error().suggestion, "pr-drb");
+  const auto router_typo = make_policy("pr-dbr@router");
+  ASSERT_FALSE(router_typo.ok());
+  EXPECT_EQ(router_typo.error().suggestion, "pr-drb@router");
 }
 
 TEST(ExperimentHarness, SyntheticRunProducesMetrics) {
-  SyntheticScenario sc;
+  ScenarioSpec sc;
   sc.topology = "mesh-4x4";
-  sc.pattern = "uniform";
-  sc.rate_bps = 200e6;
-  sc.duration = 1e-3;
-  sc.bursts = 0;
+  sc.synthetic().pattern = "uniform";
+  sc.synthetic().rate_bps = 200e6;
+  sc.synthetic().duration = 1e-3;
+  sc.synthetic().bursts = 0;
   const ScenarioResult r = run_synthetic("deterministic", sc);
   EXPECT_GT(r.packets, 0u);
   EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0);
@@ -384,12 +404,12 @@ TEST(ExperimentHarness, SummarizeStatistics) {
 }
 
 TEST(ExperimentHarness, ReplicatedRunsVaryBySeedOnly) {
-  SyntheticScenario sc;
+  ScenarioSpec sc;
   sc.topology = "mesh-4x4";
-  sc.pattern = "uniform";
-  sc.rate_bps = 400e6;
-  sc.duration = 1e-3;
-  sc.bursts = 0;
+  sc.synthetic().pattern = "uniform";
+  sc.synthetic().rate_bps = 400e6;
+  sc.synthetic().duration = 1e-3;
+  sc.synthetic().bursts = 0;
   const auto runs = run_synthetic_replicated("drb", sc, 3);
   ASSERT_EQ(runs.size(), 3u);
   for (const auto& r : runs) EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0);
@@ -402,10 +422,10 @@ TEST(ExperimentHarness, ReplicatedRunsVaryBySeedOnly) {
 }
 
 TEST(ExperimentHarness, TraceRunReportsExecutionTime) {
-  TraceScenario sc;
+  ScenarioSpec sc;
   sc.topology = "tree-16";
-  sc.app = "sweep3d";
-  sc.scale.iterations = 2;
+  sc.trace().app = "sweep3d";
+  sc.trace().scale.iterations = 2;
   const ScenarioResult r = run_trace("drb", sc);
   EXPECT_GT(r.exec_time, 0.0);
   EXPECT_GT(r.packets, 0u);

@@ -124,10 +124,14 @@ TEST(MeshND, DrbOpensPathsOn3dMesh) {
 }
 
 TEST(MeshND, FactoryParsesMultiDimNames) {
-  EXPECT_EQ(make_topology("mesh-4x4x4")->num_nodes(), 64);
-  EXPECT_EQ(make_topology("torus-3x3x3")->name(), "torus-3x3x3");
-  EXPECT_EQ(make_topology("cube-6")->num_nodes(), 64);
-  EXPECT_THROW(make_topology("mesh-4"), std::invalid_argument);
+  EXPECT_EQ(make_topology("mesh-4x4x4").value()->num_nodes(), 64);
+  EXPECT_EQ(make_topology("torus-3x3x3").value()->name(), "torus-3x3x3");
+  EXPECT_EQ(make_topology("cube-6").value()->num_nodes(), 64);
+  const auto bad = make_topology("mesh-4");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind, "topology");
+  EXPECT_THROW(make_topology("mesh-4").value_or_throw(),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

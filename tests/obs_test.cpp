@@ -214,13 +214,13 @@ TEST(Tracer, LimitDropsDeterministically) {
 /// byte-identical Chrome-trace JSON.
 TEST(Tracer, SeededRunsProduceByteIdenticalTraces) {
   const auto traced_run = [] {
-    SyntheticScenario sc;
+    ScenarioSpec sc;
     sc.topology = "mesh-8x8";
-    sc.pattern = "hotspot-cross";
-    sc.rate_bps = 1200e6;
-    sc.duration = 3e-3;
-    sc.bursts = 1;
-    sc.burst_len = 2e-3;
+    sc.synthetic().pattern = "hotspot-cross";
+    sc.synthetic().rate_bps = 1200e6;
+    sc.synthetic().duration = 3e-3;
+    sc.synthetic().bursts = 1;
+    sc.synthetic().burst_len = 2e-3;
     sc.seed = 11;
     Tracer tracer;
     sc.sinks.tracer = &tracer;
@@ -301,13 +301,13 @@ TEST(Counters, SamplerFollowsSimClockAndLetsTheRunDrain) {
 /// any sweep worker count.
 TEST(Counters, EndOfRunFreezeCapturesFinalValuesDeterministically) {
   const auto probe = [] {
-    SyntheticScenario sc;
+    ScenarioSpec sc;
     sc.topology = "mesh-8x8";
-    sc.pattern = "hotspot-cross";
-    sc.rate_bps = 1200e6;
-    sc.duration = 3e-3;
-    sc.bursts = 1;
-    sc.burst_len = 2e-3;
+    sc.synthetic().pattern = "hotspot-cross";
+    sc.synthetic().rate_bps = 1200e6;
+    sc.synthetic().duration = 3e-3;
+    sc.synthetic().bursts = 1;
+    sc.synthetic().burst_len = 2e-3;
     sc.seed = 11;
     auto reg = std::make_unique<CounterRegistry>(sc.bin_width);
     sc.sinks.counters = reg.get();
@@ -340,13 +340,13 @@ TEST(Counters, EndOfRunFreezeCapturesFinalValuesDeterministically) {
 /// End-to-end: a scenario run with a counter sink registers the documented
 /// network/routing/sim metrics and samples them.
 TEST(Counters, ScenarioRunPopulatesRegistry) {
-  SyntheticScenario sc;
+  ScenarioSpec sc;
   sc.topology = "mesh-8x8";
-  sc.pattern = "hotspot-cross";
-  sc.rate_bps = 1200e6;
-  sc.duration = 3e-3;
-  sc.bursts = 1;
-  sc.burst_len = 2e-3;
+  sc.synthetic().pattern = "hotspot-cross";
+  sc.synthetic().rate_bps = 1200e6;
+  sc.synthetic().duration = 3e-3;
+  sc.synthetic().bursts = 1;
+  sc.synthetic().burst_len = 2e-3;
   sc.seed = 11;
   CounterRegistry reg(sc.bin_width);
   sc.sinks.counters = &reg;

@@ -16,15 +16,15 @@ namespace {
 
 /// Small-but-real synthetic scenario: short bursty hot-spot on a 4x4 mesh,
 /// heavy enough to exercise DRB path expansion yet quick under TSan.
-SyntheticScenario small_scenario(std::uint64_t seed) {
-  SyntheticScenario sc;
+ScenarioSpec small_scenario(std::uint64_t seed) {
+  ScenarioSpec sc;
   sc.topology = "mesh-4x4";
-  sc.pattern = "uniform";
-  sc.rate_bps = 600e6;
-  sc.bursts = 2;
-  sc.burst_len = 0.5e-3;
-  sc.gap_len = 0.5e-3;
-  sc.duration = 2e-3;
+  sc.synthetic().pattern = "uniform";
+  sc.synthetic().rate_bps = 600e6;
+  sc.synthetic().bursts = 2;
+  sc.synthetic().burst_len = 0.5e-3;
+  sc.synthetic().gap_len = 0.5e-3;
+  sc.synthetic().duration = 2e-3;
   sc.seed = seed;
   sc.bin_width = 0.5e-3;
   return sc;
@@ -33,7 +33,7 @@ SyntheticScenario small_scenario(std::uint64_t seed) {
 std::vector<SweepJob> multi_seed_jobs(int seeds) {
   std::vector<SweepJob> jobs;
   for (int s = 0; s < seeds; ++s) {
-    jobs.push_back(SweepJob::make_synthetic(
+    jobs.push_back(SweepJob::make(
         s % 2 ? "drb" : "deterministic",
         small_scenario(100 + static_cast<std::uint64_t>(s))));
   }
@@ -56,8 +56,8 @@ TEST(Runner, ParallelMatchesDirectRunSynthetic) {
   const auto sc = small_scenario(42);
   const auto direct = run_synthetic("drb", sc);
   const auto swept =
-      run_sweep({SweepJob::make_synthetic("drb", sc),
-                 SweepJob::make_synthetic("drb", small_scenario(43))},
+      run_sweep({SweepJob::make("drb", sc),
+                 SweepJob::make("drb", small_scenario(43))},
                 4);
   EXPECT_EQ(direct, swept[0]);
 }
@@ -67,7 +67,7 @@ TEST(Runner, StressMoreJobsThanThreads) {
   // array must still come back in submission order.
   std::vector<SweepJob> jobs;
   for (int s = 0; s < 24; ++s) {
-    jobs.push_back(SweepJob::make_synthetic(
+    jobs.push_back(SweepJob::make(
         "drb", small_scenario(static_cast<std::uint64_t>(s))));
   }
   const auto serial = run_sweep(jobs, 1);
@@ -79,10 +79,10 @@ TEST(Runner, StressMoreJobsThanThreads) {
 }
 
 TEST(Runner, TraceJobsRunThroughTheSameExecutor) {
-  TraceScenario sc;
+  ScenarioSpec sc;
   sc.topology = "tree-16";
-  sc.app = "sweep3d";
-  sc.scale.iterations = 2;
+  sc.trace().app = "sweep3d";
+  sc.trace().scale.iterations = 2;
   const auto serial = run_policies({"deterministic", "drb"}, sc, 1);
   const auto parallel = run_policies({"deterministic", "drb"}, sc, 4);
   ASSERT_EQ(serial.size(), 2u);

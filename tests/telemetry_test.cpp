@@ -98,21 +98,21 @@ TEST(Telemetry, SamplingRecordsRouterQueueDepth) {
 
 /// Shared scenario: hot-spot mesh load that exercises stalls and the
 /// control plane.
-SyntheticScenario hotspot_scenario() {
-  SyntheticScenario sc;
+ScenarioSpec hotspot_scenario() {
+  ScenarioSpec sc;
   sc.topology = "mesh-8x8";
-  sc.pattern = "hotspot-cross";
-  sc.rate_bps = 1200e6;
-  sc.duration = 3e-3;
-  sc.bursts = 1;
-  sc.burst_len = 2e-3;
+  sc.synthetic().pattern = "hotspot-cross";
+  sc.synthetic().rate_bps = 1200e6;
+  sc.synthetic().duration = 3e-3;
+  sc.synthetic().bursts = 1;
+  sc.synthetic().burst_len = 2e-3;
   sc.seed = 11;
   return sc;
 }
 
 TEST(Telemetry, ScenarioExportsAreValidAndByteIdenticalAcrossRuns) {
   const auto probe = [] {
-    SyntheticScenario sc = hotspot_scenario();
+    ScenarioSpec sc =hotspot_scenario();
     NetTelemetry tel(sc.bin_width);
     sc.sinks.telemetry = &tel;
     run_synthetic("pr-drb", sc);
@@ -120,7 +120,8 @@ TEST(Telemetry, ScenarioExportsAreValidAndByteIdenticalAcrossRuns) {
     std::ostringstream csv, pgm, ascii;
     tel.write_csv(csv);
     tel.write_heatmap_pgm(pgm);
-    tel.write_heatmap_ascii(ascii, *make_topology("mesh-8x8"));
+    tel.write_heatmap_ascii(ascii,
+                            *make_topology("mesh-8x8").value_or_throw());
     return std::array<std::string, 4>{tel.to_json(), csv.str(), pgm.str(),
                                       ascii.str()};
   };
@@ -175,7 +176,7 @@ TEST(Telemetry, WriteFilePicksFormatByExtension) {
 /// serial probe bytes are a function of scenario + seed only.
 TEST(Telemetry, ProbeBytesAreIndependentOfDefaultJobs) {
   const auto probe = [] {
-    SyntheticScenario sc = hotspot_scenario();
+    ScenarioSpec sc =hotspot_scenario();
     NetTelemetry tel(sc.bin_width);
     sc.sinks.telemetry = &tel;
     run_synthetic("pr-drb", sc);
@@ -226,7 +227,7 @@ TEST(FlightRecorderTest, RecordingIsAllocationFree) {
 }
 
 TEST(FlightRecorderTest, ScenarioRunCapturesControlPlaneEvents) {
-  SyntheticScenario sc = hotspot_scenario();
+  ScenarioSpec sc =hotspot_scenario();
   FlightRecorder rec(512);
   sc.sinks.recorder = &rec;
   run_synthetic("pr-drb", sc);
@@ -248,20 +249,20 @@ TEST(FlightRecorderTest, ScenarioRunCapturesControlPlaneEvents) {
 /// A scenario that wedges by construction: the router buffer pool is
 /// smaller than one packet, so no NIC can ever inject and every queued
 /// message is undelivered work.
-SyntheticScenario starved_scenario() {
-  SyntheticScenario sc;
+ScenarioSpec starved_scenario() {
+  ScenarioSpec sc;
   sc.topology = "mesh-4x4";
-  sc.pattern = "uniform";
-  sc.rate_bps = 400e6;
-  sc.duration = 2e-3;
-  sc.bursts = 0;
+  sc.synthetic().pattern = "uniform";
+  sc.synthetic().rate_bps = 400e6;
+  sc.synthetic().duration = 2e-3;
+  sc.synthetic().bursts = 0;
   sc.seed = 11;
   sc.net.buffer_bytes = 512;  // < packet_bytes: injection can never proceed
   return sc;
 }
 
 TEST(Watchdog, StarvedRunDumpsExactlyOnce) {
-  SyntheticScenario sc = starved_scenario();
+  ScenarioSpec sc =starved_scenario();
   FlightRecorder rec(128);
   std::ostringstream err;
   std::string dump;
@@ -288,7 +289,7 @@ TEST(Watchdog, StarvedRunDumpsExactlyOnce) {
 
 TEST(Watchdog, StarvedDumpIsByteIdenticalAcrossRuns) {
   const auto probe = [] {
-    SyntheticScenario sc = starved_scenario();
+    ScenarioSpec sc =starved_scenario();
     std::string dump;
     sc.sinks.watchdog_window = 0.5e-3;
     sc.sinks.watchdog_stream = nullptr;  // default stderr
@@ -305,7 +306,7 @@ TEST(Watchdog, StarvedDumpIsByteIdenticalAcrossRuns) {
 }
 
 TEST(Watchdog, HealthyRunStaysSilent) {
-  SyntheticScenario sc = hotspot_scenario();
+  ScenarioSpec sc =hotspot_scenario();
   std::ostringstream err;
   std::string dump;
   sc.sinks.watchdog_window = 1e-3;
