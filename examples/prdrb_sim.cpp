@@ -48,7 +48,8 @@ options (synthetic traffic):
   --noise <bps>       uniform background load (default 0)
   --seeds <n>         replicated runs, reported mean ± 95% CI (default 1)
   --seed <v>          base seed (default 11)
-  --sched <name>      event-scheduler backend: heap | calendar (default
+  --sched <name>      event-scheduler backend: heap | calendar | auto
+                      (auto picks by expected pending-event scale; default
                       PRDRB_SCHED env, else heap; results are identical)
   --jobs <n>          parallel sweep workers for replicated runs (default
                       PRDRB_JOBS env, else hardware concurrency; results
@@ -211,7 +212,7 @@ int main(int argc, char** argv) {
         err.input = sched;
         err.kind = "scheduler";
         err.message = "unknown scheduler";
-        err.suggestion = nearest_name(sched, {"heap", "calendar"});
+        err.suggestion = nearest_name(sched, {"heap", "calendar", "auto"});
         std::cerr << "error: " << err.what() << "\n";
         return 2;
       }

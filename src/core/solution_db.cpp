@@ -10,9 +10,16 @@ namespace prdrb {
 SavedSolution* SolutionDatabase::lookup(NodeId src, NodeId dst,
                                         const FlowSignature& sig,
                                         double min_similarity) {
+  if (sig.empty()) {
+    // An empty signature can never match anything (save() refuses them
+    // too). Counting these probes in lookups_ deflated the hit rate the
+    // CounterRegistry reports; track them apart instead.
+    ++empty_probes_;
+    return nullptr;
+  }
   ++lookups_;
   auto it = db_.find(key(src, dst));
-  if (it == db_.end() || sig.empty()) return nullptr;
+  if (it == db_.end()) return nullptr;
   SavedSolution* best = nullptr;
   double best_sim = min_similarity;
   for (SavedSolution& s : it->second) {
@@ -108,7 +115,19 @@ std::size_t SolutionDatabase::import_text(std::istream& is) {
   std::size_t loaded = 0;
   NodeId src = 0;
   NodeId dst = 0;
-  while (is >> src >> dst) {
+  while (true) {
+    // Distinguish a clean end of input from a record that dies between
+    // `src` and `dst` (or starts with a non-numeric token): only a failure
+    // caused by pure end-of-stream is a normal termination — everything
+    // else used to be swallowed silently, truncating the import.
+    if (!(is >> src)) {
+      if (is.eof()) break;
+      throw std::runtime_error("solution database: malformed record start");
+    }
+    if (!(is >> dst)) {
+      throw std::runtime_error(
+          "solution database: truncated record (src without dst)");
+    }
     SimTime latency = 0;
     std::size_t nflows = 0;
     if (!(is >> latency >> nflows)) {

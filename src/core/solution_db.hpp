@@ -49,8 +49,12 @@ class SolutionDatabase {
   // --- statistics (reported in Figs. 4.26b / 4.28 analyses) ---
   std::size_t size() const;
   std::size_t patterns_for(NodeId src, NodeId dst) const;
+  /// Real (non-empty-signature) probes; hit rate = hits() / lookups().
   std::uint64_t lookups() const { return lookups_; }
   std::uint64_t hits() const { return hits_; }
+  /// Probes with an empty signature, which can never match. Counted apart
+  /// from lookups_ so they do not deflate the reported hit rate.
+  std::uint64_t empty_probes() const { return empty_probes_; }
   std::uint64_t saves() const { return saves_; }
   std::uint64_t updates() const { return updates_; }
 
@@ -82,6 +86,7 @@ class SolutionDatabase {
   std::unordered_map<std::uint64_t, std::deque<SavedSolution>> db_;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint64_t empty_probes_ = 0;
   std::uint64_t saves_ = 0;
   std::uint64_t updates_ = 0;
 };

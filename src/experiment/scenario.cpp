@@ -1,5 +1,6 @@
 #include "experiment/scenario.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <iostream>
@@ -353,6 +354,23 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
     reg.gauge("sim.events", [&sim] {
       return static_cast<double>(sim.events_executed());
     });
+    // Scheduler internals: how the chosen backend is coping with the
+    // workload's timestamp structure. For the heap everything but the
+    // tombstone count reads 0, which is itself the signal that the counters
+    // describe the calendar's machinery.
+    const EventQueue* q = &sim.queue();
+    reg.gauge("sim.sched.rebuilds", [q] {
+      return static_cast<double>(q->sched_rebuilds());
+    });
+    reg.gauge("sim.sched.tie_chain_pops", [q] {
+      return static_cast<double>(q->sched_tie_chain_pops());
+    });
+    reg.gauge("sim.sched.direct_search_fallbacks", [q] {
+      return static_cast<double>(q->sched_direct_search_fallbacks());
+    });
+    reg.gauge("sim.sched.tombstones", [q] {
+      return static_cast<double>(q->pending_cancellations());
+    });
     if (b.drb) {
       DrbPolicy* drb = b.drb;
       reg.gauge("routing.expansions", [drb] {
@@ -369,6 +387,17 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
       });
       reg.gauge("routing.sdb.size", [eng] {
         return static_cast<double>(eng->db().size());
+      });
+      reg.gauge("routing.sdb.lookups", [eng] {
+        return static_cast<double>(eng->db().lookups());
+      });
+      reg.gauge("routing.sdb.hits", [eng] {
+        return static_cast<double>(eng->db().hits());
+      });
+      // Degenerate probes (empty signatures) are counted apart so the
+      // hit-rate derived from lookups/hits is not skewed by them.
+      reg.gauge("routing.sdb.empty_probes", [eng] {
+        return static_cast<double>(eng->db().empty_probes());
       });
     }
     if (b.monitor) {
@@ -413,10 +442,26 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
 
 }  // namespace
 
+std::size_t expected_pending_events(const Topology& topo,
+                                    const ScenarioSpec& sc) {
+  const std::size_t entities = static_cast<std::size_t>(topo.num_nodes()) +
+                               static_cast<std::size_t>(topo.num_routers());
+  double per_entity = 8.0;  // trace replays: compute/comm phases in flight
+  if (sc.is_synthetic()) {
+    const double packet_bits =
+        std::max(1.0, 8.0 * static_cast<double>(sc.net.packet_bytes));
+    const double inflight =
+        sc.synthetic().rate_bps * 50e-6 / packet_bits;  // ~50 us pipeline
+    per_entity = std::clamp(inflight, 1.0, 64.0);
+  }
+  return static_cast<std::size_t>(static_cast<double>(entities) * per_entity);
+}
+
 ScenarioResult run_scenario(const std::string& policy_name,
                             const ScenarioSpec& sc) {
-  Simulator sim(sc.sched.value_or(default_scheduler()));
   auto topo = make_topology(sc.topology).value_or_throw();
+  Simulator sim(sc.sched.value_or(default_scheduler()),
+                expected_pending_events(*topo, sc));
   auto bundle = build_policy(policy_name, sc.drb, sc.prdrb, 7);
   Network net(sim, *topo, sc.net, *bundle.policy);
   MetricsCollector metrics(topo->num_nodes(), topo->num_routers(),

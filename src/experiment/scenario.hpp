@@ -156,6 +156,8 @@ struct ScenarioSpec {
   DrbConfig drb = default_drb_config();
   PrDrbConfig prdrb;  // notification mode is overridden by "@router" names
   /// Scheduler backend; unset = the process default (PRDRB_SCHED / --sched).
+  /// kAuto (set here or as the default) resolves per scenario via
+  /// expected_pending_events().
   std::optional<SchedulerKind> sched;
   std::vector<RouterId> watch;  // routers whose series to record
   ObsSinks sinks;  // optional tracer / counter-registry attachments
@@ -185,8 +187,20 @@ struct ScenarioSpec {
   }
 };
 
+/// Deterministic estimate of the scenario's peak pending-event count, the
+/// input to SchedulerKind::kAuto resolution (resolve_scheduler() compares
+/// it against kAutoPendingThreshold). The model: every node and router
+/// keeps a few events in flight (NIC injection ticks, per-hop arrivals,
+/// FR-DRB watchdogs), and synthetic injection scales that per-entity count
+/// with the offered load — rate_bps over a ~50 us pipeline window, clamped
+/// to [1, 64] so degenerate rates cannot dominate the topology term.
+std::size_t expected_pending_events(const Topology& topo,
+                                    const ScenarioSpec& spec);
+
 /// Run one scenario under one policy — the single execution entry point;
-/// dispatches on the workload alternative.
+/// dispatches on the workload alternative. A spec whose scheduler resolves
+/// to kAuto (explicitly or via the process default) picks heap vs calendar
+/// from expected_pending_events() — results are byte-identical either way.
 ScenarioResult run_scenario(const std::string& policy_name,
                             const ScenarioSpec& spec);
 

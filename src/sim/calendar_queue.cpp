@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace prdrb {
 
@@ -11,7 +12,9 @@ namespace {
 /// Smallest bucket array; also the initial size on first push.
 constexpr std::size_t kMinBuckets = 16;
 
-/// Grow when occupancy exceeds this many entries per bucket on average.
+/// Grow when distinct-timestamp occupancy exceeds this many tie groups per
+/// bucket on average. Ties never count: no width separates them, so growing
+/// for them would only thrash.
 constexpr std::size_t kMaxOccupancy = 2;
 
 /// Width-calibration sample size (Brown's algorithm samples a handful of
@@ -37,62 +40,211 @@ std::size_t CalendarIndex::bucket_of(SimTime t) const {
   return static_cast<std::size_t>(epoch_of(t) % buckets_.size());
 }
 
-void CalendarIndex::push(EventEntry e) {
+std::uint32_t CalendarIndex::alloc_node(EventEntry e) {
+  std::uint32_t n;
+  if (free_head_ != kNil) {
+    n = free_head_;
+    free_head_ = pool_[n].next;
+  } else {
+    n = static_cast<std::uint32_t>(pool_.size());
+    assert(pool_.size() < kNil && "calendar node pool exhausted");
+    pool_.emplace_back();
+  }
+  pool_[n] = TieNode{e, kNil, kNil};
+  return n;
+}
+
+void CalendarIndex::free_node(std::uint32_t n) {
+  pool_[n].e.key = 0;  // invalidates outstanding NodeRefs for this entry
+  pool_[n].next = free_head_;
+  free_head_ = n;
+}
+
+std::size_t CalendarIndex::group_in(const Bucket& bucket,
+                                    SimTime time) const {
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].min.time == time) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::uint8_t CalendarIndex::Bucket::time_sig(SimTime t) {
+  const double norm = t + 0.0;  // -0.0 -> +0.0
+  std::uint64_t u;
+  std::memcpy(&u, &norm, sizeof(u));
+  u *= 0x9E3779B97F4A7C15ull;  // multiplicative mix; top byte is well-mixed
+  return static_cast<std::uint8_t>(u >> 56);
+}
+
+void CalendarIndex::erase_group(Bucket& bucket, std::size_t gi) {
+  bucket.swap_erase(gi);
+  --groups_;
+}
+
+void CalendarIndex::consume_group_min(Bucket& bucket, std::size_t gi,
+                                      bool count_promotion) {
+  TieGroup& g = bucket[gi];
+  if (g.head != kNil) {
+    // Same timestamp, next-larger key: the chain head moves into the inline
+    // slot — no bucket scan, one pool access.
+    const std::uint32_t n = g.head;
+    g.min = pool_[n].e;
+    g.head = pool_[n].next;
+    if (g.head != kNil) {
+      pool_[g.head].prev = kNil;
+    } else {
+      g.tail = kNil;
+    }
+    free_node(n);
+    if (count_promotion) ++tie_chain_pops_;
+  } else {
+    erase_group(bucket, gi);
+  }
+}
+
+CalendarIndex::NodeRef CalendarIndex::push(EventEntry e) {
+  assert(e.key != 0 && "key 0 is the free-node sentinel");
   if (buckets_.empty()) buckets_.resize(kMinBuckets);
-  buckets_[bucket_of(e.time)].push_back(e);
+  NodeRef ref = kNoNode;
+  Bucket& b = buckets_[bucket_of(e.time)];
+  // The signature filter proves most pushes are a brand-new timestamp from
+  // the bucket's own cache line, skipping the tie-detection scan entirely.
+  const std::size_t gi = (b.n <= 8 && !b.may_contain(e.time))
+                             ? static_cast<std::size_t>(-1)
+                             : group_in(b, e.time);
+  if (gi == static_cast<std::size_t>(-1)) {
+    // First entry at this timestamp: inline, pool untouched — the whole
+    // unique-timestamp regime allocates no nodes at all.
+    b.push_back(TieGroup{e, kNil, kNil});
+    ++groups_;
+  } else if (TieGroup& g = b[gi]; e.key < g.min.key) {
+    // Out-of-order key below the inline minimum (never taken for
+    // EventQueue's monotonic issue order): the old minimum is displaced to
+    // the chain front and `e` becomes the handle-less inline entry.
+    const std::uint32_t n = alloc_node(g.min);
+    pool_[n].next = g.head;
+    if (g.head != kNil) {
+      pool_[g.head].prev = n;
+    } else {
+      g.tail = n;
+    }
+    g.head = n;
+    g.min = e;
+  } else {
+    // Join the tie chain, keeping it in ascending key order. Monotonic keys
+    // terminate the scan at the tail immediately on the hot path; the
+    // backward walk only runs for out-of-order standalone use.
+    const std::uint32_t n = alloc_node(e);
+    std::uint32_t at = g.tail;
+    while (at != kNil && pool_[at].e.key > e.key) at = pool_[at].prev;
+    if (at == kNil) {  // new chain head (still > g.min.key)
+      pool_[n].next = g.head;
+      if (g.head != kNil) {
+        pool_[g.head].prev = n;
+      } else {
+        g.tail = n;
+      }
+      g.head = n;
+    } else {
+      pool_[n].prev = at;
+      pool_[n].next = pool_[at].next;
+      if (pool_[at].next != kNil) {
+        pool_[pool_[at].next].prev = n;
+      } else {
+        g.tail = n;
+      }
+      pool_[at].next = n;
+    }
+    ref = n;
+  }
   if (count_ == 0 || event_entry_less(e, min_)) min_ = e;
   ++count_;
-  if (count_ > kMaxOccupancy * buckets_.size()) rebuild(2 * buckets_.size());
+  if (groups_ > kMaxOccupancy * buckets_.size()) rebuild(2 * buckets_.size());
+  return ref;
 }
 
 EventEntry CalendarIndex::pop_min() {
   assert(count_ > 0 && "pop_min() on an empty calendar");
-  const EventEntry popped = min_;
-  std::vector<EventEntry>& b = buckets_[bucket_of(popped.time)];
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    if (b[i].key == popped.key) {
-      b[i] = b.back();
-      b.pop_back();
-      break;
-    }
-  }
+  Bucket& b = buckets_[bucket_of(min_.time)];
+  const std::size_t gi = group_in(b, min_.time);
+  assert(gi != static_cast<std::size_t>(-1) && "cached minimum must exist");
+  const EventEntry popped = b[gi].min;  // the inline slot IS the minimum
+  assert(popped.key == min_.key);
+  const bool had_chain = b[gi].head != kNil;
+  consume_group_min(b, gi, /*count_promotion=*/true);
   --count_;
   ++ops_since_rebuild_;
-  if (count_ > 0) find_min(popped.time);
+  if (had_chain) {
+    min_ = b[gi].min;  // promoted in place: gi still names the same group
+  } else if (count_ > 0) {
+    find_min(popped.time);
+  }
   return popped;
 }
 
 void CalendarIndex::pop_ready(std::vector<EventEntry>& out) {
   assert(count_ > 0 && "pop_ready() on an empty calendar");
   const SimTime t = min_.time;
-  std::vector<EventEntry>& b = buckets_[bucket_of(t)];
-  for (std::size_t i = 0; i < b.size();) {
-    if (b[i].time == t) {
-      out.push_back(b[i]);
-      b[i] = b.back();
-      b.pop_back();
-      --count_;
-      ++ops_since_rebuild_;
-    } else {
-      ++i;
-    }
+  Bucket& b = buckets_[bucket_of(t)];
+  const std::size_t gi = group_in(b, t);
+  assert(gi != static_cast<std::size_t>(-1) && "cached minimum must exist");
+  out.push_back(b[gi].min);
+  std::size_t drained = 1;
+  for (std::uint32_t n = b[gi].head; n != kNil;) {
+    out.push_back(pool_[n].e);
+    const std::uint32_t next = pool_[n].next;
+    free_node(n);
+    n = next;
+    ++drained;
   }
+  tie_chain_pops_ += drained - 1;
+  count_ -= drained;
+  ops_since_rebuild_ += drained;
+  erase_group(b, gi);
   if (count_ > 0) find_min(t);
 }
 
+bool CalendarIndex::remove_ref(NodeRef ref, std::uint64_t key) {
+  if (ref >= pool_.size() || pool_[ref].e.key != key) return false;
+  TieNode& nd = pool_[ref];
+  const SimTime t = nd.e.time;
+  if (nd.prev != kNil) pool_[nd.prev].next = nd.next;
+  if (nd.next != kNil) pool_[nd.next].prev = nd.prev;
+  if (nd.prev == kNil || nd.next == kNil) {
+    // Chain head or tail: the group's endpoints must follow the unlink.
+    // The group itself survives — its inline minimum is still live.
+    Bucket& b = buckets_[bucket_of(t)];
+    const std::size_t gi = group_in(b, t);
+    assert(gi != static_cast<std::size_t>(-1));
+    TieGroup& g = b[gi];
+    if (nd.prev == kNil) g.head = nd.next;
+    if (nd.next == kNil) g.tail = nd.prev;
+  }
+  free_node(ref);
+  --count_;
+  ++ops_since_rebuild_;
+  // A chained entry shares its group's timestamp but carries a larger key
+  // than the inline minimum, so it can never be the cached global minimum.
+  assert(count_ == 0 || key != min_.key);
+  return true;
+}
+
 bool CalendarIndex::remove(SimTime time, std::uint64_t key) {
-  if (count_ == 0) return false;
-  std::vector<EventEntry>& b = buckets_[bucket_of(time)];
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    if (b[i].key != key) continue;
-    b[i] = b.back();
-    b.pop_back();
+  if (count_ == 0 || buckets_.empty()) return false;
+  Bucket& b = buckets_[bucket_of(time)];
+  const std::size_t gi = group_in(b, time);
+  if (gi == static_cast<std::size_t>(-1)) return false;
+  if (b[gi].min.key == key) {
+    // Removing the inline minimum: promote the chain successor (not a pop,
+    // so no tie_chain_pops_ credit) or drop the group.
+    consume_group_min(b, gi, /*count_promotion=*/false);
     --count_;
     ++ops_since_rebuild_;
-    // Only the removal of the cached minimum itself invalidates it; every
-    // other entry is >= min_ and leaves it untouched.
     if (count_ > 0 && key == min_.key) find_min(time);
     return true;
+  }
+  for (std::uint32_t n = b[gi].head; n != kNil; n = pool_[n].next) {
+    if (pool_[n].e.key == key) return remove_ref(n, key);
   }
   return false;
 }
@@ -102,18 +254,22 @@ void CalendarIndex::find_min(SimTime from) {
   const std::size_t n = buckets_.size();
   // Year-window scan: every remaining entry is >= `from`, so its epoch is
   // >= epoch_of(from); the next n days cover each bucket exactly once, and
-  // exact integer epoch equality filters out entries from later years that
-  // happen to share a bucket.
+  // exact integer epoch equality filters out groups from later years that
+  // happen to share a bucket. Only the inline minima are inspected — each
+  // group's chain is key-ascending and strictly above its inline entry, so
+  // the scan never touches the node pool however many coresident ties a
+  // group holds.
   const std::uint64_t e0 = epoch_of(from);
   for (std::size_t k = 0; k < n; ++k) {
     const std::uint64_t epoch = e0 + k;
-    const std::vector<EventEntry>& b = buckets_[epoch % n];
+    const Bucket& b = buckets_[epoch % n];
     bool found = false;
     EventEntry best{0, 0};
-    for (const EventEntry& e : b) {
-      if (epoch_of(e.time) != epoch) continue;
-      if (!found || event_entry_less(e, best)) {
-        best = e;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const TieGroup& g = b[i];
+      if (epoch_of(g.min.time) != epoch) continue;
+      if (!found || event_entry_less(g.min, best)) {
+        best = g.min;
         found = true;
       }
     }
@@ -125,13 +281,15 @@ void CalendarIndex::find_min(SimTime from) {
   // Full wrap without a hit: the next event is more than a year away
   // (the queue thinned out below the calibrated density). Direct search is
   // always correct; when the sparseness persists, recalibrate the width so
-  // the year window covers the surviving events again. Rate-limited by
+  // the year window covers the surviving groups again. Rate-limited by
   // ops_since_rebuild_ so a draining queue cannot thrash on rebuilds.
+  ++direct_search_fallbacks_;
   bool found = false;
-  for (const std::vector<EventEntry>& b : buckets_) {
-    for (const EventEntry& e : b) {
-      if (!found || event_entry_less(e, min_)) {
-        min_ = e;
+  for (const Bucket& b : buckets_) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const TieGroup& g = b[i];
+      if (!found || event_entry_less(g.min, min_)) {
+        min_ = g.min;
         found = true;
       }
     }
@@ -141,16 +299,21 @@ void CalendarIndex::find_min(SimTime from) {
 }
 
 double CalendarIndex::calibrated_width() {
-  // Sample up to kSampleSize finite event times from the relocation buffer
-  // (rebuild() has just gathered every entry into scratch_), then estimate
-  // the typical inter-event gap as the mean positive adjacent gap of the
-  // sorted sample. A bucket spans ~3 gaps, the Brown-style sweet spot
-  // between long bucket chains and empty-day scans.
+  // Sample up to kSampleSize finite DISTINCT timestamps from the relocation
+  // buffer (rebuild() has just gathered every tie group into scratch_),
+  // then estimate the typical inter-group gap as the mean positive adjacent
+  // gap of the sorted sample. A bucket spans ~3 gaps, the Brown-style sweet
+  // spot between long bucket chains and empty-day scans. Calibrating on
+  // groups rather than entries keeps same-timestamp batches from dragging
+  // the estimate toward zero — ties share a group whatever the width.
   std::vector<SimTime>& sample = sample_;
   sample.clear();
-  const std::size_t stride = std::max<std::size_t>(1, scratch_.size() / kSampleSize);
+  const std::size_t stride =
+      std::max<std::size_t>(1, scratch_.size() / kSampleSize);
   for (std::size_t i = 0; i < scratch_.size(); i += stride) {
-    if (std::isfinite(scratch_[i].time)) sample.push_back(scratch_[i].time);
+    if (std::isfinite(scratch_[i].min.time)) {
+      sample.push_back(scratch_[i].min.time);
+    }
   }
   if (sample.size() < 2) return width_;
   std::sort(sample.begin(), sample.end());
@@ -163,9 +326,9 @@ double CalendarIndex::calibrated_width() {
       ++gaps;
     }
   }
-  if (gaps == 0) return width_;  // all sampled events share one timestamp
+  if (gaps == 0) return width_;  // all sampled groups share one timestamp
   // The sample's adjacent gaps overestimate the full set's by ~n/m (m order
-  // statistics of n events): rescale by m/n to recover the true density.
+  // statistics of n groups): rescale by m/n to recover the true density.
   const double density_scale = static_cast<double>(sample.size()) /
                                static_cast<double>(scratch_.size());
   const double width = 3.0 * (sum / static_cast<double>(gaps)) * density_scale;
@@ -173,9 +336,11 @@ double CalendarIndex::calibrated_width() {
 }
 
 void CalendarIndex::rebuild(std::size_t nbuckets) {
+  // Relocate GROUPS only; chains stay in the pool, so every outstanding
+  // NodeRef survives.
   scratch_.clear();
-  for (std::vector<EventEntry>& b : buckets_) {
-    scratch_.insert(scratch_.end(), b.begin(), b.end());
+  for (Bucket& b : buckets_) {
+    for (std::size_t i = 0; i < b.size(); ++i) scratch_.push_back(b[i]);
     b.clear();
   }
   if (nbuckets > buckets_.size()) buckets_.resize(nbuckets);
@@ -183,10 +348,10 @@ void CalendarIndex::rebuild(std::size_t nbuckets) {
   ++resizes_;
   ops_since_rebuild_ = 0;
   bool first = true;
-  for (const EventEntry& e : scratch_) {
-    buckets_[bucket_of(e.time)].push_back(e);
-    if (first || event_entry_less(e, min_)) {
-      min_ = e;
+  for (const TieGroup& g : scratch_) {
+    buckets_[bucket_of(g.min.time)].push_back(g);
+    if (first || event_entry_less(g.min, min_)) {
+      min_ = g.min;
       first = false;
     }
   }

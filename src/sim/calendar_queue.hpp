@@ -13,18 +13,36 @@
 // Differences from the textbook structure, driven by this kernel's needs:
 //  * Entries are the same 16-byte (time, key) records the heap backend
 //    uses; the callback lives in EventQueue's shared slot array.
-//  * Cancellation is EAGER: the owner passes the scheduled time, the entry
-//    is found in its (small) home bucket and swap-erased. No tombstones
-//    ever sit in the calendar, so min_time() is exact and const.
-//  * Buckets are unsorted vectors; min extraction scans day-by-day over the
-//    year window by exact integer epoch match. Batched same-time dispatch
-//    (pop_ready) drains one day at once, so per-entry order inside a bucket
-//    never matters to the caller.
-//  * The bucket array only ever grows (lazy resize when occupancy exceeds
-//    2 entries/bucket) and rebuilds recalibrate the width from sampled
-//    inter-event gaps; a steady-state workload therefore reaches a fixed
-//    point with zero allocations (tests/scheduler_test.cpp proves it under
-//    the operator-new interposer).
+//  * Coresident same-timestamp entries — the dominant shape of bursty
+//    interconnect traffic, where a whole message batch lands on one tick —
+//    live in per-timestamp TIE GROUPS: a bucket holds one group per
+//    distinct timestamp. The group's minimum-key entry is stored INLINE in
+//    the group record; overflow ties chain behind it through a pooled
+//    doubly-linked list kept in ascending key order. A T-way tie is
+//    therefore one group however large T is: push appends in O(1) (keys
+//    arrive monotonically from EventQueue), pop_min promotes the chain
+//    successor into the inline slot in O(1), and pop_ready drains the
+//    whole chain in O(T) already key-sorted. The flat-bucket design
+//    rescanned the coresident run on every bucket pass, making a T-way tie
+//    O(T²). The inline minimum also means singleton groups — the entire
+//    unique-timestamp regime the deep hold-model benchmarks live in —
+//    never touch the node pool, and min scans read group records only (no
+//    pointer chase per candidate).
+//  * Cancellation is EAGER and tombstone-free: push returns a stable
+//    NodeRef handle for chained entries (kNoNode for the inline minimum,
+//    which needs none), remove_ref unlinks a chained node in O(1) (the
+//    chain is doubly linked), and the (time, key) overload removes inline
+//    minima and serves handle-less callers. min_time() is exact and const.
+//  * Occupancy, growth and width calibration are measured in DISTINCT
+//    TIMESTAMPS (groups), not entries: ties cannot be separated by any
+//    bucket width, so counting them would trigger futile rebuild storms
+//    (10k events on 8 timestamps stay in the minimal bucket array).
+//  * The bucket array only ever grows (lazy resize when distinct-time
+//    occupancy exceeds 2 groups/bucket) and rebuilds recalibrate the width
+//    from sampled inter-group gaps while leaving the node pool untouched —
+//    NodeRef handles survive rebuilds, and a steady-state workload reaches
+//    a fixed point with zero allocations (tests/scheduler_test.cpp proves
+//    it under the operator-new interposer).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +55,8 @@ namespace prdrb {
 /// One pending event: absolute time plus the EventId key that locates (and
 /// version-checks) the callback slot. Ties on `time` break on `key`, i.e.
 /// scheduling order — the determinism contract shared by both backends.
+/// Key 0 is reserved (it marks free pool nodes and EventQueue's vacant
+/// slots); callers never push it.
 struct EventEntry {
   SimTime time;
   std::uint64_t key;
@@ -49,6 +69,15 @@ inline bool event_entry_less(const EventEntry& a, const EventEntry& b) {
 
 class CalendarIndex {
  public:
+  /// Stable handle to a pushed CHAINED entry, valid until that entry is
+  /// popped, drained, removed, or promoted into its group's inline slot;
+  /// rebuilds never invalidate it. Handles of consumed entries are
+  /// recycled, so remove_ref() re-validates against the key. The first
+  /// entry at a timestamp lives inline in the group and has no handle
+  /// (push returns kNoNode): remove it with the (time, key) overload.
+  using NodeRef = std::uint32_t;
+  static constexpr NodeRef kNoNode = 0xffffffffu;
+
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
 
@@ -58,47 +87,185 @@ class CalendarIndex {
   /// The earliest entry (exact (time, key) minimum). Precondition: !empty().
   const EventEntry& min() const { return min_; }
 
-  /// Insert an entry. Amortized O(1); may grow + recalibrate.
-  void push(EventEntry e);
+  /// Insert an entry (key != 0). Amortized O(1); may grow + recalibrate.
+  /// Returns the entry's stable handle for remove_ref(), or kNoNode when
+  /// the entry became its group's inline minimum (first at its timestamp,
+  /// or an out-of-order key displacing the previous minimum).
+  NodeRef push(EventEntry e);
 
-  /// Remove and return the earliest entry. Precondition: !empty().
+  /// Remove and return the earliest entry. O(1) when the minimum shares its
+  /// timestamp with a successor (the tie chain promotes it); otherwise a
+  /// day-by-day year-window scan. Precondition: !empty().
   EventEntry pop_min();
 
   /// Remove every entry whose time equals min_time() and append them to
-  /// `out` in unspecified order (all live by construction; the caller sorts
-  /// by key for deterministic dispatch). Precondition: !empty().
+  /// `out` in ascending key order (the tie chain's invariant, so the caller
+  /// needs no sort for deterministic dispatch). Precondition: !empty().
   void pop_ready(std::vector<EventEntry>& out);
 
-  /// Eagerly remove the entry (time, key); returns false when no such entry
-  /// is present (e.g. it was already drained into a dispatch batch).
+  /// Eagerly remove the chained entry behind `ref` in O(1); `key`
+  /// re-validates the handle. Returns false when the entry is no longer in
+  /// the chain (popped, drained into a dispatch batch, already removed, or
+  /// promoted into the inline slot — consumed handles recycle, so a stale
+  /// ref fails the key compare; a false here must fall back to remove()).
+  bool remove_ref(NodeRef ref, std::uint64_t key);
+
+  /// Eagerly remove the entry (time, key) without a handle: removes an
+  /// inline group minimum (promoting its chain successor) or walks the
+  /// chain. Returns false when no such entry is present.
   bool remove(SimTime time, std::uint64_t key);
 
   /// Bucket-array rebuilds so far (growth or sparse recalibration).
   std::uint64_t resizes() const { return resizes_; }
 
+  /// Entries served in O(1) from a tie chain (pop_min promotions plus
+  /// non-head pop_ready drains) — the fast path that used to be the
+  /// clustered-tie O(T²) pathology.
+  std::uint64_t tie_chain_pops() const { return tie_chain_pops_; }
+
+  /// find_min year-window scans that wrapped without a hit and fell back to
+  /// a direct search over every bucket (the queue thinned out below the
+  /// calibrated density).
+  std::uint64_t direct_search_fallbacks() const {
+    return direct_search_fallbacks_;
+  }
+
   std::size_t bucket_count() const { return buckets_.size(); }
 
+  /// Distinct pending timestamps (tie groups).
+  std::size_t distinct_times() const { return groups_; }
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One chained entry. Free-listed through `next`; a free node's key is 0,
+  /// which is what lets remove_ref() reject recycled handles.
+  struct TieNode {
+    EventEntry e;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  /// One distinct timestamp in a bucket. `min` is the group's smallest-key
+  /// entry, stored inline so singleton groups never touch the pool and min
+  /// scans stay pool-free; `head`/`tail` chain the remaining coresident
+  /// ties in ascending key order (> min.key), kNil when none.
+  struct TieGroup {
+    EventEntry min;
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+
+  /// One day bucket: a single inline group slot plus heap overflow, padded
+  /// to one cache line. The calibrated width targets a handful of distinct
+  /// timestamps per day, so push / pop / min scans normally read and write
+  /// one line of the bucket array; `sigs` packs an 8-bit timestamp hash per
+  /// group (positionally, indices 0..7) so push can prove "no group at this
+  /// time exists" from that same line and append blind — without the
+  /// filter, the tie-detection scan of overflow groups made every push pay
+  /// a read the flat-entry design never had.
+  struct alignas(64) Bucket {
+    std::uint32_t n = 0;
+    TieGroup g0;                  // valid iff n >= 1
+    std::vector<TieGroup> rest;   // groups 1..n-1 (overflow, usually empty)
+    std::uint64_t sigs = 0;       // time_sig() bytes for groups 0..min(n,8)-1
+
+    /// One-byte timestamp signature. +0.0 is added so both signed zeros
+    /// hash alike (they compare equal in group_in).
+    static std::uint8_t time_sig(SimTime t);
+
+    /// False means no group in this bucket has timestamp `t` — certain,
+    /// so push may append without scanning. True is a maybe (hash
+    /// collision or more than 8 groups). Only callable when n <= 8.
+    bool may_contain(SimTime t) const {
+      const std::uint64_t lanes =
+          sigs ^ (0x0101010101010101ull * time_sig(t));
+      const std::uint64_t zero_bytes =
+          (lanes - 0x0101010101010101ull) & ~lanes & 0x8080808080808080ull;
+      const std::uint64_t live =
+          n >= 8 ? ~0ull : (1ull << (8 * n)) - 1;
+      return (zero_bytes & live) != 0;
+    }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+    TieGroup& operator[](std::size_t i) { return i == 0 ? g0 : rest[i - 1]; }
+    const TieGroup& operator[](std::size_t i) const {
+      return i == 0 ? g0 : rest[i - 1];
+    }
+    void push_back(const TieGroup& g) {
+      if (n == 0) {
+        g0 = g;
+      } else {
+        rest.push_back(g);
+      }
+      if (n < 8) {
+        const int shift = 8 * static_cast<int>(n);
+        sigs = (sigs & ~(0xffull << shift))
+               | (static_cast<std::uint64_t>(time_sig(g.min.time)) << shift);
+      }
+      ++n;
+    }
+    /// Swap-erase group `gi`, keeping `sigs` positionally consistent.
+    void swap_erase(std::size_t gi) {
+      const std::size_t last = n - 1;
+      if (gi != last) {
+        (*this)[gi] = (*this)[last];
+        if (gi < 8) {
+          const int shift = 8 * static_cast<int>(gi);
+          const std::uint64_t sig =
+              last < 8 ? (sigs >> (8 * last)) & 0xff
+                       : static_cast<std::uint64_t>(
+                             time_sig((*this)[gi].min.time));
+          sigs = (sigs & ~(0xffull << shift)) | (sig << shift);
+        }
+      }
+      if (n > 1) rest.pop_back();
+      --n;
+    }
+    void clear() {
+      n = 0;
+      rest.clear();  // keeps capacity: rebuilds stay allocation-free
+    }
+  };
+
   std::uint64_t epoch_of(SimTime t) const;
   std::size_t bucket_of(SimTime t) const;
+  std::uint32_t alloc_node(EventEntry e);
+  void free_node(std::uint32_t n);
+  /// Index of `time`'s group in `bucket`; npos when absent.
+  std::size_t group_in(const Bucket& bucket, SimTime time) const;
+  /// Swap-erase group `gi` from `bucket` (its chain must already be empty).
+  void erase_group(Bucket& bucket, std::size_t gi);
+  /// Consume group `gi`'s inline minimum: promote the chain head into the
+  /// inline slot, or erase the now-empty group. Counts a tie-chain pop when
+  /// `count_promotion`.
+  void consume_group_min(Bucket& bucket, std::size_t gi,
+                         bool count_promotion);
   /// Re-locate the cached minimum by scanning day buckets starting at the
   /// year containing `from` (every remaining entry is >= `from`).
   void find_min(SimTime from);
-  /// Redistribute all entries over `nbuckets` buckets with a freshly
-  /// calibrated width. Grow-only: nbuckets >= buckets_.size().
+  /// Redistribute all tie groups over `nbuckets` buckets with a freshly
+  /// calibrated width. Grow-only: nbuckets >= buckets_.size(); the node
+  /// pool (and every NodeRef) is untouched.
   void rebuild(std::size_t nbuckets);
   double calibrated_width();
 
-  std::vector<std::vector<EventEntry>> buckets_;
+  std::vector<Bucket> buckets_;
+  std::vector<TieNode> pool_;
+  std::uint32_t free_head_ = kNil;
   double width_ = 1.0;
-  std::size_t count_ = 0;
-  EventEntry min_{0, 0};  // valid iff count_ > 0
+  std::size_t count_ = 0;   // entries
+  std::size_t groups_ = 0;  // distinct timestamps
+  EventEntry min_{0, 0};    // valid iff count_ > 0
   std::uint64_t resizes_ = 0;
+  std::uint64_t tie_chain_pops_ = 0;
+  std::uint64_t direct_search_fallbacks_ = 0;
   // Pops since the last rebuild: rate-limits sparse recalibration so a
   // draining queue cannot trigger a rebuild storm.
   std::size_t ops_since_rebuild_ = 0;
-  std::vector<EventEntry> scratch_;  // rebuild relocation buffer (reused)
-  std::vector<SimTime> sample_;      // width-calibration sample (reused)
+  std::vector<TieGroup> scratch_;  // rebuild relocation buffer (reused)
+  std::vector<SimTime> sample_;    // width-calibration sample (reused)
 };
 
 }  // namespace prdrb

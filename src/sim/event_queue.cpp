@@ -3,13 +3,30 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace prdrb {
 
+SchedulerKind resolve_scheduler(SchedulerKind kind,
+                                std::size_t expected_pending) {
+  if (kind != SchedulerKind::kAuto) return kind;
+  return expected_pending >= kAutoPendingThreshold ? SchedulerKind::kCalendar
+                                                   : SchedulerKind::kBinaryHeap;
+}
+
 std::string_view scheduler_name(SchedulerKind kind) {
-  return kind == SchedulerKind::kBinaryHeap ? "heap" : "calendar";
+  switch (kind) {
+    case SchedulerKind::kBinaryHeap:
+      return "heap";
+    case SchedulerKind::kCalendar:
+      return "calendar";
+    case SchedulerKind::kAuto:
+      return "auto";
+  }
+  return "heap";
 }
 
 std::optional<SchedulerKind> parse_scheduler_name(std::string_view name) {
@@ -17,6 +34,7 @@ std::optional<SchedulerKind> parse_scheduler_name(std::string_view name) {
     return SchedulerKind::kBinaryHeap;
   }
   if (name == "calendar") return SchedulerKind::kCalendar;
+  if (name == "auto") return SchedulerKind::kAuto;
   return std::nullopt;
 }
 
@@ -33,7 +51,7 @@ SchedulerKind env_scheduler() {
     if (const auto parsed = parse_scheduler_name(env)) return *parsed;
     std::fprintf(stderr,
                  "[prdrb] unknown PRDRB_SCHED value '%s' "
-                 "(expected heap|calendar); using heap\n",
+                 "(expected heap|calendar|auto); using heap\n",
                  env);
     return SchedulerKind::kBinaryHeap;
   }();
@@ -58,6 +76,12 @@ void EventQueue::heap_remove_top() {
 }
 
 EventId EventQueue::schedule(SimTime when, Action action) {
+  if (std::isnan(when)) {
+    // A NaN time would silently corrupt event_entry_less ordering: the heap
+    // invariant breaks without tripping any assert, and the calendar maps
+    // NaN to day zero via epoch_of. Fail loudly at the source instead.
+    throw std::invalid_argument("EventQueue::schedule: event time is NaN");
+  }
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -72,12 +96,12 @@ EventId EventQueue::schedule(SimTime when, Action action) {
   Slot& cell = slots_[slot];
   cell.action = std::move(action);
   cell.key = id;
-  cell.when = when;
   if (kind_ == SchedulerKind::kBinaryHeap) {
     heap_.push_back(EventEntry{when, id});
     std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
   } else {
-    calendar_.push(EventEntry{when, id});
+    cell.when = when;
+    cell.node = calendar_.push(EventEntry{when, id});
   }
   return id;
 }
@@ -96,13 +120,20 @@ void EventQueue::cancel(EventId id) {
   // key compare and is a true no-op; only ids still pending can add a
   // tombstone, so tombstones_ stays bounded by size().
   if (slot >= slots_.size() || slots_[slot].key != id) return;
+  const CalendarIndex::NodeRef node = slots_[slot].node;
   const SimTime when = slots_[slot].when;
   retire(slot);
   if (kind_ == SchedulerKind::kCalendar) {
-    // Eager removal from the home bucket; when the entry is not there it
-    // has been drained into the current dispatch batch, whose execution
-    // loop consumes the tombstone.
-    if (!calendar_.remove(when, id)) ++tombstones_;
+    // Eager unlink: O(1) via the slot-stored tie-chain handle when one
+    // exists and is still current; otherwise the (time, key) overload
+    // covers inline minima — including entries whose handle went stale
+    // when a chain promotion moved them into the inline slot. When neither
+    // finds the entry it has been drained into the current dispatch batch,
+    // whose execution loop consumes the tombstone.
+    if ((node == CalendarIndex::kNoNode || !calendar_.remove_ref(node, id)) &&
+        !calendar_.remove(when, id)) {
+      ++tombstones_;
+    }
     return;
   }
   ++tombstones_;
@@ -166,14 +197,10 @@ SimTime EventQueue::begin_batch() {
     }
     purge_top();
   } else {
-    // All calendar entries are live (eager cancel); the single home bucket
-    // yields them in arbitrary order, so sort by key for determinism.
+    // All calendar entries are live (eager cancel), and the tie chain
+    // drains already key-ascending — deterministic dispatch with no sort.
     batch_time_ = calendar_.min_time();
     calendar_.pop_ready(batch_);
-    std::sort(batch_.begin(), batch_.end(),
-              [](const EventEntry& a, const EventEntry& b) {
-                return a.key < b.key;
-              });
   }
   return batch_time_;
 }

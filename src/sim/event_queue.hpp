@@ -25,9 +25,9 @@
 //  * Heap cancellation is lazy (tombstones): stale entries are purged when
 //    they surface at the top, maintaining the invariant "a non-empty heap
 //    has a live top" — empty() and next_time() are truly const queries.
-//    Calendar cancellation is eager (the slot stores the scheduled time,
-//    which locates the home bucket), so the calendar never holds stale
-//    entries at all.
+//    Calendar cancellation is eager (the slot stores the entry's stable
+//    NodeRef, an O(1) unlink from its tie chain), so the calendar never
+//    holds stale entries at all.
 //  * Batched same-time dispatch: begin_batch()/next_batch_action() drain
 //    every event sharing the earliest timestamp into a reusable scratch
 //    buffer in key order, eliminating the per-event top-purge/sift in the
@@ -57,25 +57,44 @@ using EventId = std::uint64_t;
 /// larger captures transparently spill to one heap allocation.
 inline constexpr std::size_t kActionCapacity = 48;
 
-/// Scheduler backend selection. Both backends produce identical event
-/// counts and byte-identical ScenarioResults (tests/scheduler_test.cpp
-/// fuzzes the equivalence).
+/// Scheduler backend selection. Both concrete backends produce identical
+/// event counts and byte-identical ScenarioResults
+/// (tests/scheduler_test.cpp fuzzes the equivalence), so kAuto — resolved
+/// to one of them by expected pending-event scale before a queue is built —
+/// can never change results, only speed.
 enum class SchedulerKind : std::uint8_t {
   kBinaryHeap,  ///< binary heap: O(log n), the long-standing default
   kCalendar,    ///< calendar queue: O(1) amortized, deep-queue regime
+  kAuto,        ///< pick heap vs calendar from expected pending-event scale
 };
 
-/// Canonical name ("heap" / "calendar") for manifests and flags.
+/// Pending-event scale at which kAuto switches from the heap to the
+/// calendar. Below ~16k the heap's compact flat array wins outright; past
+/// it the calendar's depth-independent cost catches up and then pulls
+/// ahead as the heap's log-depth sift deepens (BENCH_kernel_baseline.json
+/// hold rows: parity by ~131k, calendar ahead at 262k — and far ahead
+/// whenever timestamps cluster, which deep interconnect traces do).
+inline constexpr std::size_t kAutoPendingThreshold = 16384;
+
+/// Resolve kAuto against an expected peak pending-event count (>= threshold
+/// picks the calendar); concrete kinds pass through unchanged. EventQueue
+/// itself is scenario-blind, so callers with workload knowledge (the
+/// experiment harness) compute the estimate and resolve before construction
+/// — see expected_pending_events() in experiment/scenario.hpp.
+SchedulerKind resolve_scheduler(SchedulerKind kind,
+                                std::size_t expected_pending);
+
+/// Canonical name ("heap" / "calendar" / "auto") for manifests and flags.
 std::string_view scheduler_name(SchedulerKind kind);
 
-/// Parse a backend name ("heap" / "binary-heap" / "calendar");
+/// Parse a backend name ("heap" / "binary-heap" / "calendar" / "auto");
 /// std::nullopt for anything else.
 std::optional<SchedulerKind> parse_scheduler_name(std::string_view name);
 
 /// Process-wide default backend used by Simulator's default constructor:
 /// the last set_default_scheduler() value, else the PRDRB_SCHED environment
-/// variable ("heap" / "calendar"; unknown values warn once on stderr), else
-/// the binary heap.
+/// variable ("heap" / "calendar" / "auto"; unknown values warn once on
+/// stderr), else the binary heap.
 SchedulerKind default_scheduler();
 
 /// Override default_scheduler() for this process.
@@ -88,13 +107,18 @@ class EventQueue {
   /// A queue is pinned to one backend for its lifetime. The default stays
   /// the binary heap so low-level EventQueue tests/benches are
   /// backend-explicit; Simulator's default constructor is what consults
-  /// default_scheduler().
+  /// default_scheduler(). kAuto resolves here with no pending-scale
+  /// knowledge, i.e. to the heap — pass a resolved kind (see
+  /// resolve_scheduler) when an estimate exists.
   explicit EventQueue(SchedulerKind kind = SchedulerKind::kBinaryHeap)
-      : kind_(kind) {}
+      : kind_(resolve_scheduler(kind, 0)) {}
 
   SchedulerKind kind() const { return kind_; }
 
   /// Schedule `action` at absolute time `when`. Returns a cancellation id.
+  /// `when` must not be NaN (it would silently corrupt the heap ordering
+  /// invariant and collapse the calendar's epoch mapping to day zero);
+  /// throws std::invalid_argument.
   EventId schedule(SimTime when, Action action);
 
   /// Cancel a pending event. Cancelling an id that already fired, was
@@ -120,6 +144,28 @@ class EventQueue {
   /// Number of cancelled-but-not-yet-purged entries (bounded by size()).
   /// Always 0 for the calendar backend outside batch dispatch.
   std::size_t pending_cancellations() const { return tombstones_; }
+
+  // --- scheduler internals (exported as the sim.sched.* gauges) ---
+
+  /// Calendar bucket-array rebuilds (growth or sparse recalibration);
+  /// 0 for the heap backend.
+  std::uint64_t sched_rebuilds() const {
+    return kind_ == SchedulerKind::kCalendar ? calendar_.resizes() : 0;
+  }
+
+  /// Entries the calendar served in O(1) from a same-timestamp tie chain;
+  /// 0 for the heap backend.
+  std::uint64_t sched_tie_chain_pops() const {
+    return kind_ == SchedulerKind::kCalendar ? calendar_.tie_chain_pops() : 0;
+  }
+
+  /// Calendar year-window scans that fell back to a direct search; 0 for
+  /// the heap backend.
+  std::uint64_t sched_direct_search_fallbacks() const {
+    return kind_ == SchedulerKind::kCalendar
+               ? calendar_.direct_search_fallbacks()
+               : 0;
+  }
 
   /// Time of the earliest live event; kTimeInfinity when empty. During
   /// batch dispatch the undispatched remainder reports the batch time.
@@ -174,12 +220,16 @@ class EventQueue {
   /// One recyclable callback cell. `key` stamps the occupant's EventId
   /// (0 = vacant); a backend entry or cancellation handle is stale exactly
   /// when its key no longer matches — one load and one compare, no hash
-  /// lookup. `when` is the scheduled time, which the calendar backend's
-  /// eager cancel uses to locate the home bucket.
+  /// lookup. `node` is the calendar entry's NodeRef (kNoNode when the entry
+  /// is its tie group's handle-less inline minimum), making eager cancel an
+  /// O(1) chain unlink; `when` is the scheduled time, the (time, key)
+  /// fallback for cancelling inline entries — including ones whose NodeRef
+  /// went stale when a chain promotion moved them into the inline slot.
   struct Slot {
     Action action;
     std::uint64_t key = 0;
     SimTime when = 0;
+    CalendarIndex::NodeRef node = CalendarIndex::kNoNode;
   };
 
   std::size_t backend_size() const {

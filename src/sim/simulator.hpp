@@ -22,9 +22,17 @@ class Simulator {
   /// Default-constructed simulators use the process default backend
   /// (set_default_scheduler() / PRDRB_SCHED / binary heap).
   Simulator() : Simulator(default_scheduler()) {}
-  explicit Simulator(SchedulerKind kind) : queue_(kind) {}
 
-  /// The scheduler backend this simulator was built with.
+  /// `expected_pending` only matters when `kind` is kAuto: it is the
+  /// caller's estimate of the peak pending-event count (the experiment
+  /// harness computes it from topology size x injection,
+  /// expected_pending_events()), which resolve_scheduler() compares against
+  /// kAutoPendingThreshold. Concrete kinds ignore it.
+  explicit Simulator(SchedulerKind kind, std::size_t expected_pending = 0)
+      : queue_(resolve_scheduler(kind, expected_pending)) {}
+
+  /// The concrete scheduler backend this simulator was built with (kAuto
+  /// has been resolved; this is never kAuto).
   SchedulerKind scheduler() const { return queue_.kind(); }
 
   SimTime now() const { return now_; }

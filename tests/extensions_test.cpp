@@ -168,6 +168,33 @@ TEST(SolutionDbPersistence, TruncatedInputThrows) {
   EXPECT_THROW(db.import_text(buf), std::runtime_error);
 }
 
+TEST(SolutionDbPersistence, TruncatedSrcDstPairThrows) {
+  // A record that dies between `src` and `dst` used to terminate the import
+  // loop silently, reporting success with the tail of the file dropped.
+  std::stringstream buf("0 7 4e-06 1 1 7 1 -1 -1 5e-06\n5");
+  SolutionDatabase db;
+  EXPECT_THROW(db.import_text(buf), std::runtime_error);
+  EXPECT_EQ(db.size(), 1u) << "records before the truncation still load";
+}
+
+TEST(SolutionDbPersistence, NonNumericRecordStartThrows) {
+  // Same silent-termination bug, other shape: trailing garbage where the
+  // next record's `src` should be.
+  std::stringstream buf("0 7 4e-06 1 1 7 1 -1 -1 5e-06\ngarbage");
+  SolutionDatabase db;
+  EXPECT_THROW(db.import_text(buf), std::runtime_error);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(SolutionDbPersistence, TrailingWhitespaceIsACleanEnd) {
+  std::stringstream buf("0 7 4e-06 1 1 7 1 -1 -1 5e-06 \n\t \n");
+  SolutionDatabase db;
+  EXPECT_EQ(db.import_text(buf), 1u);
+  EXPECT_EQ(db.size(), 1u);
+  std::stringstream empty("   \n ");
+  EXPECT_EQ(db.import_text(empty), 0u);
+}
+
 TEST(SolutionDbPersistence, WarmStartedPolicyInstallsImmediately) {
   // Offline/static variation: a fresh policy pre-loaded with a previous
   // run's database applies the solution on the very first High episode.

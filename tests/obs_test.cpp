@@ -358,7 +358,10 @@ TEST(Counters, ScenarioRunPopulatesRegistry) {
   for (const char* name :
        {"net.link.packets", "net.link.bytes", "net.ack.bytes",
         "net.header.overhead_bytes", "net.credit.stalls", "sim.events",
-        "routing.expansions", "routing.sdb.installs"}) {
+        "sim.sched.rebuilds", "sim.sched.tie_chain_pops",
+        "sim.sched.direct_search_fallbacks", "sim.sched.tombstones",
+        "routing.expansions", "routing.sdb.installs", "routing.sdb.lookups",
+        "routing.sdb.hits", "routing.sdb.empty_probes"}) {
     EXPECT_NE(reg.series(name), nullptr) << name;
   }
   EXPECT_GT(reg.samples_taken(), 0u);

@@ -200,6 +200,25 @@ TEST(SolutionDatabase, EmptySignatureNeverStored) {
   EXPECT_EQ(db.size(), 0u);
 }
 
+TEST(SolutionDatabase, EmptySignatureProbesCountedApart) {
+  // An empty signature can never match (save() refuses them), so probing
+  // with one is a degenerate query. It used to bump lookups_, silently
+  // deflating the hit rate the counters report; now it lands in its own
+  // counter and leaves the real lookup statistics alone.
+  SolutionDatabase db;
+  const auto sig = FlowSignature::from(std::vector<ContendingFlow>{{1, 2}});
+  db.save(0, 7, sig, two_paths(), 6e-6, 0.8);
+  EXPECT_EQ(db.lookup(0, 7, FlowSignature{}, 0.8), nullptr);
+  EXPECT_EQ(db.lookup(0, 7, FlowSignature{}, 0.8), nullptr);
+  EXPECT_EQ(db.empty_probes(), 2u);
+  EXPECT_EQ(db.lookups(), 0u) << "degenerate probes must not skew lookups";
+  EXPECT_EQ(db.hits(), 0u);
+  ASSERT_NE(db.lookup(0, 7, sig, 0.8), nullptr);
+  EXPECT_EQ(db.lookups(), 1u);
+  EXPECT_EQ(db.hits(), 1u);
+  EXPECT_EQ(db.empty_probes(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // PrDrbPolicy zone reactions, driven by synthetic ACKs.
 

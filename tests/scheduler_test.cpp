@@ -5,7 +5,9 @@
 // allocation-freedom under the operator-new interposer, and the Parsed<T>
 // typed-error layer the factories now return.
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <string>
 #include <utility>
@@ -29,11 +31,56 @@ namespace {
 TEST(SchedulerNames, RoundTrip) {
   EXPECT_EQ(scheduler_name(SchedulerKind::kBinaryHeap), "heap");
   EXPECT_EQ(scheduler_name(SchedulerKind::kCalendar), "calendar");
+  EXPECT_EQ(scheduler_name(SchedulerKind::kAuto), "auto");
   EXPECT_EQ(parse_scheduler_name("heap"), SchedulerKind::kBinaryHeap);
   EXPECT_EQ(parse_scheduler_name("binary-heap"), SchedulerKind::kBinaryHeap);
   EXPECT_EQ(parse_scheduler_name("calendar"), SchedulerKind::kCalendar);
+  EXPECT_EQ(parse_scheduler_name("auto"), SchedulerKind::kAuto);
   EXPECT_FALSE(parse_scheduler_name("splay").has_value());
   EXPECT_FALSE(parse_scheduler_name("").has_value());
+}
+
+TEST(SchedulerNames, AutoResolvesByExpectedPendingScale) {
+  // Concrete kinds pass through untouched, whatever the estimate says.
+  EXPECT_EQ(resolve_scheduler(SchedulerKind::kBinaryHeap, 1u << 20),
+            SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(resolve_scheduler(SchedulerKind::kCalendar, 0),
+            SchedulerKind::kCalendar);
+  // kAuto: the threshold is the exact switch point.
+  EXPECT_EQ(resolve_scheduler(SchedulerKind::kAuto, 0),
+            SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(resolve_scheduler(SchedulerKind::kAuto, kAutoPendingThreshold - 1),
+            SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(resolve_scheduler(SchedulerKind::kAuto, kAutoPendingThreshold),
+            SchedulerKind::kCalendar);
+  // Simulator resolves at construction; scheduler() never reports kAuto.
+  EXPECT_EQ(Simulator(SchedulerKind::kAuto).scheduler(),
+            SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(Simulator(SchedulerKind::kAuto, 1u << 20).scheduler(),
+            SchedulerKind::kCalendar);
+  // A bare EventQueue has no pending-scale estimate: kAuto means the heap.
+  EXPECT_EQ(EventQueue(SchedulerKind::kAuto).kind(),
+            SchedulerKind::kBinaryHeap);
+}
+
+TEST(SchedulerNames, ExpectedPendingEventsScalesWithTopologyAndLoad) {
+  const auto mesh = make_topology("mesh-8x8").value_or_throw();
+  const auto tree = make_topology("tree-256").value_or_throw();
+  ScenarioSpec sc;  // default synthetic workload
+  const std::size_t small = expected_pending_events(*mesh, sc);
+  EXPECT_GT(small, 0u);
+  // Offered load scales the per-entity estimate (until the clamp).
+  sc.synthetic().rate_bps = 10e9;
+  EXPECT_GT(expected_pending_events(*mesh, sc), small);
+  // More entities → more expected pending events, same workload.
+  EXPECT_GT(expected_pending_events(*tree, sc),
+            expected_pending_events(*mesh, sc));
+  // Trace replays use a fixed per-entity allowance, independent of rate.
+  ScenarioSpec tr;
+  tr.trace().app = "sweep3d";
+  EXPECT_EQ(expected_pending_events(*mesh, tr),
+            static_cast<std::size_t>(8 * (mesh->num_nodes() +
+                                          mesh->num_routers())));
 }
 
 TEST(SchedulerNames, DefaultOverrideFlowsIntoSimulator) {
@@ -135,6 +182,83 @@ TEST(SchedulerDifferential, FuzzedScheduleCancelPopMatchExactly) {
   }
 }
 
+// Tie-heavy regime: 10k+ events packed onto <= 8 distinct timestamps, with
+// interleaved mid-batch cancels — the clustered-tie shape that degraded the
+// flat-bucket calendar to O(T^2) and rebuild storms. Three queues run the
+// same op sequence in EventId lockstep: heap, calendar, and an
+// auto-resolved backend (kAuto at deep pending scale, i.e. the calendar).
+TEST(SchedulerDifferential, TieHeavyClusteredTimestampsMatchExactly) {
+  std::mt19937_64 rng(0xBEEFu);
+  EventQueue heap(SchedulerKind::kBinaryHeap);
+  EventQueue cal(SchedulerKind::kCalendar);
+  EventQueue auto_q(resolve_scheduler(SchedulerKind::kAuto, 1u << 20));
+  ASSERT_EQ(auto_q.kind(), SchedulerKind::kCalendar);
+  EventQueue* queues[] = {&heap, &cal, &auto_q};
+
+  std::vector<std::pair<SimTime, int>> fired[3];
+  std::vector<EventId> live_ids;
+  int next_marker = 0;
+  const auto schedule_tie = [&](SimTime when) {
+    const int marker = next_marker++;
+    EventId ids[3];
+    for (int qi = 0; qi < 3; ++qi) {
+      ids[qi] = queues[qi]->schedule(when, [&fired, qi, when, marker] {
+        fired[qi].emplace_back(when, marker);
+      });
+    }
+    ASSERT_EQ(ids[0], ids[1]);
+    ASSERT_EQ(ids[0], ids[2]);
+    live_ids.push_back(ids[0]);
+  };
+
+  double base = 0.0;
+  for (int round = 0; round < 10; ++round) {
+    // 1200 events per round, all landing on 8 distinct ticks.
+    for (int i = 0; i < 1200; ++i) {
+      schedule_tie(base + static_cast<double>(rng() % 8) * 1e-6);
+    }
+    // Pre-drain cancels: ~15 % of everything still tracked.
+    for (std::size_t i = 0; i < live_ids.size() / 7; ++i) {
+      const EventId victim = live_ids[rng() % live_ids.size()];
+      for (EventQueue* q : queues) q->cancel(victim);
+    }
+    // Drain all 8 ticks batch-wise; every ~16th action cancels a random id
+    // mid-batch (may hit an entry already drained into this very batch).
+    while (!heap.empty()) {
+      SimTime t[3];
+      for (int qi = 0; qi < 3; ++qi) t[qi] = queues[qi]->begin_batch();
+      ASSERT_EQ(t[0], t[1]);
+      ASSERT_EQ(t[0], t[2]);
+      EventQueue::Action a;
+      int step = 0;
+      for (int qi = 0; qi < 3; ++qi) {
+        std::mt19937_64 batch_rng(0xABBAu + round);  // same stream per queue
+        step = 0;
+        while (queues[qi]->next_batch_action(a)) {
+          a();
+          if (++step % 16 == 0 && !live_ids.empty()) {
+            queues[qi]->cancel(live_ids[batch_rng() % live_ids.size()]);
+          }
+        }
+      }
+      for (int qi = 1; qi < 3; ++qi) {
+        ASSERT_EQ(queues[0]->live(), queues[qi]->live());
+        ASSERT_EQ(queues[0]->empty(), queues[qi]->empty());
+      }
+    }
+    live_ids.clear();
+    base += 1.0;
+  }
+  ASSERT_GT(next_marker, 10000) << "meant to be a 10k+ event stress";
+  EXPECT_EQ(fired[0], fired[1]);
+  EXPECT_EQ(fired[0], fired[2]);
+  // The calendar served the tie runs through chain promotion, and
+  // group-based occupancy kept 8 distinct ticks from ever growing the
+  // bucket array (the old entry-counted design rebuilt incessantly here).
+  EXPECT_GT(cal.sched_tie_chain_pops(), 9000u);
+  EXPECT_EQ(cal.sched_rebuilds(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Batched same-time dispatch
 
@@ -187,6 +311,20 @@ TEST_P(BatchDispatch, SameTimeSelfSchedulingFormsNextBatch) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(sim.now(), 1e-6);
   EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST_P(BatchDispatch, NaNScheduleThrowsAndCorruptsNothing) {
+  // A NaN timestamp compares false against everything: it would silently
+  // break the heap ordering invariant and collapse the calendar's epoch
+  // mapping. Both backends must reject it before any state changes.
+  EventQueue q(GetParam());
+  q.schedule(1e-6, [] {});
+  EXPECT_THROW(q.schedule(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(-std::numeric_limits<double>::quiet_NaN(), [] {}),
+               std::invalid_argument);
+  EXPECT_EQ(q.live(), 1u) << "failed schedule must not leak a slot";
+  EXPECT_EQ(q.pop().time, 1e-6);
+  EXPECT_TRUE(q.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(BothBackends, BatchDispatch,
@@ -246,6 +384,93 @@ TEST(CalendarIndex, HandlesExtremeTimesWithoutOverflow) {
   EXPECT_EQ(ci.pop_min().key, 2u);
   EXPECT_EQ(ci.pop_min().key, 3u);
   EXPECT_EQ(ci.pop_min().key, 4u);
+}
+
+TEST(CalendarIndex, TieChainPromotesMinInConstantTime) {
+  CalendarIndex ci;
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ci.push(EventEntry{1e-6, k});
+  }
+  EXPECT_EQ(ci.distinct_times(), 1u) << "one timestamp = one tie group";
+  EXPECT_EQ(ci.bucket_count(), 16u) << "ties must not inflate occupancy";
+  EXPECT_EQ(ci.resizes(), 0u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(ci.min().key, k);
+    ASSERT_EQ(ci.pop_min().key, k);
+  }
+  EXPECT_TRUE(ci.empty());
+  // Every pop after the first promoted the chain successor in O(1) instead
+  // of rescanning the bucket.
+  EXPECT_EQ(ci.tie_chain_pops(), 999u);
+}
+
+TEST(CalendarIndex, GroupOccupancyIgnoresTieDepth) {
+  // 10k entries on 8 distinct timestamps: the entry-counted design grew the
+  // bucket array toward 8k buckets chasing a density no width can achieve.
+  CalendarIndex ci;
+  std::mt19937_64 rng(3);
+  for (std::uint64_t k = 1; k <= 10000; ++k) {
+    ci.push(EventEntry{static_cast<double>(rng() % 8) * 1e-6, k});
+  }
+  EXPECT_EQ(ci.distinct_times(), 8u);
+  EXPECT_EQ(ci.bucket_count(), 16u);
+  EXPECT_EQ(ci.resizes(), 0u) << "tie depth must not trigger rebuilds";
+  SimTime prev = -1.0;
+  std::uint64_t prev_key = 0;
+  while (!ci.empty()) {
+    const EventEntry e = ci.pop_min();
+    ASSERT_TRUE(e.time > prev || (e.time == prev && e.key > prev_key));
+    prev = e.time;
+    prev_key = e.key;
+  }
+}
+
+TEST(CalendarIndex, OutOfOrderKeysKeepChainsSorted) {
+  // EventQueue issues keys monotonically (tail-append fast path), but the
+  // chain invariant must hold for any push order.
+  CalendarIndex ci;
+  for (const std::uint64_t k : {7u, 3u, 9u, 1u, 5u}) {
+    ci.push(EventEntry{2e-6, k});
+  }
+  ci.push(EventEntry{5e-6, 2});
+  std::vector<EventEntry> out;
+  ci.pop_ready(out);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].time, 2e-6);
+    if (i) EXPECT_LT(out[i - 1].key, out[i].key) << "pop_ready must be "
+                                                    "key-sorted";
+  }
+  EXPECT_EQ(ci.min().key, 2u);
+  EXPECT_EQ(ci.size(), 1u);
+}
+
+TEST(CalendarIndex, RemoveRefUnlinksAnyChainPosition) {
+  CalendarIndex ci;
+  CalendarIndex::NodeRef refs[6];
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    refs[k] = ci.push(EventEntry{1e-6, k});
+  }
+  // The first entry at a timestamp is the group's inline minimum and has no
+  // handle; every later same-tick push joins the chain and gets one.
+  EXPECT_EQ(refs[1], CalendarIndex::kNoNode);
+  for (std::uint64_t k = 2; k <= 5; ++k) {
+    EXPECT_NE(refs[k], CalendarIndex::kNoNode) << k;
+  }
+  EXPECT_TRUE(ci.remove_ref(refs[3], 3));   // mid-chain
+  EXPECT_TRUE(ci.remove_ref(refs[5], 5));   // tail
+  // The inline minimum must go through the (time, key) overload, which
+  // promotes its chain successor.
+  EXPECT_TRUE(ci.remove(1e-6, 1));
+  EXPECT_EQ(ci.min().key, 2u);
+  EXPECT_FALSE(ci.remove_ref(refs[3], 3)) << "double remove must fail";
+  EXPECT_EQ(ci.pop_min().key, 2u);
+  // Key 4 was promoted inline when 2 popped: its NodeRef is stale now, and
+  // the cancel path's fallback contract says remove(time, key) still works.
+  EXPECT_FALSE(ci.remove_ref(refs[4], 4))
+      << "a promoted entry's chain handle must be stale";
+  EXPECT_TRUE(ci.remove(1e-6, 4));
+  EXPECT_TRUE(ci.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +533,32 @@ TEST(Allocations, BatchDispatchScratchIsReusedAllocationFree) {
   }
 }
 
+TEST(Allocations, TieChainSteadyStateIsAllocationFree) {
+  // The clustered-tie pattern: 64 coresident events per tick, batch-drained.
+  // Once the node pool, slot array and batch scratch reach their high-water
+  // sizes, pushing/promoting/draining tie chains must never allocate.
+  EventQueue q(SchedulerKind::kCalendar);
+  std::uint64_t sink = 0;
+  auto round = [&](int r) {
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(static_cast<SimTime>(r), [&sink, i] {
+        sink += static_cast<std::uint64_t>(i);
+      });
+    }
+    while (!q.empty()) {
+      q.begin_batch();
+      EventQueue::Action a;
+      while (q.next_batch_action(a)) a();
+    }
+  };
+  int r = 0;
+  for (; r < 4000; ++r) round(r);
+  test::AllocationScope scope;
+  for (int measured = 0; measured < 500; ++measured) round(r++);
+  EXPECT_EQ(scope.count(), 0u) << "tie-chain steady state allocated";
+  EXPECT_GT(q.sched_tie_chain_pops(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end equivalence: full scenarios, byte-identical results
 
@@ -329,10 +580,14 @@ TEST(SchedulerEquivalence, ScenarioResultsAreIdenticalAcrossBackends) {
     heap_sc.sched = SchedulerKind::kBinaryHeap;
     auto cal_sc = sc;
     cal_sc.sched = SchedulerKind::kCalendar;
+    auto auto_sc = sc;
+    auto_sc.sched = SchedulerKind::kAuto;  // resolves via expected pending
     const ScenarioResult a = run_scenario(policy, heap_sc);
     const ScenarioResult b = run_scenario(policy, cal_sc);
+    const ScenarioResult c = run_scenario(policy, auto_sc);
     // Defaulted operator== — every field, full time series, exact doubles.
     EXPECT_EQ(a, b) << policy;
+    EXPECT_EQ(a, c) << policy << " (auto must only pick, never perturb)";
     EXPECT_GT(a.events, 0u);
   }
 }
