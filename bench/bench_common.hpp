@@ -2,8 +2,9 @@
 // for the per-figure bench binaries: aliases, table-formatting helpers, the
 // shared command-line flags (--jobs, --sched, --trace-out, --metrics-out,
 // --manifest-out, --no-manifest, --telemetry-out, --heatmap-out,
-// --watchdog[=S], --watchdog-out) and the BenchMain RAII wrapper that writes
-// the run manifest (EXPERIMENTS.md "Run manifests") on exit.
+// --scorecard-out, --watchdog[=S], --watchdog-out) and the BenchMain RAII
+// wrapper that writes the run manifest (EXPERIMENTS.md "Run manifests") on
+// exit.
 #pragma once
 
 #include <chrono>
@@ -21,6 +22,7 @@
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
@@ -101,6 +103,7 @@ struct BenchOptions {
   bool manifest = true;      // --no-manifest suppresses the manifest file
   std::string telemetry_out; // --telemetry-out=PATH: link/router telemetry
   std::string heatmap_out;   // --heatmap-out=PATH: ASCII (or .pgm) heatmap
+  std::string scorecard_out; // --scorecard-out=PATH: predictive scorecard
   double watchdog = 0;       // --watchdog[=SECONDS]: stall watchdog window
   std::string watchdog_out;  // --watchdog-out=PATH: flight dump JSON if fired
   std::string sched;         // --sched NAME: scheduler backend (heap|calendar)
@@ -135,6 +138,7 @@ inline BenchOptions parse_bench_flags(int argc, char** argv) {
     if (take("--manifest-out", o.manifest_out)) continue;
     if (take("--telemetry-out", o.telemetry_out)) continue;
     if (take("--heatmap-out", o.heatmap_out)) continue;
+    if (take("--scorecard-out", o.scorecard_out)) continue;
     if (take("--watchdog-out", o.watchdog_out)) continue;
     if (take("--sched", o.sched)) continue;
     if (a == "--watchdog") {
@@ -190,7 +194,7 @@ class BenchMain {
   bool wants_probe() const {
     return !opts_.trace_out.empty() || !opts_.metrics_out.empty() ||
            !opts_.telemetry_out.empty() || !opts_.heatmap_out.empty() ||
-           opts_.watchdog > 0;
+           !opts_.scorecard_out.empty() || opts_.watchdog > 0;
   }
 
   /// Run `policy` over `sc` serially with the requested observers attached
@@ -205,11 +209,13 @@ class BenchMain {
     obs::CounterRegistry counters(sc.bin_width);
     obs::NetTelemetry telemetry(sc.bin_width);
     obs::FlightRecorder recorder(512);
+    obs::Scorecard scorecard;
     sc.sinks.tracer = &tracer;
     sc.sinks.counters = &counters;
     if (!opts_.telemetry_out.empty() || !opts_.heatmap_out.empty()) {
       sc.sinks.telemetry = &telemetry;
     }
+    if (!opts_.scorecard_out.empty()) sc.sinks.scorecard = &scorecard;
     std::string dump;
     if (opts_.watchdog > 0) {
       sc.sinks.recorder = &recorder;
@@ -227,6 +233,9 @@ class BenchMain {
     if (!opts_.watchdog_out.empty() && !dump.empty()) {
       obs::write_text_file(opts_.watchdog_out, dump);
     }
+    // Accumulate (exact bucket-wise fold) so a bench that probes several
+    // scenarios writes one merged scorecard at exit.
+    if (!opts_.scorecard_out.empty()) scorecard_.merge(scorecard);
     return r;
   }
 
@@ -241,12 +250,16 @@ class BenchMain {
                                    : opts_.manifest_out;
       manifest_.write_file(path);
     }
+    if (!opts_.scorecard_out.empty()) {
+      scorecard_.write_file(opts_.scorecard_out);
+    }
   }
 
  private:
   std::string name_;
   BenchOptions opts_;
   RunManifest manifest_;
+  obs::Scorecard scorecard_;  // merged across probe_scenario() calls
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -9,6 +9,7 @@
 #include "net/mesh2d.hpp"
 #include "net/network.hpp"
 #include "obs/counters.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
@@ -281,6 +282,46 @@ void BM_SimulatedNetworkHopTelemetry(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedNetworkHopTelemetry)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Streaming-aggregation (scorecard) overhead on the same loaded mesh.
+/// Arg(0): scorecard not bound — every hook site pays one not-taken
+/// null-pointer branch and the packet phase fields are never written; must
+/// sit within noise of BM_SimulatedNetworkHop. Arg(1): scorecard bound —
+/// pays the phase-timer writes per hop and one histogram fold per delivery
+/// (fixed log-bucket cells: O(bins) memory, no per-packet retention; the
+/// only allocations are std::map flow-record nodes, bounded by distinct
+/// (src,dst) pairs — see tests/scorecard_test.cpp for the interposer proof).
+void BM_SimulatedNetworkHopScorecard(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Mesh2D mesh(8, 8);
+    NetConfig cfg;
+    DeterministicPolicy policy;
+    Network net(sim, mesh, cfg, policy);
+    obs::Scorecard scorecard;
+    if (enabled) net.bind_scorecard(&scorecard);
+    UniformPattern pat(64);
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(64));
+      const NodeId d = pat.destination(s, rng);
+      if (d != s) net.send_message(s, d, 1024);
+    }
+    state.ResumeTiming();
+    sim.run();
+    state.PauseTiming();
+    state.counters["deliveries"] =
+        static_cast<double>(scorecard.deliveries());
+    net.bind_scorecard(nullptr);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SimulatedNetworkHopScorecard)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

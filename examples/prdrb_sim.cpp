@@ -18,6 +18,7 @@
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "util/table.hpp"
@@ -70,6 +71,9 @@ observability (DESIGN.md "Observability"):
                         else "prdrb-telemetry-v1" JSON)
   --heatmap-out <path>  per-router heatmap (.pgm -> time x router image,
                         else topology-aware ASCII)
+  --scorecard-out <path> predictive-efficacy scorecard: latency attribution,
+                        metapath ledger and warm-vs-cold SDB episodes
+                        ("prdrb-scorecard-v1" JSON) of a serial base-seed run
   --watchdog[=<s>]      arm the stall watchdog (default window 5e-3 virtual
                         seconds): dumps ring + router snapshot to stderr if
                         no packet is delivered for a window while work is
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string telemetry_out;
   std::string heatmap_out;
+  std::string scorecard_out;
   double watchdog = 0;
   std::string watchdog_out;
   std::string manifest_out = "prdrb_sim.manifest.json";
@@ -178,6 +183,8 @@ int main(int argc, char** argv) {
         telemetry_out = sval();
       } else if (a == "--heatmap-out") {
         heatmap_out = sval();
+      } else if (a == "--scorecard-out") {
+        scorecard_out = sval();
       } else if (a == "--watchdog") {
         watchdog = has_inline ? std::stod(inline_val) : 5e-3;
         if (!(watchdog > 0)) watchdog = 5e-3;
@@ -243,12 +250,14 @@ int main(int argc, char** argv) {
       obs::CounterRegistry counters(sc.bin_width);
       obs::NetTelemetry telemetry(sc.bin_width);
       obs::FlightRecorder recorder(512);
+      obs::Scorecard scorecard;
       std::string dump;
       if (!trace_out.empty()) sc.sinks.tracer = &tracer;
       if (!metrics_out.empty()) sc.sinks.counters = &counters;
       if (!telemetry_out.empty() || !heatmap_out.empty()) {
         sc.sinks.telemetry = &telemetry;
       }
+      if (!scorecard_out.empty()) sc.sinks.scorecard = &scorecard;
       if (watchdog > 0) {
         sc.sinks.recorder = &recorder;
         sc.sinks.watchdog_window = watchdog;
@@ -262,6 +271,7 @@ int main(int argc, char** argv) {
         telemetry.write_heatmap_file(
             heatmap_out, *make_topology(sc.topology).value_or_throw());
       }
+      if (!scorecard_out.empty()) scorecard.write_file(scorecard_out);
       if (!watchdog_out.empty() && !dump.empty()) {
         obs::write_text_file(watchdog_out, dump);
       }
@@ -292,18 +302,20 @@ int main(int argc, char** argv) {
     // instrumented run is a separate serial probe at the base seed — its
     // trace bytes are independent of --jobs.
     if (!trace_out.empty() || !metrics_out.empty() || !telemetry_out.empty() ||
-        !heatmap_out.empty() || watchdog > 0) {
+        !heatmap_out.empty() || !scorecard_out.empty() || watchdog > 0) {
       ScenarioSpec probe = sc;
       obs::Tracer tracer;
       obs::CounterRegistry counters(probe.bin_width);
       obs::NetTelemetry telemetry(probe.bin_width);
       obs::FlightRecorder recorder(512);
+      obs::Scorecard scorecard;
       std::string dump;
       if (!trace_out.empty()) probe.sinks.tracer = &tracer;
       if (!metrics_out.empty()) probe.sinks.counters = &counters;
       if (!telemetry_out.empty() || !heatmap_out.empty()) {
         probe.sinks.telemetry = &telemetry;
       }
+      if (!scorecard_out.empty()) probe.sinks.scorecard = &scorecard;
       if (watchdog > 0) {
         probe.sinks.recorder = &recorder;
         probe.sinks.watchdog_window = watchdog;
@@ -317,6 +329,7 @@ int main(int argc, char** argv) {
         telemetry.write_heatmap_file(
             heatmap_out, *make_topology(sc.topology).value_or_throw());
       }
+      if (!scorecard_out.empty()) scorecard.write_file(scorecard_out);
       if (!watchdog_out.empty() && !dump.empty()) {
         obs::write_text_file(watchdog_out, dump);
       }

@@ -1,6 +1,7 @@
 #include "core/pr_drb.hpp"
 
 #include "obs/flight_recorder.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -9,6 +10,16 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
                                   SimTime now) {
   if (mp.installed_since_low) return false;  // once per episode
   const FlowSignature sig = FlowSignature::from(mp.recent_flows);
+  if (sig.empty()) {
+    // Congestion crossed the threshold before any contending-flow
+    // notification arrived: the probe cannot match anything (the database
+    // refuses empty signatures). Surfaced for stall forensics.
+    if (recorder_) {
+      recorder_->record(obs::FlightRecorder::EventKind::kSdbEmptyProbe, now,
+                        src, dst);
+    }
+    if (scorecard_) scorecard_->on_sdb_empty_probe(src, dst, now);
+  }
   SavedSolution* sol = db_.lookup(src, dst, sig, cfg_.similarity);
   if (!sol) {
     if (tracer_) tracer_->solution_miss(src, dst, now);
@@ -16,6 +27,7 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
       recorder_->record(obs::FlightRecorder::EventKind::kSdbMiss, now, src,
                         dst);
     }
+    if (scorecard_) scorecard_->on_sdb_miss(src, dst, now);
     return false;
   }
   // Re-apply the best known solution wholesale: the saved latency estimates
@@ -34,6 +46,9 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
     recorder_->record(obs::FlightRecorder::EventKind::kSdbHit, now, src, dst,
                       static_cast<std::int32_t>(mp.paths.size()));
   }
+  if (scorecard_) {
+    scorecard_->on_sdb_hit(src, dst, static_cast<int>(mp.paths.size()), now);
+  }
   return true;
 }
 
@@ -46,6 +61,9 @@ void PredictiveEngine::calmed(const Metapath& mp, NodeId src, NodeId dst,
   if (recorder_) {
     recorder_->record(obs::FlightRecorder::EventKind::kSdbSave, now, src, dst,
                       static_cast<std::int32_t>(mp.paths.size()));
+  }
+  if (scorecard_) {
+    scorecard_->on_sdb_save(src, dst, static_cast<int>(mp.paths.size()), now);
   }
 }
 

@@ -74,6 +74,11 @@ class PredictiveEngine {
   /// Attach a flight recorder for the same hit/miss/save events.
   void set_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
 
+  /// Attach the predictive-efficacy scorecard: SDB hits/misses/saves and
+  /// empty probes feed its warm-vs-cold episode accounting. nullptr
+  /// detaches.
+  void set_scorecard(obs::Scorecard* s) { scorecard_ = s; }
+
  private:
   PrDrbConfig cfg_;
   SolutionDatabase db_;
@@ -81,6 +86,7 @@ class PredictiveEngine {
   std::uint64_t trend_triggers_ = 0;
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Scorecard* scorecard_ = nullptr;
 };
 
 class PrDrbPolicy : public DrbPolicy {

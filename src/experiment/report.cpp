@@ -55,6 +55,14 @@ struct CheckDoc {
     double max_ratio = 0;  // gate: calendar_ns / heap_ns must stay <= this
   };
   ClusteredTie clustered_tie;
+  // Predictive-scorecard section (scorecard docs): did the SDB fire at all?
+  struct Sdb {
+    bool present = false;
+    double hits = 0;
+    double misses = 0;
+    double deliveries = 0;
+  };
+  Sdb sdb;
 };
 
 bool flatten(const JsonValue& doc, CheckDoc& out) {
@@ -82,6 +90,13 @@ bool flatten(const JsonValue& doc, CheckDoc& out) {
       out.clustered_tie.calendar_ns = tie->number_at("calendar_ns");
       out.clustered_tie.max_ratio = tie->number_at("max_calendar_vs_heap");
     }
+    return true;
+  }
+  if (out.schema == "prdrb-scorecard-v1") {
+    out.sdb.present = true;
+    out.sdb.hits = doc.number_at("sdb.hits");
+    out.sdb.misses = doc.number_at("sdb.misses");
+    out.sdb.deliveries = doc.number_at("deliveries");
     return true;
   }
   return false;
@@ -139,12 +154,60 @@ std::vector<ManifestInfo> collect_reports(const std::string& dir,
   return out;
 }
 
-void write_markdown_report(std::ostream& os,
-                           const std::vector<ManifestInfo>& manifests) {
-  os << "# PR-DRB sweep report\n\n";
-  os << "Manifests: " << manifests.size() << "\n\n";
-  if (manifests.empty()) return;
+bool parse_scorecard(const std::string& text, ScorecardInfo& out) {
+  std::optional<JsonValue> doc = obs::json_parse(text);
+  if (!doc || doc->string_at("schema") != "prdrb-scorecard-v1") return false;
+  out.deliveries = doc->number_at("deliveries");
+  out.sdb_hits = doc->number_at("sdb.hits");
+  out.sdb_misses = doc->number_at("sdb.misses");
+  out.sdb_saves = doc->number_at("sdb.saves");
+  out.sdb_empty_probes = doc->number_at("sdb.empty_probes");
+  out.opens = doc->number_at("ledger.opens");
+  out.closes = doc->number_at("ledger.closes");
+  out.multipath_s = doc->number_at("ledger.multipath_s");
+  out.flows = doc->number_at("ledger.flows");
+  out.cold.count = doc->number_at("episodes.cold.count");
+  out.cold.mean_duration_us = doc->number_at("episodes.cold.mean_duration_us");
+  out.cold.mean_latency_us = doc->number_at("episodes.cold.mean_latency_us");
+  out.warm.count = doc->number_at("episodes.warm.count");
+  out.warm.mean_duration_us = doc->number_at("episodes.warm.mean_duration_us");
+  out.warm.mean_latency_us = doc->number_at("episodes.warm.mean_latency_us");
+  out.false_opens = doc->number_at("episodes.false_opens");
+  out.false_open_rate = doc->number_at("episodes.false_open_rate");
+  out.hit_efficacy_pct = doc->number_at("episodes.hit_efficacy_pct");
+  out.convergence_ratio = doc->number_at("episodes.convergence_ratio");
+  return true;
+}
 
+std::vector<ScorecardInfo> collect_scorecards(const std::string& dir) {
+  std::vector<ScorecardInfo> out;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) {
+    ScorecardInfo info;
+    if (parse_scorecard(read_file(p), info)) {
+      info.path = p;
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+void write_markdown_report(std::ostream& os,
+                           const std::vector<ManifestInfo>& manifests,
+                           const std::vector<ScorecardInfo>& scorecards) {
+  os << "# PR-DRB sweep report\n\n";
+  os << "Manifests: " << manifests.size() << "\n";
+  os << "Scorecards: " << scorecards.size() << "\n\n";
+  if (manifests.empty() && scorecards.empty()) return;
+
+  if (!manifests.empty()) {
   os << "## Runs\n\n";
   os << "| manifest | tool | seed | jobs | wall s | events | events/s |\n";
   os << "|---|---|---:|---:|---:|---:|---:|\n";
@@ -210,14 +273,59 @@ void write_markdown_report(std::ostream& os,
          << obs::json_number(a.worst) << " |\n";
     }
   }
+  }  // !manifests.empty()
+
+  if (!scorecards.empty()) {
+    os << "\n## Predictive scorecards\n\n";
+    os << "| scorecard | deliveries | sdb hits | misses | saves | "
+          "empty probes | mp opens | closes | multipath s | flows |\n";
+    os << "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const ScorecardInfo& s : scorecards) {
+      os << "| " << std::filesystem::path(s.path).filename().string() << " | "
+         << static_cast<std::uint64_t>(s.deliveries) << " | "
+         << static_cast<std::uint64_t>(s.sdb_hits) << " | "
+         << static_cast<std::uint64_t>(s.sdb_misses) << " | "
+         << static_cast<std::uint64_t>(s.sdb_saves) << " | "
+         << static_cast<std::uint64_t>(s.sdb_empty_probes) << " | "
+         << static_cast<std::uint64_t>(s.opens) << " | "
+         << static_cast<std::uint64_t>(s.closes) << " | "
+         << obs::json_number(s.multipath_s) << " | "
+         << static_cast<std::uint64_t>(s.flows) << " |\n";
+    }
+
+    os << "\n## Warm vs cold SDB efficacy\n\n";
+    os << "Warm = congestion episodes opened by an SDB hit (saved paths "
+          "installed wholesale); cold = gradual DRB opening after a miss. "
+          "Positive efficacy means warm episodes delivered lower latency; "
+          "convergence < 1 means they calmed faster.\n\n";
+    os << "| scorecard | cold eps | cold lat (us) | cold dur (us) | "
+          "warm eps | warm lat (us) | warm dur (us) | efficacy % | "
+          "convergence | false opens | false-open rate |\n";
+    os << "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const ScorecardInfo& s : scorecards) {
+      os << "| " << std::filesystem::path(s.path).filename().string() << " | "
+         << static_cast<std::uint64_t>(s.cold.count) << " | "
+         << obs::json_number(s.cold.mean_latency_us) << " | "
+         << obs::json_number(s.cold.mean_duration_us) << " | "
+         << static_cast<std::uint64_t>(s.warm.count) << " | "
+         << obs::json_number(s.warm.mean_latency_us) << " | "
+         << obs::json_number(s.warm.mean_duration_us) << " | "
+         << obs::json_number(s.hit_efficacy_pct) << " | "
+         << obs::json_number(s.convergence_ratio) << " | "
+         << static_cast<std::uint64_t>(s.false_opens) << " | "
+         << obs::json_number(s.false_open_rate) << " |\n";
+    }
+  }
 }
 
 void write_json_report(std::ostream& os,
-                       const std::vector<ManifestInfo>& manifests) {
+                       const std::vector<ManifestInfo>& manifests,
+                       const std::vector<ScorecardInfo>& scorecards) {
   obs::JsonWriter w;
   w.begin_object();
   w.field("schema", "prdrb-sweep-report-v1");
   w.field("manifests", static_cast<std::uint64_t>(manifests.size()));
+  w.field("scorecards", static_cast<std::uint64_t>(scorecards.size()));
   w.key("runs").begin_array();
   for (const ManifestInfo& m : manifests) {
     w.begin_object();
@@ -241,6 +349,32 @@ void write_json_report(std::ostream& os,
       w.end_object();
     }
     w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("scorecard_runs").begin_array();
+  for (const ScorecardInfo& s : scorecards) {
+    w.begin_object();
+    w.field("file", std::filesystem::path(s.path).filename().string());
+    w.field("deliveries", s.deliveries);
+    w.field("sdb_hits", s.sdb_hits);
+    w.field("sdb_misses", s.sdb_misses);
+    w.field("sdb_saves", s.sdb_saves);
+    w.field("sdb_empty_probes", s.sdb_empty_probes);
+    w.field("opens", s.opens);
+    w.field("closes", s.closes);
+    w.field("multipath_s", s.multipath_s);
+    w.field("flows", s.flows);
+    w.field("cold_episodes", s.cold.count);
+    w.field("cold_mean_latency_us", s.cold.mean_latency_us);
+    w.field("cold_mean_duration_us", s.cold.mean_duration_us);
+    w.field("warm_episodes", s.warm.count);
+    w.field("warm_mean_latency_us", s.warm.mean_latency_us);
+    w.field("warm_mean_duration_us", s.warm.mean_duration_us);
+    w.field("false_opens", s.false_opens);
+    w.field("false_open_rate", s.false_open_rate);
+    w.field("hit_efficacy_pct", s.hit_efficacy_pct);
+    w.field("convergence_ratio", s.convergence_ratio);
     w.end_object();
   }
   w.end_array();
@@ -328,6 +462,33 @@ CheckResult check_documents(const JsonValue& older, const JsonValue& newer,
              b.schema == "prdrb-bench-baseline-v1") {
     add(Finding::Level::kWarning,
         "clustered_tie section missing from new document");
+  }
+
+  // Predictive-layer guard (scorecard documents): a run whose baseline had
+  // SDB hits but that now reports zero means the predictive layer silently
+  // stopped firing — always a hard regression, like event drift, regardless
+  // of perf_warn_only.
+  if (a.sdb.present && b.sdb.present) {
+    if (a.sdb.hits > 0 && b.sdb.hits == 0) {
+      add(Finding::Level::kRegression,
+          "SDB hits dropped to zero (baseline had " +
+              std::to_string(static_cast<std::uint64_t>(a.sdb.hits)) +
+              "): the predictive layer stopped firing");
+    } else {
+      add(Finding::Level::kInfo,
+          "SDB hits " +
+              std::to_string(static_cast<std::uint64_t>(a.sdb.hits)) +
+              " -> " +
+              std::to_string(static_cast<std::uint64_t>(b.sdb.hits)) +
+              " (misses " +
+              std::to_string(static_cast<std::uint64_t>(a.sdb.misses)) +
+              " -> " +
+              std::to_string(static_cast<std::uint64_t>(b.sdb.misses)) + ")");
+    }
+  } else if (a.sdb.present != b.sdb.present) {
+    add(Finding::Level::kWarning,
+        std::string("only the ") + (a.sdb.present ? "old" : "new") +
+            " document is a scorecard; SDB comparison skipped");
   }
 
   // Per-policy metrics only exist for manifest-shaped documents.

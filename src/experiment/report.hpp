@@ -12,8 +12,14 @@
 //     NEW.json`. Replaces the ad-hoc warn-only CI python diff: event-count
 //     drift (the determinism contract) always fails; throughput/latency/
 //     delivery moves beyond their thresholds fail unless downgraded to
-//     warnings. Accepts both "prdrb-manifest-v1" documents and the
-//     committed "prdrb-bench-baseline-v1" shape.
+//     warnings. Accepts "prdrb-manifest-v1" documents, the committed
+//     "prdrb-bench-baseline-v1" shape, and "prdrb-scorecard-v1" predictive
+//     scorecards (where losing all SDB hits against a baseline that had
+//     them is always a hard regression).
+//
+// Scorecard files in a results directory are collected separately
+// (collect_scorecards) and rendered as their own report section, including
+// the warm-vs-cold SDB efficacy table.
 #pragma once
 
 #include <iosfwd>
@@ -56,13 +62,50 @@ std::vector<ManifestInfo> collect_reports(const std::string& dir,
                                           std::vector<std::string>* skipped =
                                               nullptr);
 
-/// Markdown sweep report over collected manifests.
+/// One predictive-efficacy scorecard ("prdrb-scorecard-v1", written by
+/// obs::Scorecard), parsed and summarized for reporting.
+struct ScorecardInfo {
+  std::string path;  // file it came from
+  double deliveries = 0;
+  double sdb_hits = 0;
+  double sdb_misses = 0;
+  double sdb_saves = 0;
+  double sdb_empty_probes = 0;
+  double opens = 0;
+  double closes = 0;
+  double multipath_s = 0;
+  double flows = 0;
+  struct Episodes {
+    double count = 0;
+    double mean_duration_us = 0;
+    double mean_latency_us = 0;
+  };
+  Episodes cold;
+  Episodes warm;
+  double false_opens = 0;
+  double false_open_rate = 0;
+  double hit_efficacy_pct = 0;
+  double convergence_ratio = 0;
+};
+
+/// Parse one scorecard document; false when the JSON is invalid or the
+/// schema does not match.
+bool parse_scorecard(const std::string& text, ScorecardInfo& out);
+
+/// Load every *.json scorecard under `dir` (non-recursive, lexicographic
+/// order; other JSON files are ignored).
+std::vector<ScorecardInfo> collect_scorecards(const std::string& dir);
+
+/// Markdown sweep report over collected manifests (and, when present,
+/// scorecards: attribution totals plus the warm-vs-cold efficacy table).
 void write_markdown_report(std::ostream& os,
-                           const std::vector<ManifestInfo>& manifests);
+                           const std::vector<ManifestInfo>& manifests,
+                           const std::vector<ScorecardInfo>& scorecards = {});
 
 /// JSON sweep report ("prdrb-sweep-report-v1").
 void write_json_report(std::ostream& os,
-                       const std::vector<ManifestInfo>& manifests);
+                       const std::vector<ManifestInfo>& manifests,
+                       const std::vector<ScorecardInfo>& scorecards = {});
 
 // --- regression checking ---
 

@@ -12,6 +12,7 @@
 #include "net/mesh_nd.hpp"
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/adaptive.hpp"
@@ -313,12 +314,15 @@ struct RunProbes {
   /// events means the poll chain drained before the window elapsed), dump
   /// hand-off, telemetry unbind. Must run after Simulator::run() and before
   /// the network is destroyed.
-  void finalize(const ObsSinks& sinks) {
+  void finalize(const ObsSinks& sinks, SimTime now) {
     if (watchdog) {
       watchdog->finalize();
       if (sinks.watchdog_dump) *sinks.watchdog_dump = watchdog->dump_json();
     }
     if (sinks.telemetry) sinks.telemetry->unbind();
+    // Close open multipath intervals and unresolved congestion episodes at
+    // the final virtual time so exports never carry dangling state.
+    if (sinks.scorecard) sinks.scorecard->finalize(now);
   }
 };
 
@@ -343,6 +347,11 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
     if (b.monitor) b.monitor->set_recorder(sinks.recorder);
   }
   if (sinks.telemetry) net.bind_telemetry(sinks.telemetry);
+  if (sinks.scorecard) {
+    net.bind_scorecard(sinks.scorecard);
+    if (b.drb) b.drb->set_scorecard(sinks.scorecard);
+    if (b.engine) b.engine->set_scorecard(sinks.scorecard);
+  }
 
   const bool wants_chain = sinks.counters || sinks.telemetry ||
                            sinks.watchdog_window > 0;
@@ -518,7 +527,7 @@ ScenarioResult run_scenario(const std::string& policy_name,
     }
 
     sim.run();  // drains: generation stops at w.duration
-    probes.finalize(sc.sinks);
+    probes.finalize(sc.sinks, sim.now());
   } else {
     const TraceWorkload& w = sc.trace();
     const TraceProgram prog =
@@ -526,7 +535,7 @@ ScenarioResult run_scenario(const std::string& policy_name,
     TracePlayer player(sim, net, prog);
     player.start();
     sim.run();
-    probes.finalize(sc.sinks);
+    probes.finalize(sc.sinks, sim.now());
     r.exec_time = player.finished() ? player.execution_time() : -1.0;
   }
 

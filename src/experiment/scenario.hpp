@@ -67,6 +67,11 @@ struct ObsSinks {
   SimTime sample_interval = 1e-3;
   obs::NetTelemetry* telemetry = nullptr;
   obs::FlightRecorder* recorder = nullptr;
+  /// Predictive-efficacy scorecard (obs/scorecard.hpp): bound to the
+  /// network's phase-timer/delivery sites and to the DRB + predictive
+  /// control-plane hooks; finalized (open intervals and episodes closed at
+  /// the final virtual time) when the run ends.
+  obs::Scorecard* scorecard = nullptr;
   SimTime watchdog_window = 0;  // 0 = watchdog disabled
   std::ostream* watchdog_stream = nullptr;  // nullptr = stderr
   std::string* watchdog_dump = nullptr;     // out: "prdrb-flightdump-v1"

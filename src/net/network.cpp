@@ -6,6 +6,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/telemetry.hpp"
 
 namespace prdrb {
@@ -140,6 +141,12 @@ void Network::nic_try_inject(NodeId n) {
   nic.bytes_injected += p->size_bytes;
 
   const SimTime ser = cfg_.serialization_time(p->size_bytes);
+  if (scorecard_) {
+    // Phase timers are written only when attached so detached runs never
+    // touch the fields (the scorecard's zero-cost contract).
+    p->inject_wait = sim_.now() - p->queued_at;
+    p->transmit_time += ser;
+  }
   sim_.schedule_in(ser, [this, n] {
     nics_[static_cast<std::size_t>(n)].injecting = false;
     nic_try_inject(n);
@@ -226,6 +233,9 @@ void Network::try_transmit(RouterId r, int port) {
       w.port = port;
       add_waiter(tgt.router, vn, w);
     }
+    // Keep the earliest stall start: waiters wake via schedule_in(0), so
+    // the stall ends exactly at the successful transmit below.
+    if (scorecard_ && head.stall_since < 0) head.stall_since = sim_.now();
     return;
   }
 
@@ -260,6 +270,13 @@ void Network::try_transmit(RouterId r, int port) {
   out.busy = true;
   const SimTime ser = cfg_.serialization_time(p->size_bytes);
   out.busy_time += ser;
+  if (scorecard_) {
+    if (p->stall_since >= 0) {
+      p->stall_wait += now - p->stall_since;
+      p->stall_since = -1;
+    }
+    p->transmit_time += ser;
+  }
   if (telemetry_) telemetry_->on_transmit(r, port, now, ser);
   const std::int64_t bytes = p->size_bytes;
   sim_.schedule_in(ser, [this, r, port, vn, bytes] {
@@ -274,6 +291,7 @@ void Network::try_transmit(RouterId r, int port) {
 void Network::deliver(RouterId r, Packet* p) {
   release(r, p->virtual_network(), p->size_bytes);
   const SimTime now = sim_.now();
+  if (scorecard_) scorecard_->on_delivered(*p, now);
 
   if (p->is_ack()) {
     policy_.on_ack(p->destination, *p, now);

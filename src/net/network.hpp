@@ -33,6 +33,7 @@ class Counter;
 class CounterRegistry;
 class FlightRecorder;
 class NetTelemetry;
+class Scorecard;
 }  // namespace obs
 
 /// Observer of network events; metrics collectors implement this. Several
@@ -108,6 +109,12 @@ class Network {
   /// Attach a control-plane flight recorder to the stall sites (injection
   /// and credit stalls); the routing/predictive modules hook it separately.
   void bind_flight_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
+
+  /// Attach the predictive-efficacy scorecard to the per-packet phase-timer
+  /// sites and the delivery fold. Same zero-overhead-when-absent contract:
+  /// detached, each site is a single not-taken branch and the packet phase
+  /// fields are never written.
+  void bind_scorecard(obs::Scorecard* s) { scorecard_ = s; }
 
   // ----- send path -----
 
@@ -196,6 +203,7 @@ class Network {
   std::unique_ptr<NetCounters> counters_;
   obs::NetTelemetry* telemetry_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Scorecard* scorecard_ = nullptr;
 
   PacketPool pool_;
   std::vector<Router> routers_;

@@ -107,6 +107,13 @@ struct Packet {
   SimTime path_latency = 0;   // accumulated queuing delay (LU module)
   SimTime queued_at = 0;      // scratch: enqueue instant at the current hop
 
+  // Scorecard phase timers. Written only under `if (scorecard_)` guards in
+  // Network, so detached runs never touch them (zero-cost contract).
+  SimTime inject_wait = 0;    // wait in the source NIC injection queue
+  SimTime transmit_time = 0;  // accumulated serialization time across hops
+  SimTime stall_wait = 0;     // share of queueing spent credit-stalled
+  SimTime stall_since = -1;   // scratch: current stall start (<0: none)
+
   // ACK payload: what the notification reports back to the source
   // (Fig. 3.17 "Path Latency" field). `reported_latency` is the accumulated
   // queuing latency of the acknowledged message, `reported_e2e` its full

@@ -48,6 +48,7 @@ const char* FlightRecorder::kind_name(EventKind k) {
     case EventKind::kSdbSave: return "sdb-save";
     case EventKind::kInjectStall: return "inject-stall";
     case EventKind::kCreditStall: return "credit-stall";
+    case EventKind::kSdbEmptyProbe: return "sdb-empty-probe";
   }
   return "unknown";
 }

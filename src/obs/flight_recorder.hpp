@@ -47,6 +47,7 @@ class FlightRecorder {
     kSdbSave,        // a=src, b=dst, c=paths
     kInjectStall,    // a=node
     kCreditStall,    // a=router, b=port
+    kSdbEmptyProbe,  // a=src, b=dst (lookup with no contending flows seen)
   };
 
   struct ControlEvent {

@@ -5,6 +5,7 @@
 
 #include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/scorecard.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -124,6 +125,7 @@ void DrbPolicy::on_ack(NodeId at, const Packet& ack, SimTime now) {
   const Zone current =
       classify_zone(mp.mp_latency, cfg_.threshold_low, cfg_.threshold_high);
   mp.zone = current;
+  if (scorecard_) scorecard_->on_zone(src, dst, previous, current, now);
   react(mp, src, dst, previous, current, now);
 }
 
@@ -190,6 +192,11 @@ bool DrbPolicy::expand(Metapath& mp, NodeId src, NodeId dst) {
                         net_->simulator().now(), src, dst,
                         static_cast<std::int32_t>(mp.paths.size()));
     }
+    if (scorecard_) {
+      scorecard_->on_metapath_open(src, dst,
+                                   static_cast<int>(mp.paths.size()),
+                                   net_->simulator().now());
+    }
     return true;
   }
   return false;
@@ -214,6 +221,11 @@ bool DrbPolicy::shrink(Metapath& mp, NodeId src, NodeId dst) {
     recorder_->record(obs::FlightRecorder::EventKind::kMetapathClose,
                       net_->simulator().now(), src, dst,
                       static_cast<std::int32_t>(mp.paths.size()));
+  }
+  if (scorecard_) {
+    scorecard_->on_metapath_close(src, dst,
+                                  static_cast<int>(mp.paths.size()),
+                                  net_->simulator().now());
   }
   if (mp.paths.size() == 1) {
     // Fully contracted: rewind the candidate cursor so the next congestion

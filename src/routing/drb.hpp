@@ -25,6 +25,7 @@ namespace prdrb {
 
 namespace obs {
 class FlightRecorder;
+class Scorecard;
 class Tracer;
 }  // namespace obs
 
@@ -84,6 +85,10 @@ class DrbPolicy : public RoutingPolicy {
   /// ring. nullptr detaches (single-branch disabled fast path).
   void set_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
 
+  /// Attach the predictive-efficacy scorecard; zone transitions and
+  /// metapath open/close land in its ledger. nullptr detaches.
+  void set_scorecard(obs::Scorecard* s) { scorecard_ = s; }
+
  protected:
   /// Zone reaction (Fig. 3.12). The base DRB expands on High and shrinks on
   /// Low; PR-DRB overrides this to add the predictive procedures.
@@ -119,6 +124,7 @@ class DrbPolicy : public RoutingPolicy {
   std::uint64_t contractions_ = 0;
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Scorecard* scorecard_ = nullptr;
 };
 
 }  // namespace prdrb

@@ -3,11 +3,15 @@
 //   prdrb_report RESULTS_DIR [--json] [-o FILE]
 //       Aggregate every prdrb-manifest-v1 manifest in RESULTS_DIR into a
 //       markdown (default) or JSON ("prdrb-sweep-report-v1") sweep report.
+//       prdrb-scorecard-v1 files in the directory are rendered as their own
+//       section (attribution totals + warm-vs-cold SDB efficacy table).
 //
 //   prdrb_report --check OLD.json NEW.json [options]
-//       Compare two runs (manifest or prdrb-bench-baseline-v1 documents)
-//       and exit nonzero on regression. Event-count drift always fails
-//       (deterministic kernel); performance moves beyond thresholds fail
+//       Compare two runs (manifest, prdrb-bench-baseline-v1 or
+//       prdrb-scorecard-v1 documents) and exit nonzero on regression.
+//       Event-count drift always fails (deterministic kernel), as does a
+//       scorecard whose SDB hits dropped to zero against a baseline that
+//       had hits; performance moves beyond thresholds fail
 //       unless --perf-warn-only downgrades them.
 //       Options: --max-rate-drop=F (default 0.30), --max-latency-rise=F
 //       (default 0.10), --max-delivery-drop=F (default 0.01),
@@ -119,15 +123,27 @@ int main(int argc, char** argv) {
   std::vector<std::string> skipped;
   const std::vector<prdrb::ManifestInfo> manifests =
       prdrb::collect_reports(positional[0], &skipped);
+  const std::vector<prdrb::ScorecardInfo> scorecards =
+      prdrb::collect_scorecards(positional[0]);
   for (const std::string& s : skipped) {
-    std::cerr << "prdrb_report: skipping non-manifest " << s << "\n";
+    // Scorecards are collected by the pass above, not "skipped".
+    bool is_scorecard = false;
+    for (const prdrb::ScorecardInfo& sc : scorecards) {
+      if (sc.path == s) {
+        is_scorecard = true;
+        break;
+      }
+    }
+    if (!is_scorecard) {
+      std::cerr << "prdrb_report: skipping non-manifest " << s << "\n";
+    }
   }
 
   std::ostringstream body;
   if (json) {
-    prdrb::write_json_report(body, manifests);
+    prdrb::write_json_report(body, manifests, scorecards);
   } else {
-    prdrb::write_markdown_report(body, manifests);
+    prdrb::write_markdown_report(body, manifests, scorecards);
   }
   if (out_path.empty()) {
     std::cout << body.str();

@@ -240,6 +240,96 @@ TEST(Report, ClusteredTieGateComparesRatioAgainstBaseline) {
                    .has_regression());
 }
 
+std::string scorecard_json(double hits, double misses,
+                           double deliveries = 500) {
+  std::ostringstream os;
+  os << R"({"schema": "prdrb-scorecard-v1", "deliveries": )" << deliveries
+     << R"(, "attribution": [], "ledger": {"flows": 2, "opens": 4,)"
+     << R"( "closes": 3, "multipath_s": 0.002, "top_flows": []},)"
+     << R"( "sdb": {"hits": )" << hits << R"(, "misses": )" << misses
+     << R"(, "saves": 1, "empty_probes": 0},)"
+     << R"( "episodes": {"cold": {"count": 2, "time_s": 0.004,)"
+     << R"( "mean_duration_us": 2000, "p95_duration_us": 2400,)"
+     << R"( "mean_latency_us": 40},)"
+     << R"( "warm": {"count": 3, "time_s": 0.003,)"
+     << R"( "mean_duration_us": 1000, "p95_duration_us": 1200,)"
+     << R"( "mean_latency_us": 25},)"
+     << R"( "false_opens": 1, "false_open_rate": 0.3333,)"
+     << R"( "hit_efficacy_pct": 37.5, "convergence_ratio": 0.5}})";
+  return os.str();
+}
+
+TEST(Report, ScorecardLosingAllSdbHitsAlwaysFails) {
+  const JsonValue base = parsed(scorecard_json(12, 30));
+  const JsonValue dead = parsed(scorecard_json(0, 42));
+  CheckThresholds t;
+  t.perf_warn_only = true;  // must NOT downgrade a silenced predictive layer
+  const CheckResult r = check_documents(base, dead, t);
+  EXPECT_TRUE(r.has_regression());
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    found |= f.level == Finding::Level::kRegression &&
+             f.message.find("SDB hits dropped to zero") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+
+  // Both with hits (even fewer): not a regression, the transition is info.
+  EXPECT_FALSE(check_documents(base, parsed(scorecard_json(3, 40)),
+                               CheckThresholds{})
+                   .has_regression());
+  // Baseline itself had no hits: a hitless run cannot regress against it.
+  EXPECT_FALSE(check_documents(parsed(scorecard_json(0, 30)), dead,
+                               CheckThresholds{})
+                   .has_regression());
+}
+
+TEST(Report, ParseScorecardExtractsHeadlineNumbers) {
+  ScorecardInfo info;
+  ASSERT_TRUE(parse_scorecard(scorecard_json(12, 30), info));
+  EXPECT_DOUBLE_EQ(info.deliveries, 500);
+  EXPECT_DOUBLE_EQ(info.sdb_hits, 12);
+  EXPECT_DOUBLE_EQ(info.sdb_misses, 30);
+  EXPECT_DOUBLE_EQ(info.opens, 4);
+  EXPECT_DOUBLE_EQ(info.multipath_s, 0.002);
+  EXPECT_DOUBLE_EQ(info.cold.count, 2);
+  EXPECT_DOUBLE_EQ(info.warm.mean_latency_us, 25);
+  EXPECT_DOUBLE_EQ(info.hit_efficacy_pct, 37.5);
+  EXPECT_DOUBLE_EQ(info.convergence_ratio, 0.5);
+  EXPECT_FALSE(parse_scorecard("not json", info));
+  EXPECT_FALSE(parse_scorecard("{\"schema\":\"prdrb-manifest-v1\"}", info));
+}
+
+TEST(Report, ScorecardsRenderTheirOwnSections) {
+  const std::string dir = ::testing::TempDir() + "prdrb_report_scorecards";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/manifest.json") << manifest_json(1000, 1.0, 10.0);
+  std::ofstream(dir + "/scorecard.json") << scorecard_json(12, 30);
+
+  const auto manifests = collect_reports(dir);
+  const auto scorecards = collect_scorecards(dir);
+  ASSERT_EQ(manifests.size(), 1u);
+  ASSERT_EQ(scorecards.size(), 1u);
+
+  std::ostringstream md;
+  write_markdown_report(md, manifests, scorecards);
+  EXPECT_NE(md.str().find("Predictive scorecards"), std::string::npos);
+  EXPECT_NE(md.str().find("Warm vs cold SDB efficacy"), std::string::npos);
+  EXPECT_NE(md.str().find("scorecard.json"), std::string::npos);
+
+  // A scorecard-only directory still produces a report.
+  std::filesystem::remove(dir + "/manifest.json");
+  std::ostringstream md2;
+  write_markdown_report(md2, {}, collect_scorecards(dir));
+  EXPECT_NE(md2.str().find("Warm vs cold SDB efficacy"), std::string::npos);
+
+  std::ostringstream js;
+  write_json_report(js, manifests, scorecards);
+  EXPECT_TRUE(obs::json_valid(js.str())) << js.str().substr(0, 400);
+  EXPECT_NE(js.str().find("scorecard_runs"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Report, FindingsRenderOnePerLineWithVerdictPrefixes) {
   CheckResult r;
   r.findings.push_back({Finding::Level::kRegression, "bad"});
