@@ -2,9 +2,9 @@
 // for the per-figure bench binaries: aliases, table-formatting helpers, the
 // shared command-line flags (--jobs, --sched, --trace-out, --metrics-out,
 // --manifest-out, --no-manifest, --telemetry-out, --heatmap-out,
-// --scorecard-out, --watchdog[=S], --watchdog-out) and the BenchMain RAII
-// wrapper that writes the run manifest (EXPERIMENTS.md "Run manifests") on
-// exit.
+// --scorecard-out, --watchdog[=S], --watchdog-out, --sdb-in, --sdb-out) and
+// the BenchMain RAII wrapper that writes the run manifest (EXPERIMENTS.md
+// "Run manifests") on exit.
 #pragma once
 
 #include <chrono>
@@ -107,6 +107,8 @@ struct BenchOptions {
   double watchdog = 0;       // --watchdog[=SECONDS]: stall watchdog window
   std::string watchdog_out;  // --watchdog-out=PATH: flight dump JSON if fired
   std::string sched;         // --sched NAME: scheduler backend (heap|calendar)
+  std::string sdb_in;        // --sdb-in=PATH: warm-start the solution DB
+  std::string sdb_out;       // --sdb-out=PATH: export the probe's solution DB
 };
 
 /// Default virtual-time window for `--watchdog` without a value: generous
@@ -141,6 +143,8 @@ inline BenchOptions parse_bench_flags(int argc, char** argv) {
     if (take("--scorecard-out", o.scorecard_out)) continue;
     if (take("--watchdog-out", o.watchdog_out)) continue;
     if (take("--sched", o.sched)) continue;
+    if (take("--sdb-in", o.sdb_in)) continue;
+    if (take("--sdb-out", o.sdb_out)) continue;
     if (a == "--watchdog") {
       o.watchdog = kDefaultWatchdogWindow;
       continue;
@@ -194,7 +198,17 @@ class BenchMain {
   bool wants_probe() const {
     return !opts_.trace_out.empty() || !opts_.metrics_out.empty() ||
            !opts_.telemetry_out.empty() || !opts_.heatmap_out.empty() ||
-           !opts_.scorecard_out.empty() || opts_.watchdog > 0;
+           !opts_.scorecard_out.empty() || !opts_.sdb_out.empty() ||
+           opts_.watchdog > 0;
+  }
+
+  /// Apply --sdb-in to a sweep spec: every job of a warm-started sweep
+  /// imports the same exported database before running (reads race-free;
+  /// only the serial probe may WRITE one, see probe_scenario()). No-op
+  /// without the flag.
+  ScenarioSpec warm_started(ScenarioSpec sc) const {
+    if (!opts_.sdb_in.empty()) sc.sdb_in = opts_.sdb_in;
+    return sc;
   }
 
   /// Run `policy` over `sc` serially with the requested observers attached
@@ -205,6 +219,8 @@ class BenchMain {
   ScenarioResult probe_scenario(const std::string& policy,
                                 ScenarioSpec sc) {
     if (!wants_probe()) return {};
+    if (!opts_.sdb_in.empty()) sc.sdb_in = opts_.sdb_in;
+    sc.sdb_out = opts_.sdb_out;  // serial probe: safe to write the export
     obs::Tracer tracer;
     obs::CounterRegistry counters(sc.bin_width);
     obs::NetTelemetry telemetry(sc.bin_width);

@@ -90,7 +90,10 @@ int main(int argc, char** argv) {
                                              "pr-drb"};
   std::vector<SweepJob> jobs;
   for (double rate : rates) {
-    const ScenarioSpec sc = sweep_scenario(rate);
+    // --sdb-in warm-starts every job's solution database from a prior
+    // export (EXPERIMENTS.md "cold vs warm convergence"); without the flag
+    // this is the unchanged cold sweep.
+    const ScenarioSpec sc = bench.warm_started(sweep_scenario(rate));
     for (const std::string& policy : policies) {
       jobs.push_back(SweepJob::make(policy, sc));
     }

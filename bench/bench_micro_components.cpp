@@ -148,7 +148,13 @@ void BM_SignatureSimilarity(benchmark::State& state) {
 }
 BENCHMARK(BM_SignatureSimilarity)->Arg(8)->Arg(64);
 
-void BM_SolutionDbLookup(benchmark::State& state) {
+// Linear vs indexed solution-database lookup over one (src, dst) bucket of
+// `patterns` stored 8-flow situations (the worst case for the index: one
+// giant bucket). Both paths return byte-identical results by contract
+// (differential-fuzz tested); the DB is always BUILT with the index on —
+// set_index_enabled only gates the query path — so the linear setup is not
+// itself quadratic.
+void sdb_lookup_model(benchmark::State& state, bool indexed) {
   SolutionDatabase db;
   const auto patterns = static_cast<int>(state.range(0));
   std::vector<Msp> paths{Msp{}, Msp{1, 2, 5e-6, 1}};
@@ -157,6 +163,7 @@ void BM_SolutionDbLookup(benchmark::State& state) {
     for (NodeId i = 0; i < 8; ++i) flows.push_back({i + p * 16, i + 7});
     db.save(0, 7, FlowSignature::from(flows), paths, 5e-6, 0.8);
   }
+  db.set_index_enabled(indexed);
   std::vector<ContendingFlow> probe;
   for (NodeId i = 0; i < 8; ++i) {
     probe.push_back({i + (patterns / 2) * 16, i + 7});
@@ -166,7 +173,14 @@ void BM_SolutionDbLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(db.lookup(0, 7, sig, 0.8));
   }
 }
-BENCHMARK(BM_SolutionDbLookup)->Arg(8)->Arg(128)->Arg(1024);
+void BM_SolutionDbLookupLinear(benchmark::State& state) {
+  sdb_lookup_model(state, false);
+}
+void BM_SolutionDbLookupIndexed(benchmark::State& state) {
+  sdb_lookup_model(state, true);
+}
+BENCHMARK(BM_SolutionDbLookupLinear)->Arg(1024)->Arg(10240)->Arg(102400);
+BENCHMARK(BM_SolutionDbLookupIndexed)->Arg(1024)->Arg(10240)->Arg(102400);
 
 void BM_TreeMinimalPorts(benchmark::State& state) {
   KAryNTree tree(4, 3);

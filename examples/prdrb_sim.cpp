@@ -63,6 +63,16 @@ options (application trace; overrides --pattern):
   --bytes-scale <f>   message-volume multiplier (default 1.0)
   --compute-scale <f> compute-time multiplier (default 1.0)
 
+solution database (DESIGN.md "Indexed solution database"):
+  --sdb-in <path>       warm-start predictive policies from a previously
+                        exported solution database ("prdrb-sdb-v1" or the
+                        legacy headerless text) before any traffic flows
+  --sdb-out <path>      export the base-seed run's solution database after
+                        the run; deterministic sorted text, byte-identical
+                        across repeats, --jobs values and schedulers
+  --sdb-capacity <n>    bound the database to n solutions with LRU
+                        eviction (default 0 = unbounded)
+
 observability (DESIGN.md "Observability"):
   --trace-out <path>    write a Chrome trace_event JSON (open in Perfetto)
                         of a serial, base-seed run
@@ -175,6 +185,12 @@ int main(int argc, char** argv) {
         scale.bytes_scale = nval();
       } else if (a == "--compute-scale") {
         scale.compute_scale = nval();
+      } else if (a == "--sdb-in") {
+        sc.sdb_in = sval();
+      } else if (a == "--sdb-out") {
+        sc.sdb_out = sval();
+      } else if (a == "--sdb-capacity") {
+        sc.prdrb.sdb_capacity = static_cast<std::size_t>(nval());
       } else if (a == "--trace-out") {
         trace_out = sval();
       } else if (a == "--metrics-out") {
@@ -231,6 +247,13 @@ int main(int argc, char** argv) {
     manifest.add_config("policy", policy);
     manifest.add_config("sched",
                         std::string(scheduler_name(default_scheduler())));
+    if (!sc.sdb_in.empty()) manifest.add_config("sdb_in", sc.sdb_in);
+    if (!sc.sdb_out.empty()) manifest.add_config("sdb_out", sc.sdb_out);
+    if (sc.prdrb.sdb_capacity > 0) {
+      manifest.add_config(
+          "sdb_capacity",
+          static_cast<std::int64_t>(sc.prdrb.sdb_capacity));
+    }
     const auto finish = [&](double) {
       const auto elapsed = std::chrono::steady_clock::now() - wall_start;
       manifest.set_wall_seconds(
@@ -304,6 +327,9 @@ int main(int argc, char** argv) {
     if (!trace_out.empty() || !metrics_out.empty() || !telemetry_out.empty() ||
         !heatmap_out.empty() || !scorecard_out.empty() || watchdog > 0) {
       ScenarioSpec probe = sc;
+      // The replicated base-seed run already exported the database (only
+      // the base seed writes it — workers must not race on the file).
+      probe.sdb_out.clear();
       obs::Tracer tracer;
       obs::CounterRegistry counters(probe.bin_width);
       obs::NetTelemetry telemetry(probe.bin_width);

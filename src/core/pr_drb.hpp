@@ -28,7 +28,14 @@ namespace prdrb {
 
 struct PrDrbConfig {
   /// Approximate-matching threshold for situation recognition (§3.2.8).
+  /// Also the threshold the solution database's prefix-filter index is
+  /// built for (DESIGN.md "Indexed solution database").
   double similarity = 0.8;
+
+  /// Solution-database capacity: maximum stored solutions before
+  /// least-recently-used eviction kicks in. 0 = unbounded (the thesis
+  /// setting; production-scale sweeps should bound it).
+  std::size_t sdb_capacity = 0;
 
   /// Notification scheme for the router-side CFD module.
   NotificationMode notification = NotificationMode::kDestinationBased;
@@ -45,7 +52,10 @@ struct PrDrbConfig {
 /// procedures, reusable by every DRB-family policy.
 class PredictiveEngine {
  public:
-  explicit PredictiveEngine(PrDrbConfig cfg) : cfg_(cfg) {}
+  explicit PredictiveEngine(PrDrbConfig cfg) : cfg_(cfg) {
+    db_.set_index_threshold(cfg_.similarity);
+    db_.set_capacity(cfg_.sdb_capacity);
+  }
 
   /// Entering the High zone: look the situation up; on a hit install the
   /// saved paths into `mp` and return true. Emits "sdb-hit"/"sdb-miss"

@@ -1,6 +1,7 @@
 #include "core/signature.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace prdrb {
@@ -34,6 +35,45 @@ double FlowSignature::similarity(const FlowSignature& other) const {
   }
   const std::size_t total = flows_.size() + other.flows_.size() - common;
   return total == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(total);
+}
+
+std::uint64_t flow_hash(const ContendingFlow& f) {
+  // splitmix64 finalizer over the packed pair: cheap, well-mixed, and with
+  // no run-dependent state (unlike std::hash) — the index must order
+  // elements identically across processes for the persistent format and
+  // the cross-run determinism contract.
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src)) << 32) |
+      static_cast<std::uint32_t>(f.dst);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void signature_min_hashes(const FlowSignature& sig,
+                          std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(sig.size());
+  for (const ContendingFlow& f : sig.flows()) out.push_back(flow_hash(f));
+  std::sort(out.begin(), out.end());
+}
+
+std::size_t sdb_prefix_length(std::size_t set_size, double threshold) {
+  if (set_size == 0) return 0;
+  // At similarity >= t the intersection has at least ceil(t * n) elements,
+  // so at most n - ceil(t * n) of the n smallest hashes can be non-shared:
+  // the prefix of length n - ceil(t * n) + 1 must contain a shared element.
+  // The 1e-9 bias keeps ceil() from rounding a representation error like
+  // 0.8 * 5 = 4.0000000000000004 up to 5 — erring toward a longer prefix
+  // is merely slower, never wrong.
+  const double n = static_cast<double>(set_size);
+  const double min_common =
+      std::max(0.0, std::ceil(threshold * n - 1e-9));
+  if (min_common < 1.0) return set_size;  // threshold <= 0: probe everything
+  const auto common = static_cast<std::size_t>(min_common);
+  if (common >= set_size) return 1;  // exact match: the minimum is shared
+  return set_size - common + 1;
 }
 
 std::string FlowSignature::describe() const {

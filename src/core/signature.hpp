@@ -7,6 +7,7 @@
 // 80%."
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,5 +37,32 @@ class FlowSignature {
  private:
   std::vector<ContendingFlow> flows_;
 };
+
+// --- MinHash view (DESIGN.md "Indexed solution database") ---
+//
+// The solution-database index orders a signature's elements by a fixed
+// 64-bit hash; the sorted hash vector is the signature's bottom-k MinHash
+// sketch (k = set size). Two signatures with Jaccard similarity >= t share
+// at least one element among their "prefixes" — the sdb_prefix_length()
+// smallest hashes of each — which is what makes the prefix-filter index
+// exact (guaranteed recall) at threshold t.
+
+/// Deterministic 64-bit mix of one contending flow (splitmix64 over the
+/// packed (src, dst) pair). Platform- and run-independent.
+std::uint64_t flow_hash(const ContendingFlow& f);
+
+/// The signature's element hashes, sorted ascending (its MinHash view).
+/// Appends into `out` after clearing it; reusing one scratch vector keeps
+/// probes allocation-free in steady state.
+void signature_min_hashes(const FlowSignature& sig,
+                          std::vector<std::uint64_t>& out);
+
+/// Prefix-filter bound: how many of the smallest element hashes of a set of
+/// `set_size` elements must be consulted so that any other set with Jaccard
+/// similarity >= `threshold` is guaranteed to share at least one of them.
+/// This is |A| - ceil(threshold * |A|) + 1, clamped to [1, set_size]; the
+/// ceil is computed with a small downward bias so floating-point error can
+/// only lengthen (never shorten) the prefix — correctness over speed.
+std::size_t sdb_prefix_length(std::size_t set_size, double threshold);
 
 }  // namespace prdrb

@@ -1,11 +1,188 @@
 #include "core/solution_db.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace prdrb {
+
+// --- prefix-filter index -----------------------------------------------
+//
+// Exactness contract (differential-fuzz tested): every stored solution
+// whose Jaccard similarity to the probe is >= index_threshold_ appears in
+// collect_candidates(). At similarity >= t the two signatures share at
+// least ceil(t * max(|A|, |B|)) elements, so the element with the smallest
+// hash among the shared ones sits within BOTH prefixes of length
+// sdb_prefix_length(|.|, t) — the probe consults its own prefix hashes,
+// the stored solution was posted under its prefix hashes, and they meet at
+// that element. Candidates are then re-checked with the exact similarity
+// in bucket insertion order, so results are byte-identical to the linear
+// scan, including its tie-breaking (latest equal-similarity entry wins a
+// lookup; earliest similar entry absorbs a save).
+
+bool SolutionDatabase::use_index(const Bucket& b,
+                                 double min_similarity) const {
+  // Looser-than-indexed probes (min_similarity below the threshold the
+  // prefixes were sized for) have no recall guarantee: fall back to the
+  // linear scan. A non-positive threshold cannot filter at all (disjoint
+  // sets trivially reach similarity 0).
+  return index_enabled_ && b.indexed && index_threshold_ > 0 &&
+         min_similarity >= index_threshold_;
+}
+
+void SolutionDatabase::collect_candidates(const Bucket& b,
+                                          const FlowSignature& sig) {
+  signature_min_hashes(sig, probe_hashes_);
+  const std::size_t prefix =
+      std::min(sdb_prefix_length(sig.size(), index_threshold_),
+               probe_hashes_.size());
+  candidates_.clear();
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (i && probe_hashes_[i] == probe_hashes_[i - 1]) continue;
+    const auto it = b.postings.find(probe_hashes_[i]);
+    if (it == b.postings.end()) continue;
+    candidates_.insert(candidates_.end(), it->second.begin(),
+                       it->second.end());
+  }
+  // Re-check must walk candidates in bucket (insertion) order to reproduce
+  // the linear scan's tie-breaking; a slot id is not monotonic in age once
+  // eviction recycles slots, so order by seq and drop duplicates (one
+  // solution can be posted under several of the probe's prefix hashes).
+  std::sort(candidates_.begin(), candidates_.end(),
+            [this](std::uint32_t lhs, std::uint32_t rhs) {
+              return arena_[lhs].seq < arena_[rhs].seq;
+            });
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                    candidates_.end());
+}
+
+void SolutionDatabase::add_postings(Bucket& b, std::uint32_t id) {
+  const Stored& s = arena_[id];
+  signature_min_hashes(s.sol.signature, index_hashes_);
+  const std::size_t prefix =
+      std::min(sdb_prefix_length(s.sol.signature.size(), index_threshold_),
+               index_hashes_.size());
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (i && index_hashes_[i] == index_hashes_[i - 1]) continue;
+    b.postings[index_hashes_[i]].push_back(id);
+  }
+}
+
+void SolutionDatabase::remove_postings(Bucket& b, std::uint32_t id) {
+  const Stored& s = arena_[id];
+  signature_min_hashes(s.sol.signature, index_hashes_);
+  const std::size_t prefix =
+      std::min(sdb_prefix_length(s.sol.signature.size(), index_threshold_),
+               index_hashes_.size());
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (i && index_hashes_[i] == index_hashes_[i - 1]) continue;
+    const auto it = b.postings.find(index_hashes_[i]);
+    if (it == b.postings.end()) continue;
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    if (list.empty()) b.postings.erase(it);
+  }
+}
+
+void SolutionDatabase::build_index(Bucket& b) {
+  b.postings.clear();
+  for (std::uint32_t id : b.ids) add_postings(b, id);
+  b.indexed = true;
+}
+
+void SolutionDatabase::set_index_threshold(double t) {
+  if (t == index_threshold_) return;
+  index_threshold_ = t;
+  // Prefix lengths depend on the threshold: rebuild every existing index.
+  for (auto& [k, b] : buckets_) {
+    b.postings.clear();
+    b.indexed = false;
+    if (index_threshold_ > 0 && b.ids.size() >= kIndexBuildThreshold) {
+      build_index(b);
+    }
+  }
+}
+
+// --- LRU / capacity -----------------------------------------------------
+
+std::uint32_t SolutionDatabase::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t id = free_slots_.back();
+    free_slots_.pop_back();
+    return id;
+  }
+  arena_.emplace_back();
+  return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void SolutionDatabase::lru_push_back(std::uint32_t id) {
+  Stored& s = arena_[id];
+  s.lru_prev = lru_tail_;
+  s.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    arena_[lru_tail_].lru_next = id;
+  } else {
+    lru_head_ = id;
+  }
+  lru_tail_ = id;
+}
+
+void SolutionDatabase::lru_unlink(std::uint32_t id) {
+  Stored& s = arena_[id];
+  if (s.lru_prev != kNil) {
+    arena_[s.lru_prev].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kNil) {
+    arena_[s.lru_next].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = kNil;
+  s.lru_next = kNil;
+}
+
+void SolutionDatabase::touch(std::uint32_t id) {
+  if (lru_tail_ == id) return;
+  lru_unlink(id);
+  lru_push_back(id);
+}
+
+void SolutionDatabase::evict_lru() {
+  const std::uint32_t id = lru_head_;
+  if (id == kNil) return;
+  Stored& s = arena_[id];
+  lru_unlink(id);
+  Bucket& b = buckets_[s.key];
+  if (b.indexed) remove_postings(b, id);
+  // Bucket ids are ascending in seq, so the victim is found by binary
+  // search; the erase itself memmoves 4-byte ids — cheap even for large
+  // buckets, and eviction happens at most once per insertion.
+  const auto it = std::lower_bound(
+      b.ids.begin(), b.ids.end(), s.seq,
+      [this](std::uint32_t lhs, std::uint64_t seq) {
+        return arena_[lhs].seq < seq;
+      });
+  if (it != b.ids.end() && *it == id) b.ids.erase(it);
+  s.sol = SavedSolution{};  // release signature/path memory now
+  s.live = false;
+  free_slots_.push_back(id);
+  --live_;
+  ++evictions_;
+}
+
+void SolutionDatabase::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  if (capacity_ == 0) return;
+  while (live_ > capacity_) evict_lru();
+}
+
+// --- core operations ----------------------------------------------------
 
 SavedSolution* SolutionDatabase::lookup(NodeId src, NodeId dst,
                                         const FlowSignature& sig,
@@ -18,85 +195,138 @@ SavedSolution* SolutionDatabase::lookup(NodeId src, NodeId dst,
     return nullptr;
   }
   ++lookups_;
-  auto it = db_.find(key(src, dst));
-  if (it == db_.end()) return nullptr;
-  SavedSolution* best = nullptr;
+  const auto it = buckets_.find(key(src, dst));
+  if (it == buckets_.end()) return nullptr;
+  const Bucket& b = it->second;
+  std::uint32_t best_id = kNil;
   double best_sim = min_similarity;
-  for (SavedSolution& s : it->second) {
-    const double sim = sig.similarity(s.signature);
+  const auto consider = [&](std::uint32_t id) {
+    const double sim = sig.similarity(arena_[id].sol.signature);
     if (sim >= best_sim) {
       best_sim = sim;
-      best = &s;
+      best_id = id;
     }
+  };
+  if (use_index(b, min_similarity)) {
+    collect_candidates(b, sig);
+    for (const std::uint32_t id : candidates_) consider(id);
+  } else {
+    for (const std::uint32_t id : b.ids) consider(id);
   }
-  if (best) {
-    ++best->hits;
-    ++hits_;
-  }
-  return best;
+  if (best_id == kNil) return nullptr;
+  SavedSolution& best = arena_[best_id].sol;
+  ++best.hits;
+  ++hits_;
+  touch(best_id);  // a re-applied solution is the opposite of evictable
+  return &best;
 }
 
 void SolutionDatabase::save(NodeId src, NodeId dst, FlowSignature sig,
                             std::vector<Msp> paths, SimTime latency,
                             double min_similarity) {
   if (sig.empty() || paths.empty()) return;
-  auto& bucket = db_[key(src, dst)];
-  for (SavedSolution& s : bucket) {
-    if (sig.similarity(s.signature) >= min_similarity) {
-      if (latency < s.best_latency) {
-        s.paths = std::move(paths);
-        s.best_latency = latency;
-        s.signature = std::move(sig);
-        ++s.updates;
-        ++updates_;
+  Bucket& b = buckets_[key(src, dst)];
+  std::uint32_t target = kNil;
+  if (use_index(b, min_similarity)) {
+    collect_candidates(b, sig);
+    for (const std::uint32_t id : candidates_) {
+      if (sig.similarity(arena_[id].sol.signature) >= min_similarity) {
+        target = id;
+        break;
       }
-      return;
+    }
+  } else {
+    for (const std::uint32_t id : b.ids) {
+      if (sig.similarity(arena_[id].sol.signature) >= min_similarity) {
+        target = id;
+        break;
+      }
     }
   }
-  SavedSolution s;
-  s.signature = std::move(sig);
-  s.paths = std::move(paths);
-  s.best_latency = latency;
-  bucket.push_back(std::move(s));  // deque: never invalidates lookup() ptrs
+  if (target != kNil) {
+    SavedSolution& s = arena_[target].sol;
+    if (latency < s.best_latency) {
+      s.paths = std::move(paths);
+      s.best_latency = latency;
+      // The stored signature is the key the situation was learned under;
+      // keep it. Overwriting it with each >=threshold-similar update made
+      // the key drift until previously matching probes missed.
+      ++s.updates;
+      ++updates_;
+      touch(target);
+    }
+    return;
+  }
+  if (capacity_ > 0 && live_ >= capacity_) evict_lru();
+  const std::uint32_t id = allocate_slot();
+  Stored& s = arena_[id];
+  s.sol.signature = std::move(sig);
+  s.sol.paths = std::move(paths);
+  s.sol.best_latency = latency;
+  s.sol.hits = 0;
+  s.sol.updates = 0;
+  s.key = key(src, dst);
+  s.seq = next_seq_++;
+  s.live = true;
+  b.ids.push_back(id);  // seq is monotonic: ids stay ascending in seq
+  lru_push_back(id);
+  ++live_;
   ++saves_;
+  if (b.indexed) {
+    add_postings(b, id);
+  } else if (index_threshold_ > 0 && b.ids.size() >= kIndexBuildThreshold) {
+    build_index(b);
+  }
 }
 
-std::size_t SolutionDatabase::size() const {
-  std::size_t n = 0;
-  for (const auto& [k, bucket] : db_) n += bucket.size();
-  return n;
-}
+// --- statistics ---------------------------------------------------------
 
 std::size_t SolutionDatabase::patterns_for(NodeId src, NodeId dst) const {
-  auto it = db_.find(key(src, dst));
-  return it == db_.end() ? 0 : it->second.size();
+  const auto it = buckets_.find(key(src, dst));
+  return it == buckets_.end() ? 0 : it->second.ids.size();
 }
 
 std::size_t SolutionDatabase::reused_patterns() const {
   std::size_t n = 0;
-  for (const auto& [k, bucket] : db_) {
-    n += static_cast<std::size_t>(
-        std::count_if(bucket.begin(), bucket.end(),
-                      [](const SavedSolution& s) { return s.hits > 0; }));
+  for (const Stored& s : arena_) {
+    if (s.live && s.sol.hits > 0) ++n;
   }
   return n;
 }
 
 std::uint64_t SolutionDatabase::max_reuse() const {
   std::uint64_t best = 0;
-  for (const auto& [k, bucket] : db_) {
-    for (const SavedSolution& s : bucket) best = std::max(best, s.hits);
+  for (const Stored& s : arena_) {
+    if (s.live) best = std::max(best, s.sol.hits);
   }
   return best;
 }
 
+// --- persistence --------------------------------------------------------
+
 void SolutionDatabase::export_text(std::ostream& os) const {
-  // One line per solution:
+  // Header, then one line per solution:
   //   src dst best_latency nflows {s d}... npaths {in1 in2 latency}...
-  for (const auto& [k, bucket] : db_) {
+  // Records are sorted by (src, dst) and, within a pair, by insertion
+  // order; doubles carry max_digits10 digits. Both together make the
+  // export a pure function of the database contents: byte-identical
+  // across runs, platforms and export->import->export round trips
+  // (an unordered_map walk used to leak hash-seed iteration order here).
+  std::vector<std::uint64_t> keys;
+  keys.reserve(buckets_.size());
+  for (const auto& [k, b] : buckets_) {
+    if (!b.ids.empty()) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  const auto old_precision = os.precision();
+  os << std::setprecision(17);
+  os << "prdrb-sdb-v1 " << live_ << '\n';
+  for (const std::uint64_t k : keys) {
     const auto src = static_cast<NodeId>(k >> 32);
     const auto dst = static_cast<NodeId>(k & 0xffffffffu);
-    for (const SavedSolution& s : bucket) {
+    for (const std::uint32_t id : buckets_.at(k).ids) {
+      const SavedSolution& s = arena_[id].sol;
       os << src << ' ' << dst << ' ' << s.best_latency << ' '
          << s.signature.size();
       for (const ContendingFlow& f : s.signature.flows()) {
@@ -109,41 +339,99 @@ void SolutionDatabase::export_text(std::ostream& os) const {
       os << '\n';
     }
   }
+  os.precision(old_precision);
 }
+
+namespace {
+
+/// Validate an untrusted count against a sanity bound before it sizes a
+/// container; the offending value is part of the error message.
+std::uint64_t checked_count(long long value, std::uint64_t limit,
+                            const char* what) {
+  if (value < 0 || static_cast<std::uint64_t>(value) > limit) {
+    throw std::runtime_error("solution database: implausible " +
+                             std::string(what) + " " +
+                             std::to_string(value) + " (limit " +
+                             std::to_string(limit) + ")");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
 
 std::size_t SolutionDatabase::import_text(std::istream& is) {
   std::size_t loaded = 0;
-  NodeId src = 0;
-  NodeId dst = 0;
-  while (true) {
-    // Distinguish a clean end of input from a record that dies between
-    // `src` and `dst` (or starts with a non-numeric token): only a failure
-    // caused by pure end-of-stream is a normal termination — everything
-    // else used to be swallowed silently, truncating the import.
-    if (!(is >> src)) {
-      if (is.eof()) break;
+  long long declared = -1;  // v1 header record count; -1 = legacy stream
+
+  // Both formats are token streams; the first token disambiguates them
+  // (a legacy record starts with a numeric src, never with the magic).
+  std::string first;
+  if (!(is >> first)) {
+    if (is.eof()) return 0;
+    throw std::runtime_error("solution database: malformed record start");
+  }
+  NodeId pending_src = 0;
+  bool have_pending_src = false;
+  if (first == "prdrb-sdb-v1") {
+    long long count = 0;
+    if (!(is >> count)) {
+      throw std::runtime_error(
+          "solution database: truncated prdrb-sdb-v1 header");
+    }
+    declared = static_cast<long long>(
+        checked_count(count, kMaxImportRecords, "record count"));
+  } else {
+    const auto res =
+        std::from_chars(first.data(), first.data() + first.size(),
+                        pending_src);
+    if (res.ec != std::errc{} || res.ptr != first.data() + first.size()) {
       throw std::runtime_error("solution database: malformed record start");
     }
+    have_pending_src = true;
+  }
+
+  while (true) {
+    if (declared >= 0 && loaded == static_cast<std::size_t>(declared)) break;
+    NodeId src = 0;
+    if (have_pending_src) {
+      src = pending_src;
+      have_pending_src = false;
+    } else if (!(is >> src)) {
+      // Only a failure caused by pure end-of-stream is a normal
+      // termination of a legacy stream — everything else used to be
+      // swallowed silently, truncating the import. A v1 stream that ends
+      // before its declared count is always truncated.
+      if (is.eof() && declared < 0) break;
+      throw std::runtime_error(
+          declared < 0
+              ? "solution database: malformed record start"
+              : "solution database: truncated prdrb-sdb-v1 stream (" +
+                    std::to_string(loaded) + " of " +
+                    std::to_string(declared) + " records)");
+    }
+    NodeId dst = 0;
     if (!(is >> dst)) {
       throw std::runtime_error(
           "solution database: truncated record (src without dst)");
     }
     SimTime latency = 0;
-    std::size_t nflows = 0;
+    long long nflows = 0;
     if (!(is >> latency >> nflows)) {
       throw std::runtime_error("solution database: truncated header");
     }
-    std::vector<ContendingFlow> flows(nflows);
+    std::vector<ContendingFlow> flows(
+        checked_count(nflows, kMaxImportFlows, "flow count"));
     for (ContendingFlow& f : flows) {
       if (!(is >> f.src >> f.dst)) {
         throw std::runtime_error("solution database: truncated flows");
       }
     }
-    std::size_t npaths = 0;
+    long long npaths = 0;
     if (!(is >> npaths) || npaths == 0) {
       throw std::runtime_error("solution database: bad path count");
     }
-    std::vector<Msp> paths(npaths);
+    std::vector<Msp> paths(
+        checked_count(npaths, kMaxImportPaths, "path count"));
     for (Msp& p : paths) {
       if (!(is >> p.in1 >> p.in2 >> p.latency)) {
         throw std::runtime_error("solution database: truncated paths");
@@ -152,6 +440,14 @@ std::size_t SolutionDatabase::import_text(std::istream& is) {
     save(src, dst, FlowSignature::from(flows), std::move(paths), latency,
          /*min_similarity=*/1.0);
     ++loaded;
+  }
+  if (declared >= 0) {
+    std::string extra;
+    if (is >> extra) {
+      throw std::runtime_error(
+          "solution database: trailing data after the " +
+          std::to_string(declared) + " declared records");
+    }
   }
   return loaded;
 }

@@ -8,6 +8,19 @@
 // skipping the gradual path-opening procedure. On a High -> Medium
 // transition the solution that controlled the congestion is saved, or
 // updated if it beats the stored one.
+//
+// Production-scale additions (DESIGN.md "Indexed solution database"):
+//   * a bottom-k MinHash prefix-filter index per (src, dst) bucket gives
+//     sublinear approximate lookup at the configured similarity threshold.
+//     Candidates are re-checked with the exact Jaccard similarity in bucket
+//     insertion order, so hit/miss decisions and the chosen solution are
+//     byte-identical to the linear scan (the prefix filter has guaranteed
+//     recall at the threshold — see sdb_prefix_length());
+//   * bounded memory: set_capacity(N) caps the number of stored solutions
+//     and evicts the least-recently-used one (use = hit or improving
+//     update; ordered by a deterministic operation tick, never wall time);
+//   * a versioned deterministic text format ("prdrb-sdb-v1") for
+//     warm-starting sweeps from prior runs.
 #pragma once
 
 #include <cstdint>
@@ -32,22 +45,56 @@ struct SavedSolution {
 
 class SolutionDatabase {
  public:
+  /// Buckets smaller than this are always scanned linearly; the prefix
+  /// index is built lazily the first time a bucket reaches this size (the
+  /// constant-factor crossover of hashing vs. a short scan).
+  static constexpr std::size_t kIndexBuildThreshold = 16;
+
   /// Most similar stored solution for (src, dst) with similarity >=
-  /// `min_similarity`; nullptr when nothing matches. Bumps the hit counter.
-  /// The pointer stays valid across later save()/import_text() calls:
-  /// solutions live in deque buckets, which never relocate elements.
+  /// `min_similarity`; nullptr when nothing matches. Bumps the hit counter
+  /// and marks the solution recently used. The pointer stays valid across
+  /// later save()/import_text() calls (solutions live in a deque arena,
+  /// which never relocates elements) — but a bounded database may recycle
+  /// the slot once the solution is EVICTED, so with a nonzero capacity the
+  /// pointer should be consumed before the next insertion.
   SavedSolution* lookup(NodeId src, NodeId dst, const FlowSignature& sig,
                         double min_similarity);
 
   /// Store (or improve) the solution for this situation. A stored solution
   /// with a similar signature is replaced only when `latency` beats its
   /// `best_latency` ("the best solution saved may be further updated, if
-  /// the method finds a better combination of paths", §3.2).
+  /// the method finds a better combination of paths", §3.2). The stored
+  /// signature is deliberately kept on updates: it is the key under which
+  /// the situation was learned, and letting each ≥80%-similar update
+  /// overwrite it made the key drift until previously matching probes
+  /// missed.
   void save(NodeId src, NodeId dst, FlowSignature sig, std::vector<Msp> paths,
             SimTime latency, double min_similarity);
 
+  // --- bounded memory / index configuration ---
+
+  /// Cap the number of stored solutions; 0 (default) = unbounded. Shrinking
+  /// below the current size evicts least-recently-used solutions
+  /// immediately.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Similarity threshold the prefix index is built for. Lookups and saves
+  /// whose `min_similarity` is >= this threshold go through the index;
+  /// stricter-than-indexed probes stay exact that way, and anything looser
+  /// falls back to the linear scan. Rebuilds existing postings.
+  void set_index_threshold(double t);
+  double index_threshold() const { return index_threshold_; }
+
+  /// Disable/enable the indexed QUERY path (index maintenance continues, so
+  /// re-enabling is free). Exists for the differential fuzz tests and the
+  /// linear-vs-indexed microbenches; both paths return byte-identical
+  /// results by contract.
+  void set_index_enabled(bool on) { index_enabled_ = on; }
+  bool index_enabled() const { return index_enabled_; }
+
   // --- statistics (reported in Figs. 4.26b / 4.28 analyses) ---
-  std::size_t size() const;
+  std::size_t size() const { return live_; }
   std::size_t patterns_for(NodeId src, NodeId dst) const;
   /// Real (non-empty-signature) probes; hit rate = hits() / lookups().
   std::uint64_t lookups() const { return lookups_; }
@@ -57,6 +104,8 @@ class SolutionDatabase {
   std::uint64_t empty_probes() const { return empty_probes_; }
   std::uint64_t saves() const { return saves_; }
   std::uint64_t updates() const { return updates_; }
+  /// Solutions dropped by the capacity bound (routing.sdb.evictions gauge).
+  std::uint64_t evictions() const { return evictions_; }
 
   /// Distinct situations whose solution was re-applied at least once.
   std::size_t reused_patterns() const;
@@ -68,27 +117,92 @@ class SolutionDatabase {
   //     meta-information about communication patterns can be pre-loaded
   //     into the routers/nodes to skip the first learning stage) ---
 
-  /// Text serialization of every stored solution.
+  /// Deterministic text serialization: a "prdrb-sdb-v1 <count>" header,
+  /// then one record per solution sorted by (src, dst) and, within a pair,
+  /// by insertion order. Doubles are printed with enough digits to
+  /// round-trip exactly, so export -> import -> export is byte-identical.
   void export_text(std::ostream& os) const;
 
-  /// Merge previously exported solutions into this database. Returns the
-  /// number of solutions loaded; throws std::runtime_error on bad input.
+  /// Merge previously exported solutions into this database (exact-match
+  /// merge: an identical signature updates in place, anything else is a new
+  /// solution). Accepts both the versioned "prdrb-sdb-v1" format and the
+  /// legacy headerless record stream. Returns the number of records read;
+  /// throws std::runtime_error on malformed input, including counts beyond
+  /// the kMaxImport* sanity bounds (a corrupt count used to drive a
+  /// std::vector(n) constructor straight into bad_alloc).
   std::size_t import_text(std::istream& is);
 
+  /// Sanity bounds on untrusted import counts.
+  static constexpr std::uint64_t kMaxImportFlows = 1u << 20;
+  static constexpr std::uint64_t kMaxImportPaths = 1u << 20;
+  static constexpr std::uint64_t kMaxImportRecords = 1u << 28;
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One arena slot: the public solution plus the bookkeeping the index,
+  /// the LRU list and the deterministic export need.
+  struct Stored {
+    SavedSolution sol;
+    std::uint64_t key = 0;   // (src, dst), for eviction bookkeeping
+    std::uint64_t seq = 0;   // global insertion order (never reused)
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    bool live = false;
+  };
+
+  /// Per-(src, dst) bucket: solution ids in insertion (ascending-seq)
+  /// order, plus — once the bucket is large enough — an inverted index
+  /// from prefix element hashes to the ids stored under them.
+  struct Bucket {
+    std::vector<std::uint32_t> ids;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> postings;
+    bool indexed = false;
+  };
+
   static std::uint64_t key(NodeId src, NodeId dst) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
            static_cast<std::uint32_t>(dst);
   }
 
-  // Deque buckets: save() appends must not invalidate pointers previously
-  // handed out by lookup() (a vector bucket reallocates and dangles them).
-  std::unordered_map<std::uint64_t, std::deque<SavedSolution>> db_;
+  bool use_index(const Bucket& b, double min_similarity) const;
+  /// Fill candidates_ with the ids of every stored solution in `b` that can
+  /// be >= index_threshold_ similar to `sig`, in bucket (seq) order.
+  void collect_candidates(const Bucket& b, const FlowSignature& sig);
+  void add_postings(Bucket& b, std::uint32_t id);
+  void remove_postings(Bucket& b, std::uint32_t id);
+  void build_index(Bucket& b);
+
+  std::uint32_t allocate_slot();
+  void lru_push_back(std::uint32_t id);
+  void lru_unlink(std::uint32_t id);
+  void touch(std::uint32_t id);
+  void evict_lru();
+
+  // Deque arena: save() appends must not invalidate pointers previously
+  // handed out by lookup() (a vector arena reallocates and dangles them).
+  std::deque<Stored> arena_;
+  std::vector<std::uint32_t> free_slots_;  // recycled after eviction
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::uint32_t lru_head_ = kNil;  // least recently used
+  std::uint32_t lru_tail_ = kNil;  // most recently used
+  std::size_t live_ = 0;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t next_seq_ = 0;
+  double index_threshold_ = 0.8;
+  bool index_enabled_ = true;
+
+  // Reusable scratch (allocation-free steady state for probes).
+  std::vector<std::uint64_t> probe_hashes_;
+  std::vector<std::uint64_t> index_hashes_;  // posting add/remove side
+  std::vector<std::uint32_t> candidates_;
+
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t empty_probes_ = 0;
   std::uint64_t saves_ = 0;
   std::uint64_t updates_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace prdrb

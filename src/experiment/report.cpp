@@ -55,6 +55,16 @@ struct CheckDoc {
     double max_ratio = 0;  // gate: calendar_ns / heap_ns must stay <= this
   };
   ClusteredTie clustered_tie;
+  // Optional solution-database lookup microbench section (bench-baseline
+  // docs): linear-scan vs prefix-index per-lookup latency over one large
+  // bucket, plus the minimum speedup the index must keep delivering.
+  struct SdbLookup {
+    bool present = false;
+    double linear_ns = 0;
+    double indexed_ns = 0;
+    double min_speedup = 0;  // gate: linear_ns / indexed_ns must stay >= this
+  };
+  SdbLookup sdb_lookup;
   // Predictive-scorecard section (scorecard docs): did the SDB fire at all?
   struct Sdb {
     bool present = false;
@@ -89,6 +99,12 @@ bool flatten(const JsonValue& doc, CheckDoc& out) {
       out.clustered_tie.heap_ns = tie->number_at("heap_ns");
       out.clustered_tie.calendar_ns = tie->number_at("calendar_ns");
       out.clustered_tie.max_ratio = tie->number_at("max_calendar_vs_heap");
+    }
+    if (const JsonValue* sdb = doc.find("sdb_lookup")) {
+      out.sdb_lookup.present = true;
+      out.sdb_lookup.linear_ns = sdb->number_at("linear_ns");
+      out.sdb_lookup.indexed_ns = sdb->number_at("indexed_ns");
+      out.sdb_lookup.min_speedup = sdb->number_at("min_speedup");
     }
     return true;
   }
@@ -462,6 +478,36 @@ CheckResult check_documents(const JsonValue& older, const JsonValue& newer,
              b.schema == "prdrb-bench-baseline-v1") {
     add(Finding::Level::kWarning,
         "clustered_tie section missing from new document");
+  }
+
+  // Solution-database index gate (bench-baseline documents): the prefix
+  // index must keep its speedup over the linear scan on the single-bucket
+  // lookup model — a silent fallback to the linear path would pass every
+  // correctness test (the two are byte-identical by contract) and only
+  // show up here.
+  if (b.sdb_lookup.present && b.sdb_lookup.indexed_ns > 0) {
+    const double gate = a.sdb_lookup.present && a.sdb_lookup.min_speedup > 0
+                            ? a.sdb_lookup.min_speedup
+                            : 0;
+    const double speedup = b.sdb_lookup.linear_ns / b.sdb_lookup.indexed_ns;
+    std::ostringstream msg;
+    msg << "sdb-lookup index speedup " << obs::json_number(speedup)
+        << "x (linear " << obs::json_number(b.sdb_lookup.linear_ns)
+        << " ns, indexed " << obs::json_number(b.sdb_lookup.indexed_ns)
+        << " ns)";
+    if (gate <= 0) {
+      add(Finding::Level::kInfo, msg.str() + "; no baseline gate");
+    } else if (speedup < gate) {
+      add(perf_level, "sdb-lookup speedup below " + obs::json_number(gate) +
+                          "x gate: " + msg.str());
+    } else {
+      add(Finding::Level::kInfo,
+          msg.str() + " above " + obs::json_number(gate) + "x gate");
+    }
+  } else if (a.sdb_lookup.present && !b.sdb_lookup.present &&
+             b.schema == "prdrb-bench-baseline-v1") {
+    add(Finding::Level::kWarning,
+        "sdb_lookup section missing from new document");
   }
 
   // Predictive-layer guard (scorecard documents): a run whose baseline had

@@ -122,8 +122,12 @@ std::vector<ScenarioResult> run_synthetic_replicated(
   std::vector<SweepJob> jobs;
   jobs.reserve(static_cast<std::size_t>(std::max(runs, 0)));
   const std::uint64_t base_seed = spec.seed;
+  const std::string sdb_out = spec.sdb_out;
   for (int i = 0; i < runs; ++i) {
     spec.seed = base_seed + static_cast<std::uint64_t>(i);
+    // Replicas run concurrently: only the base-seed run may export the
+    // solution database, or every worker would race on the same file.
+    spec.sdb_out = i == 0 ? sdb_out : std::string();
     jobs.push_back(SweepJob::make(policy_name, spec));
   }
   return run_sweep(jobs);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 
 #include "metrics/collector.hpp"
 #include "net/kary_ntree.hpp"
@@ -408,6 +410,11 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
       reg.gauge("routing.sdb.empty_probes", [eng] {
         return static_cast<double>(eng->db().empty_probes());
       });
+      // Solutions dropped by the capacity bound (PrDrbConfig::sdb_capacity;
+      // stays 0 while the database is unbounded).
+      reg.gauge("routing.sdb.evictions", [eng] {
+        return static_cast<double>(eng->db().evictions());
+      });
     }
     if (b.monitor) {
       CongestionDetector* mon = b.monitor.get();
@@ -478,6 +485,16 @@ ScenarioResult run_scenario(const std::string& policy_name,
   for (RouterId r : sc.watch) metrics.watch_router(r);
   net.set_observer(&metrics);
   if (bundle.monitor) net.set_monitor(bundle.monitor.get());
+  if (bundle.engine && !sc.sdb_in.empty()) {
+    // Warm start (thesis §5.2 "static variation"): pre-load solutions
+    // exported by a prior run before any traffic flows.
+    std::ifstream in(sc.sdb_in, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open solution database: " +
+                               sc.sdb_in);
+    }
+    bundle.engine->db().import_text(in);
+  }
   RunProbes probes = attach_sinks(sim, net, bundle, sc.sinks);
 
   ScenarioResult r;
@@ -541,6 +558,16 @@ ScenarioResult run_scenario(const std::string& policy_name,
 
   r.events = sim.events_executed();
   fill_common(r, metrics, bundle, topo->num_routers(), sc.watch);
+  if (bundle.engine && !sc.sdb_out.empty()) {
+    // Deterministic sorted export (binary mode: no platform newline
+    // translation) — byte-identical across runs, jobs and schedulers.
+    std::ofstream out(sc.sdb_out, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("cannot write solution database: " +
+                               sc.sdb_out);
+    }
+    bundle.engine->db().export_text(out);
+  }
   return r;
 }
 

@@ -166,6 +166,13 @@ struct ScenarioSpec {
   std::optional<SchedulerKind> sched;
   std::vector<RouterId> watch;  // routers whose series to record
   ObsSinks sinks;  // optional tracer / counter-registry attachments
+  /// Solution-database warm start / persistence (predictive policies only;
+  /// ignored by policies without a PredictiveEngine). `sdb_in` is imported
+  /// into the engine's database before the run ("prdrb-sdb-v1" or legacy
+  /// text); `sdb_out` receives the deterministic export after the run —
+  /// byte-identical across repeats, --jobs values and scheduler backends.
+  std::string sdb_in;
+  std::string sdb_out;
   std::variant<SyntheticWorkload, TraceWorkload> workload;
 
   bool is_synthetic() const {

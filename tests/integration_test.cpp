@@ -87,7 +87,9 @@ TEST(Integration, PrDrbLearnsAcrossBursts) {
 
 TEST(Integration, RouterBasedNotificationAlsoLearns) {
   auto* policy = new PrDrbPolicy(
-      DrbConfig{}, PrDrbConfig{0.8, NotificationMode::kRouterBased});
+      DrbConfig{},
+      PrDrbConfig{.similarity = 0.8,
+                  .notification = NotificationMode::kRouterBased});
   CongestionDetector cfd(NotificationMode::kRouterBased);
   auto h = Harness::make<Mesh2D>(NetConfig{}, policy, 8, 8);
   h.net->set_monitor(&cfd);

@@ -381,7 +381,9 @@ TEST(Cfd, RouterBasedInjectsPredictiveAcks) {
   NetConfig cfg;
   cfg.router_contention_threshold_s = 1e-6;
   auto* probe = new PrDrbPolicy(DrbConfig{},
-                                PrDrbConfig{0.8, NotificationMode::kRouterBased});
+                                PrDrbConfig{.similarity = 0.8,
+                                            .notification =
+                                                NotificationMode::kRouterBased});
   auto h = Harness::make<Mesh2D>(cfg, probe, 4, 4);
   CongestionDetector cfd(NotificationMode::kRouterBased);
   h.net->set_monitor(&cfd);
