@@ -2,9 +2,9 @@
 // for the per-figure bench binaries: aliases, table-formatting helpers, the
 // shared command-line flags (--jobs, --sched, --trace-out, --metrics-out,
 // --manifest-out, --no-manifest, --telemetry-out, --heatmap-out,
-// --scorecard-out, --watchdog[=S], --watchdog-out, --sdb-in, --sdb-out) and
-// the BenchMain RAII wrapper that writes the run manifest (EXPERIMENTS.md
-// "Run manifests") on exit.
+// --scorecard-out, --stream-out, --stream-interval, --watchdog[=S],
+// --watchdog-out, --sdb-in, --sdb-out) and the BenchMain RAII wrapper that
+// writes the run manifest (EXPERIMENTS.md "Run manifests") on exit.
 #pragma once
 
 #include <chrono>
@@ -23,6 +23,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
@@ -104,6 +105,8 @@ struct BenchOptions {
   std::string telemetry_out; // --telemetry-out=PATH: link/router telemetry
   std::string heatmap_out;   // --heatmap-out=PATH: ASCII (or .pgm) heatmap
   std::string scorecard_out; // --scorecard-out=PATH: predictive scorecard
+  std::string stream_out;    // --stream-out=PATH: streaming telemetry NDJSON
+  double stream_interval = 0; // --stream-interval=S: snapshot cadence (sim s)
   double watchdog = 0;       // --watchdog[=SECONDS]: stall watchdog window
   std::string watchdog_out;  // --watchdog-out=PATH: flight dump JSON if fired
   std::string sched;         // --sched NAME: scheduler backend (heap|calendar)
@@ -141,6 +144,14 @@ inline BenchOptions parse_bench_flags(int argc, char** argv) {
     if (take("--telemetry-out", o.telemetry_out)) continue;
     if (take("--heatmap-out", o.heatmap_out)) continue;
     if (take("--scorecard-out", o.scorecard_out)) continue;
+    if (take("--stream-out", o.stream_out)) continue;
+    {
+      std::string v;
+      if (take("--stream-interval", v)) {
+        o.stream_interval = std::atof(v.c_str());
+        continue;
+      }
+    }
     if (take("--watchdog-out", o.watchdog_out)) continue;
     if (take("--sched", o.sched)) continue;
     if (take("--sdb-in", o.sdb_in)) continue;
@@ -198,8 +209,8 @@ class BenchMain {
   bool wants_probe() const {
     return !opts_.trace_out.empty() || !opts_.metrics_out.empty() ||
            !opts_.telemetry_out.empty() || !opts_.heatmap_out.empty() ||
-           !opts_.scorecard_out.empty() || !opts_.sdb_out.empty() ||
-           opts_.watchdog > 0;
+           !opts_.scorecard_out.empty() || !opts_.stream_out.empty() ||
+           !opts_.sdb_out.empty() || opts_.watchdog > 0;
   }
 
   /// Apply --sdb-in to a sweep spec: every job of a warm-started sweep
@@ -226,12 +237,19 @@ class BenchMain {
     obs::NetTelemetry telemetry(sc.bin_width);
     obs::FlightRecorder recorder(512);
     obs::Scorecard scorecard;
+    obs::StreamTelemetry stream;
     sc.sinks.tracer = &tracer;
     sc.sinks.counters = &counters;
     if (!opts_.telemetry_out.empty() || !opts_.heatmap_out.empty()) {
       sc.sinks.telemetry = &telemetry;
     }
     if (!opts_.scorecard_out.empty()) sc.sinks.scorecard = &scorecard;
+    if (!opts_.stream_out.empty()) {
+      sc.sinks.stream = &stream;
+      if (opts_.stream_interval > 0) {
+        sc.sinks.stream_interval = opts_.stream_interval;
+      }
+    }
     std::string dump;
     if (opts_.watchdog > 0) {
       sc.sinks.recorder = &recorder;
@@ -252,6 +270,14 @@ class BenchMain {
     // Accumulate (exact bucket-wise fold) so a bench that probes several
     // scenarios writes one merged scorecard at exit.
     if (!opts_.scorecard_out.empty()) scorecard_.merge(scorecard);
+    if (!opts_.stream_out.empty()) {
+      // The probe's finalize() already appended its own summary line; keep
+      // the per-probe NDJSON verbatim and fold the ledgers so a multi-probe
+      // bench can close the file with one merged summary.
+      stream_ndjson_ += stream.ndjson();
+      stream_merged_.merge(stream);
+      ++stream_probes_;
+    }
     return r;
   }
 
@@ -269,6 +295,15 @@ class BenchMain {
     if (!opts_.scorecard_out.empty()) {
       scorecard_.write_file(opts_.scorecard_out);
     }
+    if (!opts_.stream_out.empty()) {
+      // A single-probe run's NDJSON already ends with that probe's summary;
+      // only a multi-probe bench needs the extra merged summary line.
+      if (stream_probes_ > 1) {
+        stream_merged_.finalize(0);
+        stream_ndjson_ += stream_merged_.ndjson();
+      }
+      obs::write_text_file(opts_.stream_out, stream_ndjson_);
+    }
   }
 
  private:
@@ -276,6 +311,9 @@ class BenchMain {
   BenchOptions opts_;
   RunManifest manifest_;
   obs::Scorecard scorecard_;  // merged across probe_scenario() calls
+  obs::StreamTelemetry stream_merged_;  // ledger fold across probes
+  std::string stream_ndjson_;           // concatenated per-probe NDJSON
+  int stream_probes_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -10,6 +10,7 @@
 #include "net/network.hpp"
 #include "obs/counters.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/oblivious.hpp"
@@ -336,6 +337,55 @@ void BM_SimulatedNetworkHopScorecard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedNetworkHopScorecard)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Bounded-memory streaming-telemetry overhead on the same loaded mesh.
+/// Arg(0): stream not bound — the transmit/stall hot paths pay one
+/// not-taken null-pointer branch each (the same guard shape as the
+/// telemetry/scorecard hooks) and must sit within noise of
+/// BM_SimulatedNetworkHop. Arg(1): stream bound and rolled on a sampler
+/// chain, the attach_sinks wiring — pays the window-boundary split plus
+/// the recent-flow note per transmit, and an O(links) window fold per
+/// roll, all against a fixed memory budget (see obs/stream).
+void BM_SimulatedNetworkHopStream(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Mesh2D mesh(8, 8);
+    NetConfig cfg;
+    DeterministicPolicy policy;
+    Network net(sim, mesh, cfg, policy);
+    obs::StreamTelemetry stream;
+    obs::CounterRegistry reg;
+    obs::CounterSampler sampler(sim, reg);
+    if (enabled) {
+      net.bind_stream(&stream);
+      obs::StreamTelemetry* st = &stream;
+      sampler.add_probe(1e-3, [st](SimTime now) { st->roll(now); });
+      sampler.start(1e-3);
+    }
+    UniformPattern pat(64);
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(64));
+      const NodeId d = pat.destination(s, rng);
+      if (d != s) net.send_message(s, d, 1024);
+    }
+    state.ResumeTiming();
+    sim.run();
+    state.PauseTiming();
+    state.counters["windows"] =
+        static_cast<double>(stream.windows_rolled());
+    state.counters["state_bytes"] =
+        static_cast<double>(stream.memory_bytes());
+    net.bind_stream(nullptr);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_SimulatedNetworkHopStream)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -19,6 +19,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "util/table.hpp"
@@ -84,6 +85,12 @@ observability (DESIGN.md "Observability"):
   --scorecard-out <path> predictive-efficacy scorecard: latency attribution,
                         metapath ledger and warm-vs-cold SDB episodes
                         ("prdrb-scorecard-v1" JSON) of a serial base-seed run
+  --stream-out <path>   bounded-memory streaming telemetry: periodic
+                        "prdrb-stream-v1" NDJSON snapshots (utilization
+                        quantiles, congestion onsets, prediction lead times)
+                        of a serial base-seed run, closed by a summary line
+  --stream-interval <s> snapshot cadence in simulated seconds (default 10e-3;
+                        rounded to the counter-sampling grid)
   --watchdog[=<s>]      arm the stall watchdog (default window 5e-3 virtual
                         seconds): dumps ring + router snapshot to stderr if
                         no packet is delivered for a window while work is
@@ -122,6 +129,8 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   std::string heatmap_out;
   std::string scorecard_out;
+  std::string stream_out;
+  double stream_interval = 0;
   double watchdog = 0;
   std::string watchdog_out;
   std::string manifest_out = "prdrb_sim.manifest.json";
@@ -201,6 +210,10 @@ int main(int argc, char** argv) {
         heatmap_out = sval();
       } else if (a == "--scorecard-out") {
         scorecard_out = sval();
+      } else if (a == "--stream-out") {
+        stream_out = sval();
+      } else if (a == "--stream-interval") {
+        stream_interval = nval();
       } else if (a == "--watchdog") {
         watchdog = has_inline ? std::stod(inline_val) : 5e-3;
         if (!(watchdog > 0)) watchdog = 5e-3;
@@ -274,6 +287,7 @@ int main(int argc, char** argv) {
       obs::NetTelemetry telemetry(sc.bin_width);
       obs::FlightRecorder recorder(512);
       obs::Scorecard scorecard;
+      obs::StreamTelemetry stream;
       std::string dump;
       if (!trace_out.empty()) sc.sinks.tracer = &tracer;
       if (!metrics_out.empty()) sc.sinks.counters = &counters;
@@ -281,6 +295,10 @@ int main(int argc, char** argv) {
         sc.sinks.telemetry = &telemetry;
       }
       if (!scorecard_out.empty()) sc.sinks.scorecard = &scorecard;
+      if (!stream_out.empty()) {
+        sc.sinks.stream = &stream;
+        if (stream_interval > 0) sc.sinks.stream_interval = stream_interval;
+      }
       if (watchdog > 0) {
         sc.sinks.recorder = &recorder;
         sc.sinks.watchdog_window = watchdog;
@@ -295,6 +313,7 @@ int main(int argc, char** argv) {
             heatmap_out, *make_topology(sc.topology).value_or_throw());
       }
       if (!scorecard_out.empty()) scorecard.write_file(scorecard_out);
+      if (!stream_out.empty()) stream.write_file(stream_out);
       if (!watchdog_out.empty() && !dump.empty()) {
         obs::write_text_file(watchdog_out, dump);
       }
@@ -325,7 +344,8 @@ int main(int argc, char** argv) {
     // instrumented run is a separate serial probe at the base seed — its
     // trace bytes are independent of --jobs.
     if (!trace_out.empty() || !metrics_out.empty() || !telemetry_out.empty() ||
-        !heatmap_out.empty() || !scorecard_out.empty() || watchdog > 0) {
+        !heatmap_out.empty() || !scorecard_out.empty() ||
+        !stream_out.empty() || watchdog > 0) {
       ScenarioSpec probe = sc;
       // The replicated base-seed run already exported the database (only
       // the base seed writes it — workers must not race on the file).
@@ -335,6 +355,7 @@ int main(int argc, char** argv) {
       obs::NetTelemetry telemetry(probe.bin_width);
       obs::FlightRecorder recorder(512);
       obs::Scorecard scorecard;
+      obs::StreamTelemetry stream;
       std::string dump;
       if (!trace_out.empty()) probe.sinks.tracer = &tracer;
       if (!metrics_out.empty()) probe.sinks.counters = &counters;
@@ -342,6 +363,12 @@ int main(int argc, char** argv) {
         probe.sinks.telemetry = &telemetry;
       }
       if (!scorecard_out.empty()) probe.sinks.scorecard = &scorecard;
+      if (!stream_out.empty()) {
+        probe.sinks.stream = &stream;
+        if (stream_interval > 0) {
+          probe.sinks.stream_interval = stream_interval;
+        }
+      }
       if (watchdog > 0) {
         probe.sinks.recorder = &recorder;
         probe.sinks.watchdog_window = watchdog;
@@ -356,6 +383,7 @@ int main(int argc, char** argv) {
             heatmap_out, *make_topology(sc.topology).value_or_throw());
       }
       if (!scorecard_out.empty()) scorecard.write_file(scorecard_out);
+      if (!stream_out.empty()) stream.write_file(stream_out);
       if (!watchdog_out.empty() && !dump.empty()) {
         obs::write_text_file(watchdog_out, dump);
       }

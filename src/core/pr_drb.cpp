@@ -2,6 +2,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -48,6 +49,12 @@ bool PredictiveEngine::enter_high(Metapath& mp, NodeId src, NodeId dst,
   }
   if (scorecard_) {
     scorecard_->on_sdb_hit(src, dst, static_cast<int>(mp.paths.size()), now);
+  }
+  if (stream_) {
+    // A wholesale SDB install is the PREDICTIVE open: paths chosen from a
+    // recognized congestion signature, not from measured latency alone.
+    stream_->on_metapath_open(src, dst, static_cast<int>(mp.paths.size()),
+                              /*predictive=*/true, now);
   }
   return true;
 }

@@ -89,6 +89,10 @@ class PredictiveEngine {
   /// detaches.
   void set_scorecard(obs::Scorecard* s) { scorecard_ = s; }
 
+  /// Attach streaming telemetry: SDB installs count as PREDICTIVE
+  /// metapath opens in its lead-time analyzer. nullptr detaches.
+  void set_stream(obs::StreamTelemetry* s) { stream_ = s; }
+
  private:
   PrDrbConfig cfg_;
   SolutionDatabase db_;
@@ -97,6 +101,7 @@ class PredictiveEngine {
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
   obs::Scorecard* scorecard_ = nullptr;
+  obs::StreamTelemetry* stream_ = nullptr;
 };
 
 class PrDrbPolicy : public DrbPolicy {

@@ -73,6 +73,18 @@ struct CheckDoc {
     double deliveries = 0;
   };
   Sdb sdb;
+  // Streaming-telemetry section (stream summary docs): the prediction
+  // lead-time verdict. A positive data-class median means metapaths were
+  // typically opened BEFORE the matched congestion onset.
+  struct Stream {
+    bool present = false;
+    double lead_median_s = 0;  // signed data-class median lead
+    double lead_pos = 0;
+    double lead_neg = 0;
+    double onsets = 0;
+    double opens_predictive = 0;
+  };
+  Stream stream;
 };
 
 bool flatten(const JsonValue& doc, CheckDoc& out) {
@@ -113,6 +125,15 @@ bool flatten(const JsonValue& doc, CheckDoc& out) {
     out.sdb.hits = doc.number_at("sdb.hits");
     out.sdb.misses = doc.number_at("sdb.misses");
     out.sdb.deliveries = doc.number_at("deliveries");
+    return true;
+  }
+  if (out.schema == "prdrb-stream-v1") {
+    out.stream.present = true;
+    out.stream.lead_median_s = doc.number_at("lead.data.median_s");
+    out.stream.lead_pos = doc.number_at("lead.data.pos");
+    out.stream.lead_neg = doc.number_at("lead.data.neg");
+    out.stream.onsets = doc.number_at("onsets_total");
+    out.stream.opens_predictive = doc.number_at("opens.predictive");
     return true;
   }
   return false;
@@ -215,13 +236,90 @@ std::vector<ScorecardInfo> collect_scorecards(const std::string& dir) {
   return out;
 }
 
+bool parse_stream(const std::string& text, StreamInfo& out) {
+  out.lines = 0;
+  out.bad_lines = 0;
+  std::optional<JsonValue> last;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    // Per-line tolerance: an interrupted writer leaves at most one torn
+    // trailing line in an append-only stream, and a reader must not lose
+    // the intact prefix over it.
+    std::optional<JsonValue> doc = obs::json_parse(std::string(line));
+    if (!doc || doc->string_at("schema") != "prdrb-stream-v1") {
+      ++out.bad_lines;
+      continue;
+    }
+    ++out.lines;
+    last = std::move(doc);
+  }
+  if (!last) return false;
+  out.t = last->number_at("t");
+  out.window_s = last->number_at("window_s");
+  out.windows = last->number_at("windows");
+  out.links = last->number_at("links");
+  out.busy_s = last->number_at("busy_s");
+  out.stalls = last->number_at("stalls");
+  out.packets = last->number_at("packets");
+  out.util_p50 = last->number_at("util.p50");
+  out.util_p95 = last->number_at("util.p95");
+  out.util_p99 = last->number_at("util.p99");
+  out.util_max = last->number_at("util.max");
+  out.onsets = last->number_at("onsets_total");
+  out.opens_predictive = last->number_at("opens.predictive");
+  out.opens_reactive = last->number_at("opens.reactive");
+  out.state_bytes = last->number_at("state_bytes");
+  out.leads.clear();
+  if (const JsonValue* lead = last->find("lead"); lead && lead->is_object()) {
+    for (const auto& [cls, v] : lead->members()) {
+      StreamInfo::Lead l;
+      l.cls = cls;
+      l.pos = v.number_at("pos");
+      l.neg = v.number_at("neg");
+      l.median_s = v.number_at("median_s");
+      l.pos_p95_s = v.number_at("pos_p95_s");
+      l.predictive = v.number_at("predictive");
+      out.leads.push_back(std::move(l));
+    }
+  }
+  return true;
+}
+
+std::vector<StreamInfo> collect_streams(const std::string& dir) {
+  std::vector<StreamInfo> out;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".json" && ext != ".ndjson") continue;
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) {
+    StreamInfo info;
+    if (parse_stream(read_file(p), info)) {
+      info.path = p;
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
 void write_markdown_report(std::ostream& os,
                            const std::vector<ManifestInfo>& manifests,
-                           const std::vector<ScorecardInfo>& scorecards) {
+                           const std::vector<ScorecardInfo>& scorecards,
+                           const std::vector<StreamInfo>& streams) {
   os << "# PR-DRB sweep report\n\n";
   os << "Manifests: " << manifests.size() << "\n";
-  os << "Scorecards: " << scorecards.size() << "\n\n";
-  if (manifests.empty() && scorecards.empty()) return;
+  os << "Scorecards: " << scorecards.size() << "\n";
+  os << "Streams: " << streams.size() << "\n\n";
+  if (manifests.empty() && scorecards.empty() && streams.empty()) return;
 
   if (!manifests.empty()) {
   os << "## Runs\n\n";
@@ -332,16 +430,60 @@ void write_markdown_report(std::ostream& os,
          << obs::json_number(s.false_open_rate) << " |\n";
     }
   }
+
+  if (!streams.empty()) {
+    os << "\n## Streaming telemetry\n\n";
+    os << "| stream | sim t (s) | windows | links | util p50 | util p95 | "
+          "util p99 | onsets | opens (pred/react) | state KiB |\n";
+    os << "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const StreamInfo& s : streams) {
+      os << "| " << std::filesystem::path(s.path).filename().string() << " | "
+         << obs::json_number(s.t) << " | "
+         << static_cast<std::uint64_t>(s.windows) << " | "
+         << static_cast<std::uint64_t>(s.links) << " | "
+         << obs::json_number(s.util_p50) << " | "
+         << obs::json_number(s.util_p95) << " | "
+         << obs::json_number(s.util_p99) << " | "
+         << static_cast<std::uint64_t>(s.onsets) << " | "
+         << static_cast<std::uint64_t>(s.opens_predictive) << "/"
+         << static_cast<std::uint64_t>(s.opens_reactive) << " | "
+         << obs::json_number(s.state_bytes / 1024.0) << " |\n";
+    }
+
+    os << "\n## Prediction lead time\n\n";
+    os << "Positive lead = the metapath opened BEFORE the matched link's "
+          "congestion onset (the predictive layer fired early); negative = "
+          "the onset came first and the open trailed it. Medians are signed "
+          "over both sides.\n\n";
+    os << "| stream | class | pos | neg | median (us) | pos p95 (us) | "
+          "predictive matches |\n";
+    os << "|---|---|---:|---:|---:|---:|---:|\n";
+    for (const StreamInfo& s : streams) {
+      const std::string file =
+          std::filesystem::path(s.path).filename().string();
+      for (const StreamInfo::Lead& l : s.leads) {
+        if (l.pos + l.neg == 0) continue;  // class never matched an onset
+        os << "| " << file << " | " << l.cls << " | "
+           << static_cast<std::uint64_t>(l.pos) << " | "
+           << static_cast<std::uint64_t>(l.neg) << " | "
+           << obs::json_number(l.median_s * 1e6) << " | "
+           << obs::json_number(l.pos_p95_s * 1e6) << " | "
+           << static_cast<std::uint64_t>(l.predictive) << " |\n";
+      }
+    }
+  }
 }
 
 void write_json_report(std::ostream& os,
                        const std::vector<ManifestInfo>& manifests,
-                       const std::vector<ScorecardInfo>& scorecards) {
+                       const std::vector<ScorecardInfo>& scorecards,
+                       const std::vector<StreamInfo>& streams) {
   obs::JsonWriter w;
   w.begin_object();
   w.field("schema", "prdrb-sweep-report-v1");
   w.field("manifests", static_cast<std::uint64_t>(manifests.size()));
   w.field("scorecards", static_cast<std::uint64_t>(scorecards.size()));
+  w.field("streams", static_cast<std::uint64_t>(streams.size()));
   w.key("runs").begin_array();
   for (const ManifestInfo& m : manifests) {
     w.begin_object();
@@ -391,6 +533,42 @@ void write_json_report(std::ostream& os,
     w.field("false_open_rate", s.false_open_rate);
     w.field("hit_efficacy_pct", s.hit_efficacy_pct);
     w.field("convergence_ratio", s.convergence_ratio);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stream_runs").begin_array();
+  for (const StreamInfo& s : streams) {
+    w.begin_object();
+    w.field("file", std::filesystem::path(s.path).filename().string());
+    w.field("lines", s.lines);
+    w.field("bad_lines", s.bad_lines);
+    w.field("t", s.t);
+    w.field("window_s", s.window_s);
+    w.field("windows", s.windows);
+    w.field("links", s.links);
+    w.field("busy_s", s.busy_s);
+    w.field("stalls", s.stalls);
+    w.field("packets", s.packets);
+    w.field("util_p50", s.util_p50);
+    w.field("util_p95", s.util_p95);
+    w.field("util_p99", s.util_p99);
+    w.field("util_max", s.util_max);
+    w.field("onsets", s.onsets);
+    w.field("opens_predictive", s.opens_predictive);
+    w.field("opens_reactive", s.opens_reactive);
+    w.field("state_bytes", s.state_bytes);
+    w.key("lead").begin_array();
+    for (const StreamInfo::Lead& l : s.leads) {
+      w.begin_object();
+      w.field("class", l.cls);
+      w.field("pos", l.pos);
+      w.field("neg", l.neg);
+      w.field("median_s", l.median_s);
+      w.field("pos_p95_s", l.pos_p95_s);
+      w.field("predictive", l.predictive);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();
@@ -535,6 +713,50 @@ CheckResult check_documents(const JsonValue& older, const JsonValue& newer,
     add(Finding::Level::kWarning,
         std::string("only the ") + (a.sdb.present ? "old" : "new") +
             " document is a scorecard; SDB comparison skipped");
+  }
+
+  // Prediction lead-time guard (stream summaries): the paper's claim is
+  // that PR-DRB opens metapaths BEFORE congestion onsets. A baseline whose
+  // data-class median lead was positive going non-positive means the
+  // predictive layer now trails congestion — a behaviour regression, never
+  // downgraded by perf_warn_only.
+  if (a.stream.present && b.stream.present) {
+    const bool matched =
+        a.stream.lead_pos + a.stream.lead_neg > 0 ||
+        b.stream.lead_pos + b.stream.lead_neg > 0;
+    std::ostringstream leads;
+    leads << "prediction lead median "
+          << obs::json_number(a.stream.lead_median_s * 1e6) << " -> "
+          << obs::json_number(b.stream.lead_median_s * 1e6) << " us (pos/neg "
+          << static_cast<std::uint64_t>(a.stream.lead_pos) << "/"
+          << static_cast<std::uint64_t>(a.stream.lead_neg) << " -> "
+          << static_cast<std::uint64_t>(b.stream.lead_pos) << "/"
+          << static_cast<std::uint64_t>(b.stream.lead_neg) << ")";
+    if (a.stream.lead_median_s > 0 && !(b.stream.lead_median_s > 0)) {
+      add(Finding::Level::kRegression,
+          "positive prediction lead time lost: " + leads.str() +
+              " — metapaths now open after congestion onsets");
+    } else if (matched) {
+      add(Finding::Level::kInfo, leads.str());
+    }
+    if (a.stream.onsets > 0 || b.stream.onsets > 0) {
+      add(Finding::Level::kInfo,
+          "congestion onsets " +
+              std::to_string(static_cast<std::uint64_t>(a.stream.onsets)) +
+              " -> " +
+              std::to_string(static_cast<std::uint64_t>(b.stream.onsets)) +
+              " (predictive opens " +
+              std::to_string(
+                  static_cast<std::uint64_t>(a.stream.opens_predictive)) +
+              " -> " +
+              std::to_string(
+                  static_cast<std::uint64_t>(b.stream.opens_predictive)) +
+              ")");
+    }
+  } else if (a.stream.present != b.stream.present) {
+    add(Finding::Level::kWarning,
+        std::string("only the ") + (a.stream.present ? "old" : "new") +
+            " document is a stream summary; lead-time comparison skipped");
   }
 
   // Per-policy metrics only exist for manifest-shaped documents.

@@ -13,13 +13,16 @@
 //     drift (the determinism contract) always fails; throughput/latency/
 //     delivery moves beyond their thresholds fail unless downgraded to
 //     warnings. Accepts "prdrb-manifest-v1" documents, the committed
-//     "prdrb-bench-baseline-v1" shape, and "prdrb-scorecard-v1" predictive
+//     "prdrb-bench-baseline-v1" shape, "prdrb-scorecard-v1" predictive
 //     scorecards (where losing all SDB hits against a baseline that had
-//     them is always a hard regression).
+//     them is always a hard regression), and "prdrb-stream-v1" streaming
+//     summaries (where losing a positive median prediction lead time is
+//     likewise a hard regression).
 //
 // Scorecard files in a results directory are collected separately
 // (collect_scorecards) and rendered as their own report section, including
-// the warm-vs-cold SDB efficacy table.
+// the warm-vs-cold SDB efficacy table; streaming-telemetry NDJSON files
+// (collect_streams) feed the "Prediction lead time" section.
 #pragma once
 
 #include <iosfwd>
@@ -96,16 +99,59 @@ bool parse_scorecard(const std::string& text, ScorecardInfo& out);
 /// order; other JSON files are ignored).
 std::vector<ScorecardInfo> collect_scorecards(const std::string& dir);
 
+/// One streaming-telemetry file ("prdrb-stream-v1" NDJSON, written by
+/// obs::StreamTelemetry), summarized from its final summary/snapshot line.
+struct StreamInfo {
+  std::string path;        // file it came from
+  std::uint64_t lines = 0;      // valid snapshot/summary lines
+  std::uint64_t bad_lines = 0;  // truncated or invalid lines skipped
+  double t = 0;
+  double window_s = 0;
+  double windows = 0;
+  double links = 0;
+  double busy_s = 0;
+  double stalls = 0;
+  double packets = 0;
+  double util_p50 = 0, util_p95 = 0, util_p99 = 0, util_max = 0;
+  double onsets = 0;
+  double opens_predictive = 0;
+  double opens_reactive = 0;
+  double state_bytes = 0;
+  struct Lead {
+    std::string cls;     // "data" | "ack" | "predictive-ack"
+    double pos = 0;      // opens that preceded their onset
+    double neg = 0;      // onsets the open trailed
+    double median_s = 0; // signed median lead (positive = predicted early)
+    double pos_p95_s = 0;
+    double predictive = 0;  // positive matches from SDB installs
+  };
+  std::vector<Lead> leads;
+};
+
+/// Parse a streaming-telemetry NDJSON document. Tolerant of truncation: a
+/// partially-written trailing line (the crash-consistency mode of an
+/// append-only stream) is counted in `bad_lines` and skipped; the summary
+/// comes from the last intact "prdrb-stream-v1" line. False only when no
+/// such line exists at all.
+bool parse_stream(const std::string& text, StreamInfo& out);
+
+/// Load every *.json / *.ndjson stream file under `dir` (non-recursive,
+/// lexicographic order; other files are ignored).
+std::vector<StreamInfo> collect_streams(const std::string& dir);
+
 /// Markdown sweep report over collected manifests (and, when present,
-/// scorecards: attribution totals plus the warm-vs-cold efficacy table).
+/// scorecards: attribution totals plus the warm-vs-cold efficacy table;
+/// streams: the "Prediction lead time" section).
 void write_markdown_report(std::ostream& os,
                            const std::vector<ManifestInfo>& manifests,
-                           const std::vector<ScorecardInfo>& scorecards = {});
+                           const std::vector<ScorecardInfo>& scorecards = {},
+                           const std::vector<StreamInfo>& streams = {});
 
 /// JSON sweep report ("prdrb-sweep-report-v1").
 void write_json_report(std::ostream& os,
                        const std::vector<ManifestInfo>& manifests,
-                       const std::vector<ScorecardInfo>& scorecards = {});
+                       const std::vector<ScorecardInfo>& scorecards = {},
+                       const std::vector<StreamInfo>& streams = {});
 
 // --- regression checking ---
 

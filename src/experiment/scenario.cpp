@@ -15,6 +15,7 @@
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "routing/adaptive.hpp"
@@ -325,6 +326,8 @@ struct RunProbes {
     // Close open multipath intervals and unresolved congestion episodes at
     // the final virtual time so exports never carry dangling state.
     if (sinks.scorecard) sinks.scorecard->finalize(now);
+    // Emit the trailing "summary" NDJSON line and detach the stream hooks.
+    if (sinks.stream) sinks.stream->finalize(now);
   }
 };
 
@@ -354,9 +357,23 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
     if (b.drb) b.drb->set_scorecard(sinks.scorecard);
     if (b.engine) b.engine->set_scorecard(sinks.scorecard);
   }
+  if (sinks.stream) {
+    // Pin the window width to the sampler cadence BEFORE binding so the
+    // roll probe fires at timestamps the chain already visits; snapshots
+    // land every ceil(stream_interval / cadence) windows.
+    const SimTime cadence = sinks.sample_interval;
+    const double per = sinks.stream_interval / cadence;
+    sinks.stream->configure_cadence(
+        cadence, per > 1 ? static_cast<std::size_t>(std::llround(
+                               std::ceil(per - 1e-9)))
+                         : 1);
+    net.bind_stream(sinks.stream);
+    if (b.drb) b.drb->set_stream(sinks.stream);
+    if (b.engine) b.engine->set_stream(sinks.stream);
+  }
 
   const bool wants_chain = sinks.counters || sinks.telemetry ||
-                           sinks.watchdog_window > 0;
+                           sinks.stream || sinks.watchdog_window > 0;
   if (!wants_chain) return probes;
 
   if (sinks.counters) {
@@ -451,6 +468,11 @@ RunProbes attach_sinks(Simulator& sim, Network& net, PolicyBundle& b,
     obs::StallWatchdog* wd = probes.watchdog.get();
     probes.sampler->add_probe(sinks.sample_interval,
                               [wd](SimTime now) { wd->poll(now); });
+  }
+  if (sinks.stream) {
+    obs::StreamTelemetry* st = sinks.stream;
+    probes.sampler->add_probe(sinks.sample_interval,
+                              [st](SimTime now) { st->roll(now); });
   }
   probes.sampler->start(sinks.sample_interval);
   return probes;

@@ -72,6 +72,15 @@ struct ObsSinks {
   /// control-plane hooks; finalized (open intervals and episodes closed at
   /// the final virtual time) when the run ends.
   obs::Scorecard* scorecard = nullptr;
+  /// Bounded-memory streaming telemetry (obs/stream.hpp): bound to the
+  /// network's transmit/stall sites and to the DRB + predictive open/close
+  /// hooks; its window clock rolls on the sampler cadence (one extra probe
+  /// on the SAME chain: no event-count drift vs a counters/telemetry run)
+  /// and a "prdrb-stream-v1" NDJSON snapshot is emitted roughly every
+  /// `stream_interval` of virtual time. Finalized (summary line emitted,
+  /// hooks detached) when the run ends.
+  obs::StreamTelemetry* stream = nullptr;
+  SimTime stream_interval = 10e-3;
   SimTime watchdog_window = 0;  // 0 = watchdog disabled
   std::ostream* watchdog_stream = nullptr;  // nullptr = stderr
   std::string* watchdog_dump = nullptr;     // out: "prdrb-flightdump-v1"

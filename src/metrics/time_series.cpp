@@ -20,11 +20,13 @@ void TimeSeries::add(SimTime t, double value) {
   } else if (!(t < static_cast<double>(kMaxBins) * bin_width_)) {
     idx = kMaxBins - 1;  // saturating overflow bin (also catches +inf)
     ++clamped_;
+    ++overflow_clamped_;
   } else {
     idx = static_cast<std::size_t>(t / bin_width_);
     if (idx >= kMaxBins) {  // t/bin_width_ rounding at the boundary
       idx = kMaxBins - 1;
       ++clamped_;
+      ++overflow_clamped_;
     }
   }
   if (idx >= bins_.size()) bins_.resize(idx + 1);
@@ -44,6 +46,11 @@ std::uint64_t TimeSeries::bin_count(std::size_t i) const {
 double TimeSeries::peak_mean() const {
   double best = 0;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
+    // The saturated overflow bin aggregates every sample whose time mapped
+    // past the domain; once anything has been clamped into it, its mean is
+    // an average over an unbounded time range, not a peak. Skip it and let
+    // clamped()/overflow_clamped() report the distortion.
+    if (i == kMaxBins - 1 && overflow_clamped_ > 0) continue;
     best = std::max(best, bin_mean(i));
   }
   return best;

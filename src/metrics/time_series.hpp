@@ -39,16 +39,26 @@ class TimeSeries {
   /// Samples recorded in bin `i`.
   std::uint64_t bin_count(std::size_t i) const;
 
-  /// Largest bin mean over the whole series (figure "peaks").
+  /// Largest bin mean over the whole series (figure "peaks"). Once any
+  /// sample has saturated into the overflow bin, that bin mixes values from
+  /// arbitrarily late times and its mean is meaningless as a "peak", so it
+  /// is excluded; the distortion is surfaced via clamped()/overflow_clamped()
+  /// in the JSON exports instead.
   double peak_mean() const;
 
   /// Samples whose time was clamped into bin 0 or the overflow bin
   /// (surfaced as the "metrics.timeseries.clamped" registry gauge).
   std::uint64_t clamped() const { return clamped_; }
 
+  /// Subset of clamped(): samples saturated into the final overflow bin
+  /// (time at or past kMaxBins * bin_width). Distinguishes "timestamp from
+  /// the far future" from "negative/NaN timestamp" in exports.
+  std::uint64_t overflow_clamped() const { return overflow_clamped_; }
+
   void reset() {
     bins_.clear();
     clamped_ = 0;
+    overflow_clamped_ = 0;
   }
 
  private:
@@ -59,6 +69,7 @@ class TimeSeries {
   SimTime bin_width_;
   std::vector<Bin> bins_;
   std::uint64_t clamped_ = 0;
+  std::uint64_t overflow_clamped_ = 0;
 };
 
 }  // namespace prdrb

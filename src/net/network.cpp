@@ -7,6 +7,7 @@
 #include "obs/counters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/telemetry.hpp"
 
 namespace prdrb {
@@ -223,6 +224,7 @@ void Network::try_transmit(RouterId r, int port) {
       ++out.credit_stalls;
       if (counters_) counters_->credit_stalls->increment();
       if (telemetry_) telemetry_->on_credit_stall(r, port, sim_.now());
+      if (stream_) stream_->on_credit_stall(r, port, sim_.now());
       if (recorder_) {
         recorder_->record(obs::FlightRecorder::EventKind::kCreditStall,
                           sim_.now(), r, port);
@@ -278,6 +280,7 @@ void Network::try_transmit(RouterId r, int port) {
     p->transmit_time += ser;
   }
   if (telemetry_) telemetry_->on_transmit(r, port, now, ser);
+  if (stream_) stream_->on_transmit(r, port, *p, now, ser);
   const std::int64_t bytes = p->size_bytes;
   sim_.schedule_in(ser, [this, r, port, vn, bytes] {
     routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(port)].busy = false;
@@ -464,6 +467,11 @@ void Network::bind_counters(obs::CounterRegistry& reg) {
 void Network::bind_telemetry(obs::NetTelemetry* t) {
   telemetry_ = t;
   if (t) t->bind(*this);
+}
+
+void Network::bind_stream(obs::StreamTelemetry* s) {
+  stream_ = s;
+  if (s) s->bind(*this);
 }
 
 void Network::wake_waiters(RouterId r, int vn) {

@@ -34,6 +34,7 @@ class CounterRegistry;
 class FlightRecorder;
 class NetTelemetry;
 class Scorecard;
+class StreamTelemetry;
 }  // namespace obs
 
 /// Observer of network events; metrics collectors implement this. Several
@@ -115,6 +116,12 @@ class Network {
   /// detached, each site is a single not-taken branch and the packet phase
   /// fields are never written.
   void bind_scorecard(obs::Scorecard* s) { scorecard_ = s; }
+
+  /// Attach bounded-memory streaming telemetry (sizes its window rings for
+  /// this network's shape). Same zero-overhead-when-absent contract as the
+  /// other sinks: detached, the transmit/stall sites pay one not-taken
+  /// branch each.
+  void bind_stream(obs::StreamTelemetry* s);
 
   // ----- send path -----
 
@@ -204,6 +211,7 @@ class Network {
   obs::NetTelemetry* telemetry_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
   obs::Scorecard* scorecard_ = nullptr;
+  obs::StreamTelemetry* stream_ = nullptr;
 
   PacketPool pool_;
   std::vector<Router> routers_;

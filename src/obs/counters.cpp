@@ -104,11 +104,19 @@ void CounterRegistry::write_json(std::ostream& os) const {
   w.begin_object();
   w.field("schema", "prdrb-counters-v1");
   w.field("samples", samples_taken_);
+  w.field("timeseries_clamped", timeseries_clamped());
   w.key("counters").begin_array();
   for (const auto& m : metrics_) {
     w.begin_object();
     w.field("name", m->name);
     w.field("kind", m->is_gauge ? "gauge" : "counter");
+    if (m->series.clamped() > 0) {
+      // Peaks exclude the saturated overflow bin; report how many samples
+      // were clamped (and how many of those saturated) so the exclusion is
+      // auditable from the export alone.
+      w.field("clamped", m->series.clamped());
+      w.field("overflow_clamped", m->series.overflow_clamped());
+    }
     w.field("value", m->is_gauge
                          ? (m->probe ? m->probe() : m->last)
                          : static_cast<double>(

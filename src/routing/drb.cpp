@@ -6,6 +6,7 @@
 #include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/scorecard.hpp"
+#include "obs/stream.hpp"
 #include "obs/tracer.hpp"
 
 namespace prdrb {
@@ -197,6 +198,13 @@ bool DrbPolicy::expand(Metapath& mp, NodeId src, NodeId dst) {
                                    static_cast<int>(mp.paths.size()),
                                    net_->simulator().now());
     }
+    if (stream_) {
+      // Gradual expansion is the REACTIVE open: congestion was measured
+      // (or a trend projected) before the path was added.
+      stream_->on_metapath_open(src, dst, static_cast<int>(mp.paths.size()),
+                                /*predictive=*/false,
+                                net_->simulator().now());
+    }
     return true;
   }
   return false;
@@ -226,6 +234,10 @@ bool DrbPolicy::shrink(Metapath& mp, NodeId src, NodeId dst) {
     scorecard_->on_metapath_close(src, dst,
                                   static_cast<int>(mp.paths.size()),
                                   net_->simulator().now());
+  }
+  if (stream_) {
+    stream_->on_metapath_close(src, dst, static_cast<int>(mp.paths.size()),
+                               net_->simulator().now());
   }
   if (mp.paths.size() == 1) {
     // Fully contracted: rewind the candidate cursor so the next congestion

@@ -26,6 +26,7 @@ namespace prdrb {
 namespace obs {
 class FlightRecorder;
 class Scorecard;
+class StreamTelemetry;
 class Tracer;
 }  // namespace obs
 
@@ -89,6 +90,10 @@ class DrbPolicy : public RoutingPolicy {
   /// metapath open/close land in its ledger. nullptr detaches.
   void set_scorecard(obs::Scorecard* s) { scorecard_ = s; }
 
+  /// Attach streaming telemetry; gradual (reactive) metapath opens and
+  /// closes feed its prediction lead-time analyzer. nullptr detaches.
+  void set_stream(obs::StreamTelemetry* s) { stream_ = s; }
+
  protected:
   /// Zone reaction (Fig. 3.12). The base DRB expands on High and shrinks on
   /// Low; PR-DRB overrides this to add the predictive procedures.
@@ -125,6 +130,7 @@ class DrbPolicy : public RoutingPolicy {
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
   obs::Scorecard* scorecard_ = nullptr;
+  obs::StreamTelemetry* stream_ = nullptr;
 };
 
 }  // namespace prdrb

@@ -4,14 +4,19 @@
 //       Aggregate every prdrb-manifest-v1 manifest in RESULTS_DIR into a
 //       markdown (default) or JSON ("prdrb-sweep-report-v1") sweep report.
 //       prdrb-scorecard-v1 files in the directory are rendered as their own
-//       section (attribution totals + warm-vs-cold SDB efficacy table).
+//       section (attribution totals + warm-vs-cold SDB efficacy table), and
+//       prdrb-stream-v1 NDJSON streams as the "Prediction lead time"
+//       section. Unreadable, empty or partially-written files are skipped
+//       with a warning, never aborted on.
 //
 //   prdrb_report --check OLD.json NEW.json [options]
-//       Compare two runs (manifest, prdrb-bench-baseline-v1 or
-//       prdrb-scorecard-v1 documents) and exit nonzero on regression.
+//       Compare two runs (manifest, prdrb-bench-baseline-v1,
+//       prdrb-scorecard-v1 or prdrb-stream-v1 documents; stream NDJSON is
+//       checked via its last intact line) and exit nonzero on regression.
 //       Event-count drift always fails (deterministic kernel), as does a
 //       scorecard whose SDB hits dropped to zero against a baseline that
-//       had hits; performance moves beyond thresholds fail
+//       had hits, or a stream whose positive median prediction lead time
+//       went non-positive; performance moves beyond thresholds fail
 //       unless --perf-warn-only downgrades them.
 //       Options: --max-rate-drop=F (default 0.30), --max-latency-rise=F
 //       (default 0.10), --max-delivery-drop=F (default 0.01),
@@ -54,6 +59,24 @@ bool parse_fraction(const char* arg, const char* name, double& out) {
   return true;
 }
 
+// A stream NDJSON file is not one JSON document; its regression-relevant
+// state is the last intact line (the summary). Scan backwards so a torn
+// trailing line from an interrupted run does not hide the intact summary.
+std::optional<prdrb::obs::JsonValue> parse_last_line(const std::string& text) {
+  std::size_t end = text.size();
+  while (end > 0) {
+    std::size_t start = text.rfind('\n', end - 1);
+    const std::size_t line_start = start == std::string::npos ? 0 : start + 1;
+    const std::string line = text.substr(line_start, end - line_start);
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      if (auto doc = prdrb::obs::json_parse(line)) return doc;
+    }
+    if (line_start == 0) break;
+    end = line_start - 1;
+  }
+  return std::nullopt;
+}
+
 int run_check(const std::vector<std::string>& files,
               const prdrb::CheckThresholds& thresholds) {
   if (files.size() != 2) return usage(std::cerr, 2);
@@ -65,6 +88,7 @@ int run_check(const std::vector<std::string>& files,
       return 2;
     }
     std::optional<prdrb::obs::JsonValue> doc = prdrb::obs::json_parse(*text);
+    if (!doc) doc = parse_last_line(*text);
     if (!doc) {
       std::cerr << "prdrb_report: " << files[i] << " is not valid JSON\n";
       return 2;
@@ -125,25 +149,46 @@ int main(int argc, char** argv) {
       prdrb::collect_reports(positional[0], &skipped);
   const std::vector<prdrb::ScorecardInfo> scorecards =
       prdrb::collect_scorecards(positional[0]);
+  const std::vector<prdrb::StreamInfo> streams =
+      prdrb::collect_streams(positional[0]);
   for (const std::string& s : skipped) {
-    // Scorecards are collected by the pass above, not "skipped".
-    bool is_scorecard = false;
+    // Scorecards and streams are collected by the passes above, not
+    // "skipped". Anything else — other observability exports, empty or
+    // partially-written files — is skipped with a warning, never a hard
+    // failure: a results directory from an interrupted sweep must still
+    // aggregate.
+    bool collected = false;
     for (const prdrb::ScorecardInfo& sc : scorecards) {
       if (sc.path == s) {
-        is_scorecard = true;
+        collected = true;
         break;
       }
     }
-    if (!is_scorecard) {
-      std::cerr << "prdrb_report: skipping non-manifest " << s << "\n";
+    for (const prdrb::StreamInfo& st : streams) {
+      if (st.path == s) {
+        collected = true;
+        break;
+      }
+    }
+    if (!collected) {
+      std::cerr << "prdrb_report: skipping unrecognized or partial " << s
+                << "\n";
+    }
+  }
+  for (const prdrb::StreamInfo& st : streams) {
+    if (st.bad_lines > 0) {
+      std::cerr << "prdrb_report: " << st.path << ": skipped "
+                << st.bad_lines
+                << " truncated/invalid stream line(s), kept " << st.lines
+                << "\n";
     }
   }
 
   std::ostringstream body;
   if (json) {
-    prdrb::write_json_report(body, manifests, scorecards);
+    prdrb::write_json_report(body, manifests, scorecards, streams);
   } else {
-    prdrb::write_markdown_report(body, manifests, scorecards);
+    prdrb::write_markdown_report(body, manifests, scorecards, streams);
   }
   if (out_path.empty()) {
     std::cout << body.str();

@@ -97,6 +97,37 @@ TEST(TimeSeries, OutOfDomainTimesAreClampedNotTrusted) {
   EXPECT_EQ(ts.bins(), 0u);
 }
 
+TEST(TimeSeries, PeakMeanExcludesSaturatedOverflowBin) {
+  TimeSeries ts(1e-3);
+  ts.add(0.5e-3, 2.0);
+  ts.add(1.5e-3, 5.0);
+  EXPECT_DOUBLE_EQ(ts.peak_mean(), 5.0);
+  // A far-future timestamp saturates into the overflow bin with a huge
+  // value. That bin now mixes samples from arbitrarily late times, so its
+  // mean is not a "peak": peak_mean must ignore it and report the largest
+  // in-domain bin instead, with the distortion counted for the exports.
+  ts.add(1e30, 1000.0);
+  EXPECT_EQ(ts.overflow_clamped(), 1u);
+  EXPECT_EQ(ts.clamped(), 1u);
+  EXPECT_DOUBLE_EQ(ts.peak_mean(), 5.0);
+  // Negative/NaN clamps into bin 0 do not poison the last bin: only
+  // overflow saturation excludes it.
+  ts.add(-1e-3, 3.0);
+  EXPECT_EQ(ts.clamped(), 2u);
+  EXPECT_EQ(ts.overflow_clamped(), 1u);
+
+  // A series whose last bin filled legitimately (no saturation) still
+  // counts that bin as a peak candidate.
+  TimeSeries edge(1e-3);
+  edge.add((static_cast<double>(TimeSeries::kMaxBins) - 0.5) * 1e-3, 7.0);
+  EXPECT_EQ(edge.overflow_clamped(), 0u);
+  EXPECT_DOUBLE_EQ(edge.peak_mean(), 7.0);
+
+  // reset() clears the overflow count with the bins.
+  ts.reset();
+  EXPECT_EQ(ts.overflow_clamped(), 0u);
+}
+
 TEST(LatencyMap, TracksPerRouterAverages) {
   LatencyMap m(4);
   m.record(2, 2e-6);

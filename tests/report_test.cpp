@@ -330,6 +330,100 @@ TEST(Report, ScorecardsRenderTheirOwnSections) {
   std::filesystem::remove_all(dir);
 }
 
+/// One "prdrb-stream-v1" NDJSON line with controllable lead-time numbers.
+std::string stream_line(double data_median_s, int pos, int neg,
+                        const char* kind = "summary") {
+  std::ostringstream os;
+  os << "{\"schema\":\"prdrb-stream-v1\",\"kind\":\"" << kind
+     << "\",\"seq\":3,\"t\":0.012,\"window_s\":0.001,\"windows\":12,"
+        "\"links\":288,\"busy_s\":1.5,\"stalls\":42,\"packets\":9000,"
+        "\"util\":{\"p50\":0.2,\"p95\":0.8,\"p99\":0.95,\"max\":1},"
+        "\"onsets\":1,\"onsets_total\":3,"
+        "\"opens\":{\"predictive\":5,\"reactive\":2},"
+        "\"lead\":{\"data\":{\"pos\":"
+     << pos << ",\"neg\":" << neg << ",\"median_s\":" << data_median_s
+     << ",\"pos_p95_s\":0.0002,\"predictive\":4},"
+        "\"ack\":{\"pos\":0,\"neg\":0,\"median_s\":0,\"pos_p95_s\":0,"
+        "\"predictive\":0},"
+        "\"predictive-ack\":{\"pos\":0,\"neg\":0,\"median_s\":0,"
+        "\"pos_p95_s\":0,\"predictive\":0}},"
+        "\"ancient_windows\":0,\"state_bytes\":51200}";
+  return os.str();
+}
+
+TEST(Report, ParseStreamToleratesTornTrailingLine) {
+  // An interrupted writer leaves at most one torn trailing line in an
+  // append-only NDJSON stream; the intact prefix must still parse.
+  const std::string text = stream_line(50e-6, 4, 1, "snapshot") + "\n" +
+                           stream_line(120e-6, 10, 2) + "\n" +
+                           "{\"schema\":\"prdrb-str";  // torn mid-write
+  StreamInfo info;
+  ASSERT_TRUE(parse_stream(text, info));
+  EXPECT_EQ(info.lines, 2u);
+  EXPECT_EQ(info.bad_lines, 1u);
+  // The summary comes from the LAST intact line.
+  EXPECT_DOUBLE_EQ(info.onsets, 3);
+  EXPECT_DOUBLE_EQ(info.opens_predictive, 5);
+  EXPECT_DOUBLE_EQ(info.state_bytes, 51200);
+  ASSERT_EQ(info.leads.size(), 3u);
+  EXPECT_EQ(info.leads[0].cls, "data");
+  EXPECT_DOUBLE_EQ(info.leads[0].pos, 10);
+  EXPECT_DOUBLE_EQ(info.leads[0].median_s, 120e-6);
+
+  // No intact line at all: refuse, never crash.
+  EXPECT_FALSE(parse_stream("", info));
+  EXPECT_FALSE(parse_stream("{\"torn", info));
+  EXPECT_FALSE(parse_stream("{\"schema\":\"prdrb-manifest-v1\"}", info));
+}
+
+TEST(Report, StreamLosingPositiveLeadAlwaysFails) {
+  const JsonValue base = parsed(stream_line(120e-6, 10, 2));
+  const JsonValue late = parsed(stream_line(-50e-6, 1, 9));
+  CheckThresholds t;
+  t.perf_warn_only = true;  // must NOT downgrade a lost prediction lead
+  const CheckResult r = check_documents(base, late, t);
+  EXPECT_TRUE(r.has_regression());
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    found |= f.level == Finding::Level::kRegression &&
+             f.message.find("positive prediction lead time lost") !=
+                 std::string::npos;
+  }
+  EXPECT_TRUE(found);
+
+  // Still positive (even if smaller): informational, not a regression.
+  EXPECT_FALSE(check_documents(base, parsed(stream_line(30e-6, 4, 3)),
+                               CheckThresholds{})
+                   .has_regression());
+  // Baseline never had a positive median: nothing to lose.
+  EXPECT_FALSE(check_documents(late, parsed(stream_line(-80e-6, 0, 9)),
+                               CheckThresholds{})
+                   .has_regression());
+}
+
+TEST(Report, StreamsRenderLeadTimeSection) {
+  const std::string dir = ::testing::TempDir() + "prdrb_report_streams";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/run.ndjson")
+      << stream_line(50e-6, 4, 1, "snapshot") << "\n"
+      << stream_line(120e-6, 10, 2) << "\n";
+
+  const auto streams = collect_streams(dir);
+  ASSERT_EQ(streams.size(), 1u);
+  std::ostringstream md;
+  write_markdown_report(md, {}, {}, streams);
+  EXPECT_NE(md.str().find("Streaming telemetry"), std::string::npos);
+  EXPECT_NE(md.str().find("Prediction lead time"), std::string::npos);
+  EXPECT_NE(md.str().find("run.ndjson"), std::string::npos);
+
+  std::ostringstream js;
+  write_json_report(js, {}, {}, streams);
+  EXPECT_TRUE(obs::json_valid(js.str())) << js.str().substr(0, 400);
+  EXPECT_NE(js.str().find("stream_runs"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Report, FindingsRenderOnePerLineWithVerdictPrefixes) {
   CheckResult r;
   r.findings.push_back({Finding::Level::kRegression, "bad"});
