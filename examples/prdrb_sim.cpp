@@ -33,14 +33,17 @@ void usage() {
       R"(prdrb_sim — PR-DRB interconnection-network simulator
 
 options (synthetic traffic):
-  --topology <name>   mesh-WxH | torus-WxH | tree-{16,32,64,256} | kary-K-N
-                      (default tree-64)
-  --policy <name>     deterministic | random | cyclic | adaptive | drb |
-                      fr-drb | pr-drb | pr-fr-drb  (append @router for
-                      router-based notification; default pr-drb)
+  --topology <name>   mesh-WxH | torus-WxH | tree-{16,32,64,256} | kary-K-N |
+                      dragonfly-A:G:H:P (A routers/group, G groups, H global
+                      links/router, P terminals/router; default tree-64)
+  --policy <name>     deterministic | random | cyclic | adaptive | minimal |
+                      valiant | ugal-l | drb | fr-drb | pr-drb | pr-fr-drb
+                      (append @router for router-based notification;
+                      default pr-drb)
   --pattern <name>    uniform | bit-reversal | perfect-shuffle |
                       matrix-transpose | bit-complement | tornado |
-                      neighbor | butterfly | hotspot-cross | hotspot-double
+                      neighbor | butterfly | hotspot-cross | hotspot-double |
+                      adversarial-group (dragonfly only: next-group shift)
   --rate <bps>        per-node injection rate (default 400e6)
   --duration <s>      simulated seconds (default 10e-3)
   --bursts <n>        bursty injection: n bursts of --burst-len (default 0

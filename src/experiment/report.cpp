@@ -43,6 +43,7 @@ struct CheckDoc {
     std::string name;
     double mean_latency_us = 0;
     double delivery_ratio = 0;
+    double packets = 0;
   };
   std::vector<Policy> policies;
   // Optional clustered-tie microbench section (bench-baseline docs): per-op
@@ -97,7 +98,8 @@ bool flatten(const JsonValue& doc, CheckDoc& out) {
       for (const JsonValue& p : pols->items()) {
         out.policies.push_back({p.string_at("policy"),
                                 p.number_at("mean_latency_us"),
-                                p.number_at("delivery_ratio")});
+                                p.number_at("delivery_ratio"),
+                                p.number_at("packets")});
       }
     }
     return true;
@@ -270,6 +272,16 @@ bool parse_stream(const std::string& text, StreamInfo& out) {
   out.util_p95 = last->number_at("util.p95");
   out.util_p99 = last->number_at("util.p99");
   out.util_max = last->number_at("util.max");
+  const auto read_class = [&](const char* name, StreamInfo::ClassTotals& c) {
+    const std::string base = std::string("link_class.") + name + ".";
+    c.links = last->number_at(base + "links");
+    c.busy_s = last->number_at(base + "busy_s");
+    c.stalls = last->number_at(base + "stalls");
+    c.packets = last->number_at(base + "packets");
+  };
+  read_class("local", out.cls_local);
+  read_class("global", out.cls_global);
+  read_class("terminal", out.cls_terminal);
   out.onsets = last->number_at("onsets_total");
   out.opens_predictive = last->number_at("opens.predictive");
   out.opens_reactive = last->number_at("opens.reactive");
@@ -450,6 +462,45 @@ void write_markdown_report(std::ostream& os,
          << obs::json_number(s.state_bytes / 1024.0) << " |\n";
     }
 
+    // Per-link-class traffic split: on a dragonfly the interesting story is
+    // how much load the (scarce) global channels carried versus the local
+    // in-group links. Only rendered when some stream actually classified its
+    // links beyond a single class.
+    bool any_split = false;
+    for (const StreamInfo& s : streams) {
+      if (s.cls_global.links > 0 || s.cls_terminal.links > 0) {
+        any_split = true;
+        break;
+      }
+    }
+    if (any_split) {
+      os << "\n## Link-class traffic split\n\n";
+      os << "Local = in-group links, global = inter-group channels (the "
+            "dragonfly's scarce resource). Busy seconds and stalls "
+            "concentrating on the global class are the adversarial-pattern "
+            "signature that UGAL-style deroutes relieve.\n\n";
+      os << "| stream | class | links | busy s | stalls | packets |\n";
+      os << "|---|---|---:|---:|---:|---:|\n";
+      for (const StreamInfo& s : streams) {
+        const std::string file =
+            std::filesystem::path(s.path).filename().string();
+        const struct {
+          const char* name;
+          const StreamInfo::ClassTotals* c;
+        } rows[] = {{"local", &s.cls_local},
+                    {"global", &s.cls_global},
+                    {"terminal", &s.cls_terminal}};
+        for (const auto& row : rows) {
+          if (!(row.c->links > 0)) continue;
+          os << "| " << file << " | " << row.name << " | "
+             << static_cast<std::uint64_t>(row.c->links) << " | "
+             << obs::json_number(row.c->busy_s) << " | "
+             << static_cast<std::uint64_t>(row.c->stalls) << " | "
+             << static_cast<std::uint64_t>(row.c->packets) << " |\n";
+        }
+      }
+    }
+
     os << "\n## Prediction lead time\n\n";
     os << "Positive lead = the metapath opened BEFORE the matched link's "
           "congestion onset (the predictive layer fired early); negative = "
@@ -553,6 +604,22 @@ void write_json_report(std::ostream& os,
     w.field("util_p95", s.util_p95);
     w.field("util_p99", s.util_p99);
     w.field("util_max", s.util_max);
+    w.key("link_class").begin_object();
+    const struct {
+      const char* name;
+      const StreamInfo::ClassTotals* c;
+    } cls_rows[] = {{"local", &s.cls_local},
+                    {"global", &s.cls_global},
+                    {"terminal", &s.cls_terminal}};
+    for (const auto& row : cls_rows) {
+      w.key(row.name).begin_object();
+      w.field("links", row.c->links);
+      w.field("busy_s", row.c->busy_s);
+      w.field("stalls", row.c->stalls);
+      w.field("packets", row.c->packets);
+      w.end_object();
+    }
+    w.end_object();
     w.field("onsets", s.onsets);
     w.field("opens_predictive", s.opens_predictive);
     w.field("opens_reactive", s.opens_reactive);
@@ -596,6 +663,51 @@ CheckResult check_documents(const JsonValue& older, const JsonValue& newer,
     add(Finding::Level::kRegression,
         "new document has unknown schema \"" + newer.string_at("schema") +
             "\"");
+    return result;
+  }
+
+  // Cross-policy throughput mode: the documents hold DIFFERENT policies on
+  // the same workload (adversarial baselines), so same-run invariants like
+  // event-count drift do not apply — the only question is whether the new
+  // document's policy delivers enough more traffic than the old one's.
+  if (t.min_packet_ratio > 0) {
+    double pkts_a = 0, pkts_b = 0;
+    std::string names_a, names_b;
+    for (const CheckDoc::Policy& p : a.policies) {
+      pkts_a += p.packets;
+      names_a += (names_a.empty() ? "" : "+") + p.name;
+    }
+    for (const CheckDoc::Policy& p : b.policies) {
+      pkts_b += p.packets;
+      names_b += (names_b.empty() ? "" : "+") + p.name;
+    }
+    if (a.policies.empty() || b.policies.empty()) {
+      add(Finding::Level::kRegression,
+          "--min-packet-ratio needs two manifest documents with policy "
+          "sections");
+      return result;
+    }
+    if (!(pkts_a > 0)) {
+      add(Finding::Level::kRegression,
+          "baseline policy \"" + names_a + "\" delivered no packets; the "
+          "ratio gate is meaningless");
+      return result;
+    }
+    const double ratio = pkts_b / pkts_a;
+    std::ostringstream msg;
+    msg << "packet ratio \"" << names_b << "\" / \"" << names_a << "\" = "
+        << obs::json_number(ratio) << " ("
+        << static_cast<std::uint64_t>(pkts_b) << " / "
+        << static_cast<std::uint64_t>(pkts_a) << " packets)";
+    if (ratio < t.min_packet_ratio) {
+      add(Finding::Level::kRegression,
+          "packet ratio below " + obs::json_number(t.min_packet_ratio) +
+              "x gate: " + msg.str());
+    } else {
+      add(Finding::Level::kInfo,
+          msg.str() + " meets " + obs::json_number(t.min_packet_ratio) +
+              "x gate");
+    }
     return result;
   }
 

@@ -113,6 +113,15 @@ struct StreamInfo {
   double stalls = 0;
   double packets = 0;
   double util_p50 = 0, util_p95 = 0, util_p99 = 0, util_max = 0;
+  /// Per-link-class traffic split ("link_class" snapshot section; zeros on
+  /// streams written before the split existed).
+  struct ClassTotals {
+    double links = 0;
+    double busy_s = 0;
+    double stalls = 0;
+    double packets = 0;
+  };
+  ClassTotals cls_local, cls_global, cls_terminal;
   double onsets = 0;
   double opens_predictive = 0;
   double opens_reactive = 0;
@@ -160,6 +169,13 @@ struct CheckThresholds {
   double max_latency_rise = 0.10;  // per-policy latency rise fraction
   double max_delivery_drop = 0.01; // per-policy delivery-ratio drop (abs)
   bool perf_warn_only = false;     // downgrade perf findings to warnings
+  /// Cross-policy throughput mode (> 0 enables): the two documents are
+  /// DIFFERENT routing policies over the same workload (e.g. minimal vs
+  /// UGAL-L on the adversarial dragonfly permutation), and the NEW
+  /// document must deliver at least this many times the OLD document's
+  /// packets. Same-run invariants (event drift, per-policy latency) are
+  /// meaningless across policies and are skipped in this mode.
+  double min_packet_ratio = 0;
 };
 
 struct Finding {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "metrics/collector.hpp"
+#include "net/dragonfly.hpp"
 #include "net/kary_ntree.hpp"
 #include "net/mesh2d.hpp"
 #include "net/mesh_nd.hpp"
@@ -20,6 +21,7 @@
 #include "obs/tracer.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/oblivious.hpp"
+#include "routing/ugal.hpp"
 #include "sim/simulator.hpp"
 #include "trace/player.hpp"
 #include "traffic/hotspot.hpp"
@@ -38,13 +40,14 @@ DrbConfig default_drb_config() {
 namespace {
 
 const std::vector<std::string_view> kPolicyNames{
-    "deterministic", "random", "cyclic",  "adaptive",
-    "drb",           "fr-drb", "pr-drb",  "pr-fr-drb"};
+    "deterministic", "random",  "cyclic",  "adaptive", "minimal",
+    "valiant",       "ugal-l",  "drb",     "fr-drb",   "pr-drb",
+    "pr-fr-drb"};
 
 /// Concrete exemplars of every topology family, for typo suggestions.
 const std::vector<std::string_view> kTopologyNames{
-    "mesh-8x8", "torus-8x8", "cube-4",   "tree-16",
-    "tree-32",  "tree-64",   "tree-256", "kary-4-3"};
+    "mesh-8x8", "torus-8x8", "cube-4",   "tree-16",  "tree-32",
+    "tree-64",  "tree-256",  "kary-4-3", "dragonfly-4:9:2:4"};
 
 /// Strict non-negative integer parse for topology extents (std::stoi would
 /// throw, which is exactly what the Parsed contract removes).
@@ -100,6 +103,12 @@ Parsed<PolicyBundle> make_policy(const std::string& name, DrbConfig drb,
     b.policy = std::make_unique<CyclicPolicy>();
   } else if (base == "adaptive") {
     b.policy = std::make_unique<AdaptivePolicy>();
+  } else if (base == "minimal") {
+    b.policy = std::make_unique<MinimalPolicy>();
+  } else if (base == "valiant") {
+    b.policy = std::make_unique<ValiantPolicy>(seed);
+  } else if (base == "ugal-l") {
+    b.policy = std::make_unique<UgalPolicy>(UgalPolicy::Config{}, seed);
   } else if (base == "drb") {
     auto p = std::make_unique<DrbPolicy>(drb, seed);
     b.drb = p.get();
@@ -189,6 +198,42 @@ Parsed<std::unique_ptr<Topology>> make_topology(const std::string& name) {
       return topology_error(name, "bad k-ary n-tree spec");
     }
     return tree(*k, *n);
+  }
+  if (name.starts_with("dragonfly-")) {
+    // "dragonfly-a:g:h:p": a routers/group, g groups, h global links per
+    // router, p terminals per router (Kim et al.'s canonical parameters).
+    std::vector<int> v;
+    std::size_t pos = 10;
+    while (pos <= name.size()) {
+      const auto colon = name.find(':', pos);
+      const std::string_view tok =
+          colon == std::string::npos
+              ? std::string_view(name).substr(pos)
+              : std::string_view(name).substr(pos, colon - pos);
+      const auto field = parse_extent(tok);
+      if (!field) {
+        return topology_error(name,
+                              "bad dragonfly spec (want dragonfly-a:g:h:p)");
+      }
+      v.push_back(*field);
+      if (colon == std::string::npos) break;
+      pos = colon + 1;
+    }
+    if (v.size() != 4) {
+      return topology_error(name,
+                            "bad dragonfly spec (want dragonfly-a:g:h:p)");
+    }
+    const int a = v[0], g = v[1], h = v[2], p = v[3];
+    if (a < 2 || g < 2 || h < 1 || p < 1) {
+      return topology_error(
+          name, "dragonfly needs a >= 2, g >= 2, h >= 1, p >= 1");
+    }
+    if ((a * h) % (g - 1) != 0) {
+      return topology_error(name,
+                            "dragonfly global links must spread evenly "
+                            "over the other groups: a*h mod (g-1) == 0");
+    }
+    return std::unique_ptr<Topology>(std::make_unique<Dragonfly>(a, g, h, p));
   }
   return topology_error(name, "unknown topology");
 }
@@ -536,6 +581,17 @@ ScenarioResult run_scenario(const std::string& policy_name,
                                        : make_mesh_double_hotspot(*mesh));
       nodes = hp->sources();
       pattern = std::move(hp);
+    } else if (w.pattern == "adversarial-group") {
+      // Group-shift permutation: every terminal targets its peer in the
+      // next group, funnelling all minimal traffic of a group onto the q
+      // parallel global channels toward its successor.
+      auto* df = dynamic_cast<Dragonfly*>(topo.get());
+      if (!df) {
+        throw std::invalid_argument(
+            "the adversarial-group pattern requires a dragonfly topology");
+      }
+      pattern = std::make_unique<GroupShiftPattern>(df->num_nodes(),
+                                                    df->a() * df->p());
     } else {
       pattern = make_pattern(w.pattern, topo->num_nodes());
     }

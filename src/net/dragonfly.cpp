@@ -1,0 +1,154 @@
+#include "net/dragonfly.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace prdrb {
+
+Dragonfly::Dragonfly(int a, int g, int h, int p)
+    : a_(a), g_(g), h_(h), p_(p), q_(a * h / (g - 1)) {
+  assert(a >= 2 && g >= 2 && h >= 1 && p >= 1);
+  assert((a * h) % (g - 1) == 0 &&
+         "global channels must spread evenly over the other g-1 groups");
+  assert(q_ >= 1);
+}
+
+PortTarget Dragonfly::neighbor(RouterId r, int port) const {
+  const int G = group_of(r);
+  const int L = local_of(r);
+  if (port < 0) return PortTarget{};
+  if (port < a_ - 1) {
+    // Local clique: port j skips the router's own local index.
+    const int other = port < L ? port : port + 1;
+    return PortTarget{router_at(G, other), local_port(other, L)};
+  }
+  if (port < a_ - 1 + h_) {
+    const int k = L * h_ + (port - (a_ - 1));
+    const int kr = reverse_channel(k);
+    return PortTarget{router_at(channel_dest_group(G, k), channel_owner(kr)),
+                      a_ - 1 + kr % h_};
+  }
+  return PortTarget{};
+}
+
+LinkClass Dragonfly::link_class(RouterId, int port) const {
+  if (port >= 0 && port < a_ - 1) return LinkClass::kLocal;
+  if (port >= a_ - 1 && port < a_ - 1 + h_) return LinkClass::kGlobal;
+  return LinkClass::kInvalid;
+}
+
+int Dragonfly::router_distance(RouterId ra, RouterId rb) const {
+  if (ra == rb) return 0;
+  const int ga = group_of(ra);
+  const int gb = group_of(rb);
+  if (ga == gb) return 1;
+  const int la = local_of(ra);
+  const int lb = local_of(rb);
+  const int j = (gb - ga - 1 + g_) % g_;
+  int best = 3;
+  for (int m = 0; m < q_; ++m) {
+    const int k = j * q_ + m;
+    const int cost = (channel_owner(k) != la ? 1 : 0) + 1 +
+                     (channel_owner(reverse_channel(k)) != lb ? 1 : 0);
+    best = std::min(best, cost);
+    if (best == 1) break;
+  }
+  return best;
+}
+
+int Dragonfly::distance(NodeId a, NodeId b) const {
+  return router_distance(node_router(a), node_router(b));
+}
+
+void Dragonfly::minimal_ports(RouterId r, NodeId target,
+                              std::vector<int>& out) const {
+  const RouterId tr = node_router(target);
+  if (tr == r) return;  // local delivery
+  const int G = group_of(r);
+  const int L = local_of(r);
+  const int TG = group_of(tr);
+  const int TL = local_of(tr);
+  if (G == TG) {
+    out.push_back(local_port(L, TL));
+    return;
+  }
+  // Canonical local-global-local candidates only: every parallel channel to
+  // the target group whose total cost matches the distance contributes its
+  // first hop (the global port if this router owns the channel, else the
+  // local port toward the owner). Same-length detours through third groups
+  // are intentionally not minimal here.
+  const int j = (TG - G - 1 + g_) % g_;
+  int dmin = 3;
+  for (int m = 0; m < q_; ++m) {
+    const int k = j * q_ + m;
+    const int cost = (channel_owner(k) != L ? 1 : 0) + 1 +
+                     (channel_owner(reverse_channel(k)) != TL ? 1 : 0);
+    dmin = std::min(dmin, cost);
+  }
+  const std::size_t first = out.size();
+  for (int m = 0; m < q_; ++m) {
+    const int k = j * q_ + m;
+    const int owner = channel_owner(k);
+    const int cost = (owner != L ? 1 : 0) + 1 +
+                     (channel_owner(reverse_channel(k)) != TL ? 1 : 0);
+    if (cost != dmin) continue;
+    const int port = owner == L ? a_ - 1 + k % h_ : local_port(L, owner);
+    // Parallel channels can share an exit router; keep each port once.
+    bool seen = false;
+    for (std::size_t i = first; i < out.size() && !seen; ++i) {
+      seen = out[i] == port;
+    }
+    if (!seen) out.push_back(port);
+  }
+}
+
+void Dragonfly::msp_candidates(NodeId src, NodeId dst, int ring,
+                               std::vector<MspCandidate>& out) const {
+  // Ring rho proposes intermediate terminals in the group at offset rho
+  // from the source group — one per router of that group, so a single ring
+  // already spreads a detour across every global channel into and out of
+  // the intermediate group. Rings covering the source or destination group
+  // contribute nothing (the DRB expansion walks on to the next ring), and
+  // rings >= g are exhausted.
+  if (ring < 1 || ring >= g_) return;
+  const int gs = group_of(node_router(src));
+  const int gd = group_of(node_router(dst));
+  const int gi = (gs + ring) % g_;
+  if (gi == gs || gi == gd) return;
+  for (int l = 0; l < a_; ++l) {
+    const NodeId t = router_at(gi, l) * p_ + src % p_;
+    if (t == src || t == dst) continue;
+    out.push_back(MspCandidate{t, kInvalidNode});
+  }
+}
+
+NodeId Dragonfly::nonminimal_intermediate(NodeId src, NodeId dst,
+                                          std::uint64_t salt) const {
+  const int gs = group_of(node_router(src));
+  const int gd = group_of(node_router(dst));
+  const int excluded = gs == gd ? 1 : 2;
+  const int ngroups = g_ - excluded;
+  if (ngroups <= 0) {
+    // Two groups and a cross-group pair: no third group to bounce off, so
+    // fall back to the generic any-third-terminal detour.
+    return Topology::nonminimal_intermediate(src, dst, salt);
+  }
+  const std::uint64_t hsh = mix(static_cast<std::uint64_t>(src),
+                                static_cast<std::uint64_t>(dst), salt);
+  int gi = static_cast<int>(hsh % static_cast<std::uint64_t>(ngroups));
+  const int lo = std::min(gs, gd);
+  const int hi = std::max(gs, gd);
+  if (gi >= lo) ++gi;
+  if (excluded == 2 && gi >= hi) ++gi;
+  const int l = static_cast<int>((hsh >> 24) % static_cast<std::uint64_t>(a_));
+  const int t = static_cast<int>((hsh >> 48) % static_cast<std::uint64_t>(p_));
+  return router_at(gi, l) * p_ + t;
+}
+
+std::string Dragonfly::name() const {
+  return "dragonfly-" + std::to_string(a_) + ":" + std::to_string(g_) + ":" +
+         std::to_string(h_) + ":" + std::to_string(p_);
+}
+
+}  // namespace prdrb

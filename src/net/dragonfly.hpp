@@ -1,0 +1,98 @@
+// Canonical (a, g, h, p) dragonfly (Kim, Dally, Scott & Abts, ISCA 2008):
+// g groups of a routers; inside a group the routers form a local all-to-all
+// clique; each router drives h global links, and the a*h global channels of
+// a group are spread evenly over the other g-1 groups (q = a*h/(g-1)
+// parallel channels per group pair — the constructor requires the division
+// to be exact). Each router attaches p terminals.
+//
+// Port map at every router (radix a-1+h):
+//   * local ports 0 .. a-2:   port j reaches local index j (indices below
+//     the router's own) or j+1 (indices at/above it), skipping self.
+//   * global ports a-1 .. a-2+h: port a-1+gp carries group-wide global
+//     channel k = L*h + gp where L is the router's local index.
+//
+// Global wiring is the standard consecutive-allocation palmtree-free layout:
+// channel k of group G (with j = k/q, m = k%q) lands in group
+// D = (G + j + 1) mod g on the reverse channel k' = (g-2-j)*q + m. The map
+// is an involution (applying it from D leads back to channel k of G), which
+// the topology-contract suite verifies via port reciprocity.
+//
+// Minimal routing is the canonical local-global-local scheme: at most one
+// local hop to a router owning a channel to the target group, one global
+// hop, and at most one local hop to the destination router (distance <= 3).
+// minimal_ports deliberately excludes same-hop-count detours through third
+// groups — those are non-minimal routes and belong to the Valiant/UGAL/DRB
+// machinery (nonminimal_intermediate / msp_candidates), keeping the
+// "minimal" baseline honest under adversarial permutations.
+#pragma once
+
+#include "net/topology.hpp"
+
+namespace prdrb {
+
+class Dragonfly final : public Topology {
+ public:
+  /// a routers per group, g groups, h global links per router, p terminals
+  /// per router. Requires a >= 2, g >= 2, h >= 1, p >= 1 and
+  /// (a*h) % (g-1) == 0 (exact spread of global channels over group pairs).
+  Dragonfly(int a, int g, int h, int p);
+
+  int a() const { return a_; }
+  int g() const { return g_; }
+  int h() const { return h_; }
+  int p() const { return p_; }
+  /// Parallel global channels between every ordered group pair.
+  int q() const { return q_; }
+
+  int group_of(RouterId r) const { return r / a_; }
+  int local_of(RouterId r) const { return r % a_; }
+  RouterId router_at(int group, int local) const {
+    return group * a_ + local;
+  }
+
+  int num_nodes() const override { return a_ * g_ * p_; }
+  int num_routers() const override { return a_ * g_; }
+  int radix(RouterId) const override { return a_ - 1 + h_; }
+  PortTarget neighbor(RouterId r, int port) const override;
+  RouterId node_router(NodeId n) const override { return n / p_; }
+  void minimal_ports(RouterId r, NodeId target,
+                     std::vector<int>& out) const override;
+  int distance(NodeId a, NodeId b) const override;
+  LinkClass link_class(RouterId r, int port) const override;
+  void msp_candidates(NodeId src, NodeId dst, int ring,
+                      std::vector<MspCandidate>& out) const override;
+  NodeId nonminimal_intermediate(NodeId src, NodeId dst,
+                                 std::uint64_t salt) const override;
+  std::string name() const override;
+
+  /// Hop distance between two routers (0, or 1 inside a group, or 2..3
+  /// across groups along the canonical local-global-local path).
+  int router_distance(RouterId ra, RouterId rb) const;
+
+  /// Local port at the router with local index `from` toward local index
+  /// `to` (from != to).
+  int local_port(int from, int to) const {
+    return to < from ? to : to - 1;
+  }
+
+ private:
+  /// Local index (within its group) of the router owning group-wide global
+  /// channel `k`.
+  int channel_owner(int k) const { return k / h_; }
+  /// Reverse channel index in the destination group of channel `k`.
+  int reverse_channel(int k) const {
+    return (g_ - 2 - k / q_) * q_ + k % q_;
+  }
+  /// Destination group of channel `k` leaving group `grp`.
+  int channel_dest_group(int grp, int k) const {
+    return (grp + k / q_ + 1) % g_;
+  }
+
+  int a_;
+  int g_;
+  int h_;
+  int p_;
+  int q_;
+};
+
+}  // namespace prdrb

@@ -104,15 +104,24 @@ int KAryNTree::deterministic_choice(RouterId r, NodeId, NodeId dst,
   return idx % n_candidates;
 }
 
-std::vector<MspCandidate> KAryNTree::msp_candidates(NodeId src, NodeId dst,
-                                                    int ring) const {
+void KAryNTree::msp_candidates(NodeId src, NodeId dst, int ring,
+                               std::vector<MspCandidate>& out) const {
   // An intermediate terminal IN forces the packet through the subtree that
   // contains IN: S -> IN climbs to level nca(S, IN) and descends, then
   // IN -> D climbs again. Ring rho proposes INs whose nearest common
   // ancestor with the source sits at level rho, i.e. progressively farther
   // detours, mirroring the mesh's growing neighbourhoods (§3.2.3).
-  if (ring >= n_) return {};
-  std::vector<MspCandidate> out;
+  if (ring >= n_) return;
+  const std::size_t first = out.size();
+  // Append-with-dedup directly into the caller's buffer (the appended range
+  // is tiny — at most 2(k-1) entries — so the linear scan stays cheap and
+  // order-preserving, and nothing is allocated once the buffer is warm).
+  auto push_unique = [&](const MspCandidate& c) {
+    for (std::size_t i = first; i < out.size(); ++i) {
+      if (out[i] == c) return;
+    }
+    out.push_back(c);
+  };
   // Enumerate terminals t with nca_level(src, t) == ring. They differ from
   // src at digit `ring` and match above it; digits below may vary, but to
   // keep the candidate set focused we take t = src with digit `ring`
@@ -122,7 +131,7 @@ std::vector<MspCandidate> KAryNTree::msp_candidates(NodeId src, NodeId dst,
     const int base = pow_k_[static_cast<std::size_t>(ring)];
     const NodeId t = src + (v - digit(src, ring)) * base;
     if (t == dst || t == src) continue;
-    out.push_back(MspCandidate{t, kInvalidNode});
+    push_unique(MspCandidate{t, kInvalidNode});
   }
   // Symmetric candidates around the destination: descend into a sibling of
   // the destination subtree before the final hop.
@@ -131,16 +140,8 @@ std::vector<MspCandidate> KAryNTree::msp_candidates(NodeId src, NodeId dst,
     const int base = pow_k_[static_cast<std::size_t>(ring)];
     const NodeId t = dst + (v - digit(dst, ring)) * base;
     if (t == dst || t == src) continue;
-    out.push_back(MspCandidate{t, kInvalidNode});
+    push_unique(MspCandidate{t, kInvalidNode});
   }
-  // Deduplicate while preserving order.
-  std::vector<MspCandidate> unique;
-  for (const auto& c : out) {
-    if (std::find(unique.begin(), unique.end(), c) == unique.end()) {
-      unique.push_back(c);
-    }
-  }
-  return unique;
 }
 
 std::string KAryNTree::name() const {

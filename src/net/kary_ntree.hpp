@@ -36,8 +36,8 @@ class KAryNTree final : public Topology {
   int distance(NodeId a, NodeId b) const override;
   int deterministic_choice(RouterId r, NodeId src, NodeId dst,
                            int n_candidates) const override;
-  std::vector<MspCandidate> msp_candidates(NodeId src, NodeId dst,
-                                           int ring) const override;
+  void msp_candidates(NodeId src, NodeId dst, int ring,
+                      std::vector<MspCandidate>& out) const override;
   std::string name() const override;
 
   // --- structural helpers (used by tests and the DRB candidate logic) ---

@@ -78,19 +78,23 @@ int Mesh2D::deterministic_choice(RouterId, NodeId, NodeId, int) const {
   return 0;  // XY routing: exhaust the X dimension first.
 }
 
-std::vector<MspCandidate> Mesh2D::msp_candidates(NodeId src, NodeId dst,
-                                                 int ring) const {
+void Mesh2D::msp_candidates(NodeId src, NodeId dst, int ring,
+                            std::vector<MspCandidate>& out) const {
   // Thesis §3.2.3 / Fig. 3.6: IN1 ranges over terminals at hop distance
   // `ring` around the source, IN2 around the destination. MSP segments are
   // routed minimally (XY), so any pair yields a valid multi-step path.
-  std::vector<NodeId> near_src;
-  std::vector<NodeId> near_dst;
+  // Scratch rings are thread_local so the enumeration stays allocation-free
+  // once warm (the append contract of the redesigned Topology API).
+  static thread_local std::vector<NodeId> near_src;
+  static thread_local std::vector<NodeId> near_dst;
+  near_src.clear();
+  near_dst.clear();
   for (NodeId n = 0; n < num_nodes(); ++n) {
     if (n == src || n == dst) continue;
     if (distance(src, n) == ring) near_src.push_back(n);
     if (distance(dst, n) == ring) near_dst.push_back(n);
   }
-  std::vector<MspCandidate> out;
+  const std::size_t base = out.size();
   for (NodeId a : near_src) {
     for (NodeId b : near_dst) {
       if (a == b) continue;
@@ -99,18 +103,23 @@ std::vector<MspCandidate> Mesh2D::msp_candidates(NodeId src, NodeId dst,
   }
   // Prefer the shortest detours so early expansions stay near-minimal
   // (§3.2.6: "if paths are long in hops ... shortest paths are selected").
+  // Enumeration order is lexicographic in (in1, in2), so the explicit
+  // tie-break reproduces the former stable sort without its temp buffer.
   auto msp_len = [&](const MspCandidate& c) {
     return distance(src, c.in1) + distance(c.in1, c.in2) +
            distance(c.in2, dst);
   };
-  std::stable_sort(out.begin(), out.end(),
-                   [&](const MspCandidate& l, const MspCandidate& r) {
-                     return msp_len(l) < msp_len(r);
-                   });
+  std::sort(out.begin() + static_cast<long>(base), out.end(),
+            [&](const MspCandidate& l, const MspCandidate& r) {
+              const int ll = msp_len(l);
+              const int lr = msp_len(r);
+              if (ll != lr) return ll < lr;
+              if (l.in1 != r.in1) return l.in1 < r.in1;
+              return l.in2 < r.in2;
+            });
   // Bound the per-ring fan-out: DRB opens paths one at a time, so a modest
   // ordered candidate set per ring suffices.
-  if (out.size() > 24) out.resize(24);
-  return out;
+  if (out.size() - base > 24) out.resize(base + 24);
 }
 
 std::string Mesh2D::name() const {

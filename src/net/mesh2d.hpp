@@ -34,8 +34,8 @@ class Mesh2D final : public Topology {
   int distance(NodeId a, NodeId b) const override;
   int deterministic_choice(RouterId r, NodeId src, NodeId dst,
                            int n) const override;
-  std::vector<MspCandidate> msp_candidates(NodeId src, NodeId dst,
-                                           int ring) const override;
+  void msp_candidates(NodeId src, NodeId dst, int ring,
+                      std::vector<MspCandidate>& out) const override;
   std::string name() const override;
 
   int x_of(RouterId r) const { return r % width_; }

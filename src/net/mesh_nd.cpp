@@ -80,33 +80,42 @@ int MeshND::distance(NodeId a, NodeId b) const {
   return sum;
 }
 
-std::vector<MspCandidate> MeshND::msp_candidates(NodeId src, NodeId dst,
-                                                 int ring) const {
+void MeshND::msp_candidates(NodeId src, NodeId dst, int ring,
+                            std::vector<MspCandidate>& out) const {
   // Same scheme as Mesh2D (§3.2.3): IN1 at hop distance `ring` around the
-  // source, IN2 around the destination, shortest detours first.
-  std::vector<NodeId> near_src;
-  std::vector<NodeId> near_dst;
+  // source, IN2 around the destination, shortest detours first. Appends
+  // into the caller's buffer; thread_local scratch keeps the enumeration
+  // allocation-free once warm.
+  static thread_local std::vector<NodeId> near_src;
+  static thread_local std::vector<NodeId> near_dst;
+  near_src.clear();
+  near_dst.clear();
   for (NodeId n = 0; n < num_nodes(); ++n) {
     if (n == src || n == dst) continue;
     if (distance(src, n) == ring) near_src.push_back(n);
     if (distance(dst, n) == ring) near_dst.push_back(n);
   }
-  std::vector<MspCandidate> out;
+  const std::size_t base = out.size();
   for (NodeId a : near_src) {
     for (NodeId b : near_dst) {
       if (a != b) out.push_back(MspCandidate{a, b});
     }
   }
+  // Pairs enumerate lexicographically, so the (in1, in2) tie-break matches
+  // the former stable sort without its temporary buffer.
   auto msp_len = [&](const MspCandidate& c) {
     return distance(src, c.in1) + distance(c.in1, c.in2) +
            distance(c.in2, dst);
   };
-  std::stable_sort(out.begin(), out.end(),
-                   [&](const MspCandidate& l, const MspCandidate& r) {
-                     return msp_len(l) < msp_len(r);
-                   });
-  if (out.size() > 24) out.resize(24);
-  return out;
+  std::sort(out.begin() + static_cast<long>(base), out.end(),
+            [&](const MspCandidate& l, const MspCandidate& r) {
+              const int ll = msp_len(l);
+              const int lr = msp_len(r);
+              if (ll != lr) return ll < lr;
+              if (l.in1 != r.in1) return l.in1 < r.in1;
+              return l.in2 < r.in2;
+            });
+  if (out.size() - base > 24) out.resize(base + 24);
 }
 
 std::string MeshND::name() const {

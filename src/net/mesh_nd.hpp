@@ -36,8 +36,8 @@ class MeshND final : public Topology {
   int deterministic_choice(RouterId, NodeId, NodeId, int) const override {
     return 0;  // dimension-order routing
   }
-  std::vector<MspCandidate> msp_candidates(NodeId src, NodeId dst,
-                                           int ring) const override;
+  void msp_candidates(NodeId src, NodeId dst, int ring,
+                      std::vector<MspCandidate>& out) const override;
   std::string name() const override;
 
   /// Coordinate of router `r` along dimension `dim`.

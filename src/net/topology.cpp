@@ -2,6 +2,31 @@
 
 namespace prdrb {
 
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::kLocal:
+      return "local";
+    case LinkClass::kGlobal:
+      return "global";
+    case LinkClass::kTerminal:
+      return "terminal";
+    case LinkClass::kInvalid:
+      return "invalid";
+  }
+  return "invalid";
+}
+
+std::uint64_t Topology::mix(std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  h ^= b * 0xc2b2ae3d27d4eb4full;
+  h ^= c * 0x165667b19e3779f9ull;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return h;
+}
+
 int Topology::deterministic_choice(RouterId r, NodeId src, NodeId dst,
                                    int n) const {
   // Default: spread deterministically by flow identity so different pairs do
@@ -13,6 +38,27 @@ int Topology::deterministic_choice(RouterId r, NodeId src, NodeId dst,
   h ^= static_cast<std::uint64_t>(dst) * 0x165667b19e3779f9ull;
   h ^= h >> 29;
   return static_cast<int>(h % static_cast<std::uint64_t>(n));
+}
+
+LinkClass Topology::link_class(RouterId r, int port) const {
+  return neighbor(r, port).valid() ? LinkClass::kLocal : LinkClass::kInvalid;
+}
+
+NodeId Topology::nonminimal_intermediate(NodeId src, NodeId dst,
+                                         std::uint64_t salt) const {
+  // Draw any terminal other than the endpoints: with n-2 choices left, index
+  // the gap-free enumeration that skips src and dst.
+  const int n = num_nodes();
+  if (n < 3) return kInvalidNode;
+  const NodeId lo = src < dst ? src : dst;
+  const NodeId hi = src < dst ? dst : src;
+  auto pick = static_cast<NodeId>(
+      mix(static_cast<std::uint64_t>(src), static_cast<std::uint64_t>(dst),
+          salt) %
+      static_cast<std::uint64_t>(src == dst ? n - 1 : n - 2));
+  if (pick >= lo) ++pick;
+  if (src != dst && pick >= hi) ++pick;
+  return pick;
 }
 
 }  // namespace prdrb

@@ -41,6 +41,19 @@ void StreamTelemetry::bind(const Network& net) {
         link_offset_[r] + net.router(static_cast<RouterId>(r)).ports.size();
   }
   links_.assign(link_offset_[routers], LinkState{});
+  // Capture each link's class once: the split costs one byte per link and
+  // an index into three running totals per hook.
+  link_class_.assign(links_.size(), static_cast<std::uint8_t>(LinkClass::kLocal));
+  for (auto& ct : class_totals_) ct = ClassTotals{};
+  const Topology& topo = net.topology();
+  for (std::size_t r = 0; r < routers; ++r) {
+    for (std::size_t l = link_offset_[r]; l < link_offset_[r + 1]; ++l) {
+      const LinkClass c = topo.link_class(
+          static_cast<RouterId>(r), static_cast<int>(l - link_offset_[r]));
+      link_class_[l] = static_cast<std::uint8_t>(c);
+      ++class_totals_[static_cast<std::size_t>(c)].links;
+    }
+  }
   const std::size_t levels = 1 + static_cast<std::size_t>(cfg_.rollup_levels);
   data_.assign(levels, {});
   for (auto& level : data_) {
@@ -79,7 +92,11 @@ void StreamTelemetry::note_flow(LinkState& link, const Packet& p) {
 void StreamTelemetry::on_transmit(RouterId r, int port, const Packet& p,
                                   SimTime start, SimTime ser) {
   if (links_.empty() || finalized_ || !(ser > 0)) return;
-  LinkState& link = links_[link_index(r, port)];
+  const std::size_t idx = link_index(r, port);
+  LinkState& link = links_[idx];
+  ClassTotals& ct = class_totals_[link_class_[idx]];
+  ct.busy_s += ser;
+  ++ct.packets;
   // Split the serialization interval at the current window boundary:
   // per-link transmissions never overlap (the port busy flag serializes
   // them), so the in-window part plus a carry of the remainder reproduces
@@ -103,10 +120,12 @@ void StreamTelemetry::on_transmit(RouterId r, int port, const Packet& p,
 
 void StreamTelemetry::on_credit_stall(RouterId r, int port, SimTime /*now*/) {
   if (links_.empty() || finalized_) return;
-  LinkState& link = links_[link_index(r, port)];
+  const std::size_t idx = link_index(r, port);
+  LinkState& link = links_[idx];
   ++link.cur.stalls;
   ++link.stalls_total;
   ++total_stalls_;
+  ++class_totals_[link_class_[idx]].stalls;
 }
 
 void StreamTelemetry::on_metapath_open(NodeId src, NodeId dst, int /*paths*/,
@@ -283,6 +302,11 @@ std::uint64_t StreamTelemetry::link_packets(RouterId r, int port) const {
   return links_[link_index(r, port)].packets_total;
 }
 
+StreamTelemetry::ClassTotals StreamTelemetry::class_totals(
+    LinkClass c) const {
+  return class_totals_[static_cast<std::size_t>(c)];
+}
+
 std::vector<StreamTelemetry::WindowView> StreamTelemetry::window_layout()
     const {
   std::vector<WindowView> views;
@@ -321,6 +345,7 @@ std::size_t StreamTelemetry::memory_bytes() const {
   std::size_t bytes = sizeof(*this);
   bytes += link_offset_.capacity() * sizeof(std::size_t);
   bytes += links_.capacity() * sizeof(LinkState);
+  bytes += link_class_.capacity() * sizeof(std::uint8_t);
   for (const auto& level : data_) bytes += level.capacity() * sizeof(WindowAgg);
   bytes += level_head_.capacity() * sizeof(std::size_t);
   bytes += level_count_.capacity() * sizeof(std::size_t);
@@ -343,6 +368,15 @@ void StreamTelemetry::merge(const StreamTelemetry& other) {
   total_busy_s_ += other.total_busy_s_;
   total_stalls_ += other.total_stalls_;
   total_packets_ += other.total_packets_;
+  for (std::size_t c = 0; c < class_totals_.size(); ++c) {
+    // Sum the traffic ledgers; the link population is this instance's
+    // bind-time shape (per-probe merges share the network's shape).
+    class_totals_[c].busy_s += other.class_totals_[c].busy_s;
+    class_totals_[c].stalls += other.class_totals_[c].stalls;
+    class_totals_[c].packets += other.class_totals_[c].packets;
+    class_totals_[c].links =
+        std::max(class_totals_[c].links, other.class_totals_[c].links);
+  }
   last_time_ = std::max(last_time_, other.last_time_);
 }
 
@@ -359,6 +393,18 @@ void StreamTelemetry::emit_snapshot(SimTime now, bool summary) {
   w.field("busy_s", total_busy_s_);
   w.field("stalls", total_stalls_);
   w.field("packets", total_packets_);
+  w.key("link_class").begin_object();
+  for (const LinkClass c :
+       {LinkClass::kLocal, LinkClass::kGlobal, LinkClass::kTerminal}) {
+    const ClassTotals& ct = class_totals_[static_cast<std::size_t>(c)];
+    w.key(link_class_name(c)).begin_object();
+    w.field("links", ct.links);
+    w.field("busy_s", ct.busy_s);
+    w.field("stalls", ct.stalls);
+    w.field("packets", ct.packets);
+    w.end_object();
+  }
+  w.end_object();
   w.key("util").begin_object();
   w.field("p50",
           std::min(1.0, util_sketch_.percentile(0.5) / cfg_.window_s));

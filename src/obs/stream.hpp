@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "metrics/histogram.hpp"
+#include "net/topology.hpp"
 #include "util/types.hpp"
 
 namespace prdrb {
@@ -100,6 +101,19 @@ class StreamTelemetry {
       stalls += o.stalls;
       packets += o.packets;
     }
+  };
+
+  /// Cumulative per-link-class totals (dragonfly local/global taxonomy;
+  /// on single-class topologies everything lands in "local"). `links` is
+  /// the bind-time population of the class, the rest accumulates with the
+  /// run — so snapshots can show WHERE congestion lives (all-stalls-on-
+  /// global-links is the adversarial-permutation signature) at a cost of
+  /// three scalars per class.
+  struct ClassTotals {
+    std::uint64_t links = 0;
+    double busy_s = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t packets = 0;
   };
 
   /// One window slot in oldest-to-newest iteration order (tests, exports):
@@ -171,6 +185,9 @@ class StreamTelemetry {
   double link_busy_seconds(RouterId r, int port) const;
   std::uint64_t link_stalls(RouterId r, int port) const;
   std::uint64_t link_packets(RouterId r, int port) const;
+  /// Cumulative totals of every link in class `c` (zeros if unbound or the
+  /// topology has no such links).
+  ClassTotals class_totals(LinkClass c) const;
 
   /// Current window layout, oldest (ancient excluded) to newest.
   std::vector<WindowView> window_layout() const;
@@ -268,6 +285,8 @@ class StreamTelemetry {
 
   std::vector<std::size_t> link_offset_;  // router id -> first link index
   std::vector<LinkState> links_;
+  std::vector<std::uint8_t> link_class_;  // LinkClass per link, set at bind
+  std::array<ClassTotals, 4> class_totals_{};  // indexed by LinkClass
   /// data_[level][link * ring_windows + slot]; ring bookkeeping (head,
   /// count) is global per level because every link rolls in lockstep.
   std::vector<std::vector<WindowAgg>> data_;

@@ -22,6 +22,18 @@ void NetTelemetry::bind(const Network& net) {
         link_offset_[r] + net.router(static_cast<RouterId>(r)).ports.size();
   }
   links_.assign(link_offset_[routers], LinkSeries{});
+  // Per-link class captured once at bind: exports can then split busy time
+  // and stalls into local vs global (the dragonfly diagnosis axis) without
+  // touching the hot push hooks.
+  link_class_.assign(links_.size(),
+                     static_cast<std::uint8_t>(LinkClass::kLocal));
+  const Topology& topo = net.topology();
+  for (std::size_t r = 0; r < routers; ++r) {
+    for (std::size_t l = link_offset_[r]; l < link_offset_[r + 1]; ++l) {
+      link_class_[l] = static_cast<std::uint8_t>(topo.link_class(
+          static_cast<RouterId>(r), static_cast<int>(l - link_offset_[r])));
+    }
+  }
   router_queue_.assign(routers, TimeSeries(bin_width_));
   inject_stalls_.assign(static_cast<std::size_t>(net.num_nodes()), 0);
 }
@@ -139,6 +151,41 @@ double NetTelemetry::router_utilization(RouterId r, std::size_t bin) const {
   return std::min(1.0, busy / capacity);
 }
 
+std::size_t NetTelemetry::class_links(LinkClass c) const {
+  std::size_t n = 0;
+  for (const std::uint8_t lc : link_class_) {
+    if (lc == static_cast<std::uint8_t>(c)) ++n;
+  }
+  return n;
+}
+
+double NetTelemetry::class_busy_seconds(LinkClass c) const {
+  double total = 0;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (link_class_[l] == static_cast<std::uint8_t>(c)) {
+      total += links_[l].busy_total;
+    }
+  }
+  return total;
+}
+
+std::uint64_t NetTelemetry::class_stalls(LinkClass c) const {
+  if (c == LinkClass::kTerminal) {
+    // Terminal links are node attachments: their stall signal is the NIC
+    // injection backpressure.
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : inject_stalls_) total += s;
+    return total;
+  }
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (link_class_[l] == static_cast<std::uint8_t>(c)) {
+      total += links_[l].stalls_total;
+    }
+  }
+  return total;
+}
+
 std::uint64_t NetTelemetry::clamped() const {
   std::uint64_t total = clamped_;
   for (const TimeSeries& ts : router_queue_) total += ts.clamped();
@@ -153,6 +200,19 @@ void NetTelemetry::write_json(std::ostream& os) const {
   w.field("bins", static_cast<std::uint64_t>(bins_seen_));
   w.field("samples", samples_taken_);
   w.field("clamped", clamped());
+  w.key("link_class").begin_object();
+  for (const LinkClass c :
+       {LinkClass::kLocal, LinkClass::kGlobal, LinkClass::kTerminal}) {
+    w.key(link_class_name(c)).begin_object();
+    w.field("links",
+            static_cast<std::uint64_t>(c == LinkClass::kTerminal
+                                           ? inject_stalls_.size()
+                                           : class_links(c)));
+    w.field("busy_s", class_busy_seconds(c));
+    w.field("stalls", class_stalls(c));
+    w.end_object();
+  }
+  w.end_object();
   w.key("links").begin_array();
   for (std::size_t r = 0; r + 1 < link_offset_.size(); ++r) {
     for (std::size_t l = link_offset_[r]; l < link_offset_[r + 1]; ++l) {
@@ -161,6 +221,8 @@ void NetTelemetry::write_json(std::ostream& os) const {
       w.begin_object();
       w.field("router", static_cast<std::int64_t>(r));
       w.field("port", static_cast<std::int64_t>(l - link_offset_[r]));
+      w.field("class",
+              link_class_name(static_cast<LinkClass>(link_class_[l])));
       w.field("busy_s", link.busy_total);
       w.field("stalls", link.stalls_total);
       w.key("utilization").begin_array();
@@ -234,6 +296,13 @@ void NetTelemetry::write_csv(std::ostream& os) const {
   for (std::size_t n = 0; n < inject_stalls_.size(); ++n) {
     if (inject_stalls_[n] == 0) continue;
     os << "node_inject_stalls," << n << ",-1,0," << inject_stalls_[n] << '\n';
+  }
+  for (const LinkClass c :
+       {LinkClass::kLocal, LinkClass::kGlobal, LinkClass::kTerminal}) {
+    os << "class_busy_s," << link_class_name(c) << ",-1,0,"
+       << json_number(class_busy_seconds(c)) << '\n';
+    os << "class_stalls," << link_class_name(c) << ",-1,0,"
+       << class_stalls(c) << '\n';
   }
 }
 

@@ -30,11 +30,11 @@
 #include <vector>
 
 #include "metrics/time_series.hpp"
+#include "net/topology.hpp"
 #include "util/types.hpp"
 
 namespace prdrb {
 class Network;
-class Topology;
 }  // namespace prdrb
 
 namespace prdrb::obs {
@@ -81,6 +81,13 @@ class NetTelemetry {
   /// Out-of-domain timestamps clamped into the first/overflow bin.
   std::uint64_t clamped() const;
 
+  /// Per-link-class rollups (dragonfly local/global taxonomy; single-class
+  /// topologies report everything under kLocal). The "terminal" class
+  /// carries the node-side injection stalls.
+  std::size_t class_links(LinkClass c) const;
+  double class_busy_seconds(LinkClass c) const;
+  std::uint64_t class_stalls(LinkClass c) const;
+
   // --- export ---
   void write_json(std::ostream& os) const;
   void write_csv(std::ostream& os) const;
@@ -118,6 +125,7 @@ class NetTelemetry {
 
   std::vector<std::size_t> link_offset_;  // router id -> first link index
   std::vector<LinkSeries> links_;
+  std::vector<std::uint8_t> link_class_;  // LinkClass per link, set at bind
   std::vector<TimeSeries> router_queue_;  // queued bytes per router
   std::vector<std::uint64_t> inject_stalls_;
 

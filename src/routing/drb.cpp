@@ -156,7 +156,11 @@ bool DrbPolicy::expand(Metapath& mp, NodeId src, NodeId dst) {
   for (int attempts = 0; attempts < 64; ++attempts) {
     if (mp.pending_next >= mp.pending.size()) {
       ++mp.ring;
-      mp.pending = topo.msp_candidates(src, dst, mp.ring);
+      // Append-style enumeration into the metapath's reusable buffer: once
+      // its capacity covers the largest ring, re-expansion after a shrink
+      // allocates nothing (interposer-proven in routing_test).
+      mp.pending.clear();
+      topo.msp_candidates(src, dst, mp.ring, mp.pending);
       mp.pending_next = 0;
       if (mp.pending.empty()) {
         if (mp.ring > topo.num_nodes()) break;  // rings exhausted

@@ -1,0 +1,80 @@
+#include "routing/ugal.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "net/network.hpp"
+#include "routing/adaptive.hpp"
+
+namespace prdrb {
+
+int MinimalPolicy::select_port(RouterId r, const Packet& p,
+                               std::span<const int> candidates) {
+  if (candidates.size() == 1) return candidates[0];
+  const int idx = net_->topology().deterministic_choice(
+      r, p.source, p.current_target(), static_cast<int>(candidates.size()));
+  return candidates[static_cast<std::size_t>(idx)];
+}
+
+int ValiantPolicy::select_port(RouterId r, const Packet& p,
+                               std::span<const int> candidates) {
+  // Valiant is oblivious: deterministic choice within each minimal segment.
+  if (candidates.size() == 1) return candidates[0];
+  const int idx = net_->topology().deterministic_choice(
+      r, p.source, p.current_target(), static_cast<int>(candidates.size()));
+  return candidates[static_cast<std::size_t>(idx)];
+}
+
+PathChoice ValiantPolicy::choose_path(NodeId src, NodeId dst, SimTime) {
+  const NodeId in =
+      net_->topology().nonminimal_intermediate(src, dst, seed_ + counter_++);
+  if (in == kInvalidNode || in == src || in == dst) return {};
+  return PathChoice{in, kInvalidNode, 0};
+}
+
+int UgalPolicy::select_port(RouterId r, const Packet& p,
+                            std::span<const int> candidates) {
+  // Within the chosen route UGAL-L stays locally adaptive, like the
+  // credit-based minimal-adaptive hop decision it extends.
+  return AdaptivePolicy::least_occupied(*net_, r, p, candidates);
+}
+
+std::int64_t UgalPolicy::min_first_hop_queue(RouterId r,
+                                             NodeId target) const {
+  static thread_local std::vector<int> ports;
+  ports.clear();
+  net_->topology().minimal_ports(r, target, ports);
+  if (ports.empty()) return 0;  // locally attached
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const int port : ports) {
+    const std::int64_t bytes = net_->port_queue_bytes(r, port) +
+                               (net_->port_busy(r, port) ? 1 : 0);
+    best = std::min(best, bytes);
+  }
+  return best;
+}
+
+PathChoice UgalPolicy::choose_path(NodeId src, NodeId dst, SimTime) {
+  const Topology& topo = net_->topology();
+  const RouterId r = topo.node_router(src);
+  const int h_min = topo.distance(src, dst);
+  if (h_min == 0) return {};  // same-router delivery, nothing to balance
+  const NodeId in = topo.nonminimal_intermediate(src, dst, seed_ + counter_++);
+  if (in == kInvalidNode || in == src || in == dst) {
+    ++minimal_chosen_;
+    return {};
+  }
+  const int h_val = topo.distance(src, in) + topo.distance(in, dst);
+  const std::int64_t q_min = min_first_hop_queue(r, dst);
+  const std::int64_t q_val = min_first_hop_queue(r, in);
+  // UGAL decision rule: route minimally unless the queue-weighted minimal
+  // cost exceeds the queue-weighted Valiant cost by more than the bias.
+  if (q_min * h_min <= q_val * h_val + cfg_.threshold_bytes) {
+    ++minimal_chosen_;
+    return {};
+  }
+  ++valiant_chosen_;
+  return PathChoice{in, kInvalidNode, 0};
+}
+
+}  // namespace prdrb

@@ -1,0 +1,85 @@
+// UGAL-family baselines (Singh's Universal Globally-Adaptive Load-balancing
+// and its ingredients), the standard comparison points for adaptive routing
+// on the dragonfly:
+//  * Minimal   — always the canonical minimal route (local-global-local on
+//    the dragonfly). Collapses under adversarial permutations that load a
+//    single global channel.
+//  * Valiant   — every message detours through a pseudo-random intermediate
+//    terminal (another group on the dragonfly) via the topology's
+//    nonminimal_intermediate hook; each segment routes minimally. Load-
+//    balances any pattern at the price of doubled hop count.
+//  * UGAL-L    — per-message source decision between the two using only
+//    local state: queue occupancy at the injecting router's minimal output
+//    ports, weighted by hop count (q_min * H_min vs q_val * H_val).
+//
+// All three reuse the PR-DRB intermediate-terminal machinery: the chosen
+// detour rides the packet header exactly like a DRB multi-step path, so the
+// baselines exercise the same virtual networks and router pipeline as DRB
+// itself — differences in the results come from the decision rule, not the
+// plumbing.
+#pragma once
+
+#include "routing/policy.hpp"
+
+namespace prdrb {
+
+/// Minimal-only routing: deterministic choice among the canonical minimal
+/// ports at every hop, never a detour.
+class MinimalPolicy final : public RoutingPolicy {
+ public:
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  std::string name() const override { return "minimal"; }
+};
+
+/// Valiant randomized routing: src -> IN -> dst with IN drawn from the
+/// topology's nonminimal_intermediate hook, segments routed minimally.
+class ValiantPolicy final : public RoutingPolicy {
+ public:
+  explicit ValiantPolicy(std::uint64_t seed = 1) : seed_(seed) {}
+
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  PathChoice choose_path(NodeId src, NodeId dst, SimTime now) override;
+  std::string name() const override { return "valiant"; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+/// UGAL-L: minimal vs Valiant per message, judged by local queue occupancy
+/// (bytes at the source router's minimal first-hop ports) times hop count.
+class UgalPolicy final : public RoutingPolicy {
+ public:
+  struct Config {
+    /// Bias (bytes) toward the minimal route: the detour is taken only when
+    /// q_min * H_min exceeds q_val * H_val by more than this.
+    std::int64_t threshold_bytes = 0;
+  };
+
+  UgalPolicy() : UgalPolicy(Config{}) {}
+  explicit UgalPolicy(Config cfg, std::uint64_t seed = 1)
+      : cfg_(cfg), seed_(seed) {}
+
+  int select_port(RouterId r, const Packet& p,
+                  std::span<const int> candidates) override;
+  PathChoice choose_path(NodeId src, NodeId dst, SimTime now) override;
+  std::string name() const override { return "ugal-l"; }
+
+  std::uint64_t minimal_chosen() const { return minimal_chosen_; }
+  std::uint64_t valiant_chosen() const { return valiant_chosen_; }
+
+ private:
+  /// Least-loaded queue depth (bytes) over the minimal first-hop ports at
+  /// router `r` toward `target`; 0 when the target is locally attached.
+  std::int64_t min_first_hop_queue(RouterId r, NodeId target) const;
+
+  Config cfg_;
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+  std::uint64_t minimal_chosen_ = 0;
+  std::uint64_t valiant_chosen_ = 0;
+};
+
+}  // namespace prdrb

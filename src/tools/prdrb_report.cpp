@@ -21,6 +21,11 @@
 //       Options: --max-rate-drop=F (default 0.30), --max-latency-rise=F
 //       (default 0.10), --max-delivery-drop=F (default 0.01),
 //       --perf-warn-only.
+//       --min-packet-ratio=F switches to cross-policy throughput mode: the
+//       two manifests hold DIFFERENT routing policies on the same workload
+//       (e.g. minimal vs ugal-l on the adversarial dragonfly permutation),
+//       and NEW must deliver at least F times OLD's packets; the same-run
+//       invariants (event drift, per-policy deltas) are skipped.
 //
 // Exit codes: 0 clean/warnings-only, 1 regression, 2 usage or parse error.
 #include <cstring>
@@ -40,7 +45,8 @@ int usage(std::ostream& os, int code) {
   os << "usage: prdrb_report RESULTS_DIR [--json] [-o FILE]\n"
         "       prdrb_report --check OLD.json NEW.json\n"
         "           [--max-rate-drop=F] [--max-latency-rise=F]\n"
-        "           [--max-delivery-drop=F] [--perf-warn-only]\n";
+        "           [--max-delivery-drop=F] [--perf-warn-only]\n"
+        "           [--min-packet-ratio=F]\n";
   return code;
 }
 
@@ -131,7 +137,9 @@ int main(int argc, char** argv) {
                parse_fraction(argv[i], "--max-latency-rise",
                               thresholds.max_latency_rise) ||
                parse_fraction(argv[i], "--max-delivery-drop",
-                              thresholds.max_delivery_drop)) {
+                              thresholds.max_delivery_drop) ||
+               parse_fraction(argv[i], "--min-packet-ratio",
+                              thresholds.min_packet_ratio)) {
       // parsed in the condition
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "prdrb_report: unknown option " << arg << "\n";

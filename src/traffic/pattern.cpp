@@ -92,6 +92,10 @@ NodeId ButterflyPattern::destination(NodeId src, Rng&) const {
   return static_cast<NodeId>(out);
 }
 
+NodeId GroupShiftPattern::destination(NodeId src, Rng&) const {
+  return static_cast<NodeId>((src + group_nodes_) % num_nodes_);
+}
+
 std::unique_ptr<DestinationPattern> make_pattern(const std::string& name,
                                                  int num_nodes) {
   if (name == "uniform") return std::make_unique<UniformPattern>(num_nodes);

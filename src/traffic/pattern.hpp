@@ -137,6 +137,25 @@ class ButterflyPattern final : public DestinationPattern {
   int bits_;
 };
 
+/// d = (s + group_nodes) mod N : every terminal targets its peer in the
+/// next group of a dragonfly (group_nodes = a*p terminals per group). The
+/// classic adversarial permutation: all minimal traffic from one group
+/// funnels onto the q parallel global channels toward the next group, so
+/// minimal routing saturates at q*h/a of capacity while Valiant/UGAL spread
+/// the load over every group. Constructed by the scenario layer, which
+/// knows the group size (like the hot-spot layouts).
+class GroupShiftPattern final : public DestinationPattern {
+ public:
+  GroupShiftPattern(int num_nodes, int group_nodes)
+      : num_nodes_(num_nodes), group_nodes_(group_nodes) {}
+  NodeId destination(NodeId src, Rng&) const override;
+  std::string name() const override { return "adversarial-group"; }
+
+ private:
+  int num_nodes_;
+  int group_nodes_;
+};
+
 /// Factory by name (used by benches to sweep patterns): Table 4.1 names
 /// ("uniform", "bit-reversal", "perfect-shuffle", "matrix-transpose") plus
 /// "bit-complement", "tornado", "neighbor" and "butterfly".

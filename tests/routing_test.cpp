@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "net/dragonfly.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/drb.hpp"
 #include "routing/fr_drb.hpp"
 #include "routing/oblivious.hpp"
+#include "routing/ugal.hpp"
 #include "test_util.hpp"
 
 namespace prdrb {
@@ -253,6 +255,74 @@ TEST_F(DrbFixture, StaleMspIndexIgnored) {
   policy->choose_path(0, 7, 0);
   policy->on_ack(0, make_ack(0, 7, 8e-6, 7), 0);  // index out of range
   EXPECT_EQ(policy->open_paths(0, 7), 1);
+}
+
+TEST_F(DrbFixture, ReExpansionAfterShrinkIsAllocationFree) {
+  policy->choose_path(0, 7, 0);
+  const auto expand_all = [&] {
+    for (int i = 0; i < 8 && policy->open_paths(0, 7) < 4; ++i) {
+      policy->on_ack(0, make_ack(0, 7, 50e-6, policy->open_paths(0, 7) - 1),
+                     0);
+    }
+  };
+  const auto shrink_all = [&] {
+    for (int round = 0; round < 40 && policy->open_paths(0, 7) > 1; ++round) {
+      for (int i = 0; i < policy->open_paths(0, 7); ++i) {
+        policy->on_ack(0, make_ack(0, 7, 4e-6, i), 0);
+      }
+    }
+  };
+  expand_all();
+  ASSERT_EQ(policy->open_paths(0, 7), 4);
+  shrink_all();
+  ASSERT_EQ(policy->open_paths(0, 7), 1);
+  // Full contraction rewound the candidate cursor but kept every buffer's
+  // capacity: paths covers max_paths, the metapath's pending ring buffer
+  // covers the largest ring the append-style msp_candidates walked, the
+  // trend window is full. The whole next congestion episode must therefore
+  // run without touching the heap.
+  test::AllocationScope scope;
+  expand_all();
+  EXPECT_EQ(policy->open_paths(0, 7), 4);
+  EXPECT_EQ(scope.count(), 0u) << "DRB re-expansion must not allocate";
+}
+
+TEST(PathEnumeration, WarmAppendBuffersAreAllocationFree) {
+  Dragonfly df(4, 9, 2, 4);
+  const NodeId src = 5;
+  const NodeId dst = 100;
+  std::vector<int> ports;
+  std::vector<MspCandidate> cands;
+  // Warm pass without clearing sizes each buffer past any single-ring or
+  // single-router enumeration below.
+  for (int ring = 1; ring <= df.g(); ++ring) {
+    df.msp_candidates(src, dst, ring, cands);
+  }
+  for (RouterId r = 0; r < df.num_routers(); ++r) {
+    df.minimal_ports(r, dst, ports);
+  }
+  test::AllocationScope scope;
+  for (int ring = 1; ring <= df.g(); ++ring) {
+    cands.clear();
+    df.msp_candidates(src, dst, ring, cands);
+  }
+  for (RouterId r = 0; r < df.num_routers(); ++r) {
+    ports.clear();
+    df.minimal_ports(r, dst, ports);
+  }
+  EXPECT_EQ(scope.count(), 0u) << "append-style enumeration must not allocate";
+}
+
+TEST(Ugal, InjectionDecisionIsAllocationFree) {
+  auto* pol = new UgalPolicy;
+  auto h = Harness::make<Dragonfly>(NetConfig{}, pol, 4, 9, 2, 4);
+  pol->choose_path(0, 100, 0);  // warm the first-hop queue scratch
+  test::AllocationScope scope;
+  for (NodeId s = 0; s < 36; ++s) {
+    const PathChoice pc = pol->choose_path(s, (s + 16) % 144, 0);
+    (void)pc;
+  }
+  EXPECT_EQ(scope.count(), 0u) << "UGAL's injection decision must not allocate";
 }
 
 TEST(FrDrb, WatchdogOpensPathWithoutAck) {

@@ -101,7 +101,8 @@ TEST(Mesh2D, MspCandidatesValidAndOrdered) {
   Mesh2D m(8, 8);
   const NodeId src = m.at(0, 4);
   const NodeId dst = m.at(7, 4);
-  const auto ring1 = m.msp_candidates(src, dst, 1);
+  std::vector<MspCandidate> ring1;
+  m.msp_candidates(src, dst, 1, ring1);
   ASSERT_FALSE(ring1.empty());
   for (const auto& c : ring1) {
     EXPECT_NE(c.in1, src);
@@ -247,7 +248,8 @@ TEST(KAryNTree, DeterministicChoiceStable) {
 
 TEST(KAryNTree, MspCandidatesAreDistinctTerminals) {
   KAryNTree t(4, 3);
-  const auto cands = t.msp_candidates(0, 63, 1);
+  std::vector<MspCandidate> cands;
+  t.msp_candidates(0, 63, 1, cands);
   ASSERT_FALSE(cands.empty());
   std::set<NodeId> seen;
   for (const auto& c : cands) {
@@ -262,7 +264,9 @@ TEST(KAryNTree, MspCandidatesAreDistinctTerminals) {
 
 TEST(KAryNTree, MspCandidatesExhaustAboveTopRing) {
   KAryNTree t(2, 3);
-  EXPECT_TRUE(t.msp_candidates(0, 7, 3).empty());
+  std::vector<MspCandidate> cands;
+  t.msp_candidates(0, 7, 3, cands);
+  EXPECT_TRUE(cands.empty());
 }
 
 }  // namespace
